@@ -1,0 +1,55 @@
+//! Ablation — defuzzification strategy: accuracy series (printed) and
+//! per-decision latency (benchmarked) for centroid vs the alternatives.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use facs::{FacsConfig, FacsController};
+use facs_bench::{ablation_defuzz, ascii_chart};
+use facs_cac::{
+    BandwidthUnits, CallId, CallKind, CallRequest, CellSnapshot, MobilityInfo, ServiceClass,
+};
+use facs_fuzzy::{Defuzzifier, InferenceConfig};
+
+fn bench_defuzz(c: &mut Criterion) {
+    let series = ablation_defuzz(1);
+    eprintln!("{}", ascii_chart(&series, 40.0, 100.0));
+
+    let cell = CellSnapshot {
+        capacity: BandwidthUnits::new(40),
+        occupied: BandwidthUnits::new(17),
+        real_time_calls: 2,
+        non_real_time_calls: 3,
+    };
+    let request = CallRequest::new(
+        CallId(1),
+        ServiceClass::Voice,
+        CallKind::New,
+        MobilityInfo::new(45.0, 30.0, 4.0),
+    );
+    for (label, defuzzifier) in [
+        ("centroid", Defuzzifier::Centroid),
+        ("bisector", Defuzzifier::Bisector),
+        ("mom", Defuzzifier::MeanOfMaxima),
+        ("wavg", Defuzzifier::WeightedAverage),
+    ] {
+        let controller = FacsController::with_config(FacsConfig {
+            inference: InferenceConfig { defuzzifier, ..InferenceConfig::default() },
+            ..FacsConfig::default()
+        })
+        .unwrap();
+        c.bench_function(&format!("facs_decision_{label}"), |b| {
+            b.iter(|| controller.evaluate(black_box(&request), black_box(&cell)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_defuzz
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Ablation — acceptance threshold over the defuzzified A/R score:
+//! accuracy series printed, scenario throughput benchmarked.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use facs::FacsConfig;
+use facs_bench::{ablation_threshold, ascii_chart, base_scenario, facs_builder};
+use facs_cellsim::prelude::*;
+
+fn bench_threshold(c: &mut Criterion) {
+    let series = ablation_threshold(1);
+    eprintln!("{}", ascii_chart(&series, 20.0, 100.0));
+
+    for threshold in [0.0, 0.1, 0.25] {
+        let build = facs_builder(FacsConfig { threshold, ..FacsConfig::default() });
+        c.bench_function(&format!("scenario_threshold_{threshold:.2}"), |b| {
+            b.iter(|| {
+                ScenarioConfig { replications: 1, ..base_scenario(50) }.acceptance(&build)
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_threshold
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation — conjunction T-norm: min (paper) vs product, accuracy series
+//! printed and per-decision latency benchmarked.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use facs::{FacsConfig, FacsController};
+use facs_bench::{ablation_tnorm, ascii_chart};
+use facs_cac::{
+    BandwidthUnits, CallId, CallKind, CallRequest, CellSnapshot, MobilityInfo, ServiceClass,
+};
+use facs_fuzzy::{InferenceConfig, TNorm};
+
+fn bench_tnorm(c: &mut Criterion) {
+    let series = ablation_tnorm(1);
+    eprintln!("{}", ascii_chart(&series, 40.0, 100.0));
+
+    let cell = CellSnapshot {
+        capacity: BandwidthUnits::new(40),
+        occupied: BandwidthUnits::new(22),
+        real_time_calls: 2,
+        non_real_time_calls: 3,
+    };
+    let request = CallRequest::new(
+        CallId(1),
+        ServiceClass::Video,
+        CallKind::New,
+        MobilityInfo::new(70.0, 15.0, 6.0),
+    );
+    for (label, tnorm) in [("min", TNorm::Minimum), ("product", TNorm::Product)] {
+        let controller = FacsController::with_config(FacsConfig {
+            inference: InferenceConfig { tnorm, ..InferenceConfig::default() },
+            ..FacsConfig::default()
+        })
+        .unwrap();
+        c.bench_function(&format!("facs_decision_tnorm_{label}"), |b| {
+            b.iter(|| controller.evaluate(black_box(&request), black_box(&cell)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_tnorm
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 10 — regenerates the FACS vs SCC comparison and benchmarks one
+//! multi-cell scenario point per system.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use facs::FacsConfig;
+use facs_bench::{ascii_chart, facs_builder, fig10_facs_vs_scc, fig10_scenario, scc_builder};
+use facs_cellsim::prelude::*;
+use facs_scc::SccConfig;
+
+fn bench_fig10(c: &mut Criterion) {
+    let series = fig10_facs_vs_scc(1);
+    eprintln!("{}", ascii_chart(&series, 60.0, 100.0));
+
+    let facs = facs_builder(FacsConfig::default());
+    let scc = scc_builder(SccConfig::default());
+    c.bench_function("fig10_point_facs_n30", |b| {
+        b.iter(|| ScenarioConfig { replications: 1, ..fig10_scenario(30) }.acceptance(&facs))
+    });
+    c.bench_function("fig10_point_scc_n30", |b| {
+        b.iter(|| ScenarioConfig { replications: 1, ..fig10_scenario(30) }.acceptance(&scc))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_fig10
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates figures 5 and 6 (the FLC membership functions) and
+//! benchmarks the sampling workload behind them.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use facs_bench::{fig5_membership_csv, fig6_membership_csv};
+
+fn bench_membership(c: &mut Criterion) {
+    // Regenerate the figure artifacts once (the paper-reproduction
+    // deliverable); the benchmark then measures the sampling cost.
+    let fig5 = fig5_membership_csv();
+    let fig6 = fig6_membership_csv();
+    eprintln!(
+        "fig5: {} membership samples; fig6: {} membership samples",
+        fig5.lines().count() - 1,
+        fig6.lines().count() - 1
+    );
+
+    c.bench_function("fig5_flc1_membership_sampling", |b| b.iter(fig5_membership_csv));
+    c.bench_function("fig6_flc2_membership_sampling", |b| b.iter(fig6_membership_csv));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_membership
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 7 — regenerates the speed-parameterized acceptance curves and
+//! benchmarks one scenario point of the sweep.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use facs::FacsConfig;
+use facs_bench::{ascii_chart, facs_builder, fig7_speed};
+use facs_cellsim::prelude::*;
+
+fn bench_fig7(c: &mut Criterion) {
+    // Regenerate the figure once at 1 replication for the bench log.
+    let series = fig7_speed(1);
+    eprintln!("{}", ascii_chart(&series, 40.0, 100.0));
+
+    let build = facs_builder(FacsConfig::default());
+    c.bench_function("fig7_point_speed30_n50", |b| {
+        b.iter(|| {
+            ScenarioConfig {
+                requests: 50,
+                speed: SpeedSpec::Fixed(30.0),
+                replications: 1,
+                ..Default::default()
+            }
+            .acceptance(&build)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_fig7
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 8 — regenerates the angle-parameterized acceptance curves and
+//! benchmarks one scenario point of the sweep.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use facs::FacsConfig;
+use facs_bench::{ascii_chart, facs_builder, fig8_angle};
+use facs_cellsim::prelude::*;
+
+fn bench_fig8(c: &mut Criterion) {
+    let series = fig8_angle(1);
+    eprintln!("{}", ascii_chart(&series, 40.0, 100.0));
+
+    let build = facs_builder(FacsConfig::default());
+    c.bench_function("fig8_point_angle50_n50", |b| {
+        b.iter(|| {
+            ScenarioConfig {
+                requests: 50,
+                angle: AngleSpec::Fixed(50.0),
+                replications: 1,
+                ..Default::default()
+            }
+            .acceptance(&build)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_fig8
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 9 — regenerates the distance-parameterized acceptance curves and
+//! benchmarks one scenario point of the sweep.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use facs::FacsConfig;
+use facs_bench::{ascii_chart, facs_builder, fig9_distance};
+use facs_cellsim::prelude::*;
+
+fn bench_fig9(c: &mut Criterion) {
+    let series = fig9_distance(1);
+    eprintln!("{}", ascii_chart(&series, 40.0, 100.0));
+
+    let build = facs_builder(FacsConfig::default());
+    c.bench_function("fig9_point_dist7_n50", |b| {
+        b.iter(|| {
+            ScenarioConfig {
+                requests: 50,
+                distance: DistanceSpec::Fixed(7.0),
+                replications: 1,
+                ..Default::default()
+            }
+            .acceptance(&build)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_fig9
+}
+criterion_main!(benches);

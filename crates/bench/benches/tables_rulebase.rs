@@ -1,0 +1,58 @@
+//! Regenerates tables 1 and 2 (the FRB rule bases) and benchmarks the
+//! full-grid rule-base verification sweep.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use facs::{Flc1, Flc2};
+use facs_bench::{tab1_rules, table_sizes};
+use facs_cac::MobilityInfo;
+
+fn bench_tables(c: &mut Criterion) {
+    let (n1, n2) = table_sizes();
+    eprintln!("tab1: {n1} rules; tab2: {n2} rules (paper: 42 / 27)");
+    for rule in tab1_rules().iter().take(3) {
+        eprintln!("  {rule}");
+    }
+
+    let flc1 = Flc1::new().unwrap();
+    let flc2 = Flc2::new().unwrap();
+
+    // The verification sweep: every FRB1 antecedent cell exercised once.
+    c.bench_function("tab1_full_grid_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for s in [5.0, 30.0, 90.0] {
+                for a in [-160.0, -90.0, -45.0, 0.0, 45.0, 90.0, 160.0] {
+                    for d in [1.0, 9.0] {
+                        acc += flc1.correction_value(&MobilityInfo::new(s, a, d)).unwrap();
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("tab2_full_grid_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for cv in [0.1, 0.5, 0.9] {
+                for r in [1.0, 5.0, 10.0] {
+                    for cs in [5.0, 20.0, 38.0] {
+                        acc += flc2.decision_score(cv, r, cs).unwrap();
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_tables
+}
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```sh
+//! experiments                 # run everything at default replications
+//! experiments --exp fig7      # one experiment
+//! experiments --exp fig10 --reps 6
+//! experiments --list
+//! ```
+//!
+//! Output is CSV (stdout) plus an ASCII rendition of each figure;
+//! EXPERIMENTS.md records a snapshot of these numbers next to the
+//! paper's.
+
+use facs_bench::*;
+
+const EXPERIMENTS: &[&str] = &[
+    "tab1", "tab2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "qos",
+    "ablation-defuzz", "ablation-tnorm", "ablation-threshold", "handoff",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exp = "all".to_owned();
+    let mut reps: u32 = 3;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" if i + 1 < args.len() => {
+                exp = args[i + 1].clone();
+                i += 2;
+            }
+            "--reps" if i + 1 < args.len() => {
+                reps = args[i + 1].parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --reps value `{}`", args[i + 1]);
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--list" => {
+                for e in EXPERIMENTS {
+                    println!("{e}");
+                }
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --list)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let run = |name: &str| exp == "all" || exp == name;
+    let mut ran_any = false;
+
+    if run("tab1") {
+        ran_any = true;
+        println!("== tab1: FRB1 (paper Table 1, {} rules) ==", table_sizes().0);
+        for rule in tab1_rules() {
+            println!("{rule}");
+        }
+        println!();
+    }
+    if run("tab2") {
+        ran_any = true;
+        println!("== tab2: FRB2 (paper Table 2, {} rules) ==", table_sizes().1);
+        for rule in tab2_rules() {
+            println!("{rule}");
+        }
+        println!();
+    }
+    if run("fig5") {
+        ran_any = true;
+        println!("== fig5: FLC1 membership functions (CSV) ==");
+        print!("{}", fig5_membership_csv());
+        println!();
+    }
+    if run("fig6") {
+        ran_any = true;
+        println!("== fig6: FLC2 membership functions (CSV) ==");
+        print!("{}", fig6_membership_csv());
+        println!();
+    }
+    if run("fig7") {
+        ran_any = true;
+        println!("== fig7: acceptance vs requests, by speed ==");
+        let series = fig7_speed(reps);
+        print_series(&series, 40.0, 100.0);
+    }
+    if run("fig8") {
+        ran_any = true;
+        println!("== fig8: acceptance vs requests, by angle ==");
+        let series = fig8_angle(reps);
+        print_series(&series, 40.0, 100.0);
+    }
+    if run("fig9") {
+        ran_any = true;
+        println!("== fig9: acceptance vs requests, by distance ==");
+        let series = fig9_distance(reps);
+        print_series(&series, 40.0, 100.0);
+    }
+    if run("fig10") {
+        ran_any = true;
+        println!("== fig10: FACS vs SCC (7-cell cluster) ==");
+        let series = fig10_facs_vs_scc(reps);
+        print_series(&series, 60.0, 100.0);
+    }
+    if run("qos") {
+        ran_any = true;
+        println!("== qos: handoff dropping percentage (fig10 companion) ==");
+        let series = qos_dropping(reps);
+        print_series(&series, 0.0, 30.0);
+    }
+    if run("ablation-defuzz") {
+        ran_any = true;
+        println!("== ablation-defuzz: defuzzifier choice ==");
+        print_series(&ablation_defuzz(reps), 40.0, 100.0);
+    }
+    if run("ablation-tnorm") {
+        ran_any = true;
+        println!("== ablation-tnorm: min vs product conjunction ==");
+        print_series(&ablation_tnorm(reps), 40.0, 100.0);
+    }
+    if run("ablation-threshold") {
+        ran_any = true;
+        println!("== ablation-threshold: acceptance-gate sweep ==");
+        print_series(&ablation_threshold(reps), 20.0, 100.0);
+    }
+    if run("handoff") {
+        ran_any = true;
+        println!("== handoff: the paper's future-work extension (bias sweep) ==");
+        let series = handoff_extension(reps);
+        for s in &series {
+            print!("{}", s.to_csv());
+        }
+        println!();
+    }
+
+    if !ran_any {
+        eprintln!("unknown experiment `{exp}` (try --list)");
+        std::process::exit(2);
+    }
+}
+
+fn print_series(series: &[facs_cellsim::Series], y_min: f64, y_max: f64) {
+    for s in series {
+        print!("{}", s.to_csv());
+    }
+    println!("{}", ascii_chart(series, y_min, y_max));
+}

@@ -1,0 +1,390 @@
+//! Experiment definitions: one function per paper artifact.
+//!
+//! Each `figN_*` / `tabN_*` function regenerates the corresponding table
+//! or figure of Barolli et al. (ICDCSW 2007); the `experiments` binary
+//! prints them as CSV and ASCII plots, and EXPERIMENTS.md records the
+//! measured numbers against the paper's.
+
+use facs::{FacsConfig, FacsController, Flc1, Flc2, FRB1, FRB2};
+use facs_cac::policies::CompleteSharing;
+use facs_cac::BoxedController;
+use facs_cellsim::prelude::*;
+use facs_cellsim::HexGrid;
+use facs_fuzzy::{Defuzzifier, InferenceConfig, TNorm};
+use facs_scc::{SccConfig, SccNetwork};
+
+/// x-axis of figures 7–10: number of requesting connections.
+#[must_use]
+pub fn request_counts() -> Vec<usize> {
+    paper_request_counts()
+}
+
+/// Builds one FACS controller per grid cell.
+#[must_use]
+pub fn facs_builder(config: FacsConfig) -> impl Fn(&HexGrid) -> Vec<BoxedController> {
+    move |grid: &HexGrid| {
+        grid.cell_ids()
+            .map(|_| {
+                Box::new(FacsController::with_config(config).expect("FACS builds"))
+                    as BoxedController
+            })
+            .collect()
+    }
+}
+
+/// Builds one Complete Sharing controller per grid cell.
+#[must_use]
+pub fn cs_builder() -> impl Fn(&HexGrid) -> Vec<BoxedController> {
+    |grid: &HexGrid| {
+        grid.cell_ids().map(|_| Box::new(CompleteSharing::new()) as BoxedController).collect()
+    }
+}
+
+/// Builds an SCC network per grid (fresh shadow board each run).
+#[must_use]
+pub fn scc_builder(config: SccConfig) -> impl Fn(&HexGrid) -> Vec<BoxedController> {
+    move |grid: &HexGrid| SccNetwork::new(config).controllers(grid)
+}
+
+/// The shared single-BS scenario skeleton of figures 7–9 (paper §4
+/// parameters; calibration documented in EXPERIMENTS.md).
+#[must_use]
+pub fn base_scenario(requests: usize) -> ScenarioConfig {
+    ScenarioConfig { requests, replications: 3, ..Default::default() }
+}
+
+/// The multi-cell scenario of figure 10: a 7-cell cluster with `n`
+/// requests per cell, users spawning everywhere.
+#[must_use]
+pub fn fig10_scenario(requests_per_cell: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        requests: requests_per_cell * 7,
+        grid_radius: 1,
+        spawn: SpawnSpec::AnyCell,
+        mobility: MobilityChoice::Walker,
+        replications: 3,
+        ..Default::default()
+    }
+}
+
+/// Table 1 — FRB1 rendered in the rule DSL (one line per paper row).
+#[must_use]
+pub fn tab1_rules() -> Vec<String> {
+    let flc1 = Flc1::new().expect("FLC1 builds");
+    flc1.engine().rule_base().iter().map(ToString::to_string).collect()
+}
+
+/// Table 2 — FRB2 rendered in the rule DSL.
+#[must_use]
+pub fn tab2_rules() -> Vec<String> {
+    let flc2 = Flc2::new().expect("FLC2 builds");
+    flc2.engine().rule_base().iter().map(ToString::to_string).collect()
+}
+
+/// Verifies the compiled rule bases against the transcription constants
+/// (sizes only; contents are pinned by unit tests).
+#[must_use]
+pub fn table_sizes() -> (usize, usize) {
+    (FRB1.len(), FRB2.len())
+}
+
+/// Fig. 5 — FLC1 membership functions sampled as `(variable, term, x, µ)`
+/// CSV rows.
+#[must_use]
+pub fn fig5_membership_csv() -> String {
+    let flc1 = Flc1::new().expect("FLC1 builds");
+    sample_engine_memberships(flc1.engine())
+}
+
+/// Fig. 6 — FLC2 membership functions sampled as CSV rows.
+#[must_use]
+pub fn fig6_membership_csv() -> String {
+    let flc2 = Flc2::new().expect("FLC2 builds");
+    sample_engine_memberships(flc2.engine())
+}
+
+fn sample_engine_memberships(engine: &facs_fuzzy::Engine) -> String {
+    let mut out = String::from("variable,term,x,mu\n");
+    let all = engine.inputs().iter().chain(engine.outputs());
+    for variable in all {
+        for term in variable.terms() {
+            for i in 0..=100 {
+                let x = variable.min() + (variable.max() - variable.min()) * f64::from(i) / 100.0;
+                out.push_str(&format!(
+                    "{},{},{:.4},{:.4}\n",
+                    variable.name(),
+                    term.name(),
+                    x,
+                    term.membership(x)
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 7 — acceptance vs. requesting connections for speeds
+/// {4, 10, 30, 60} km/h (walker mobility, heading-history angles).
+#[must_use]
+pub fn fig7_speed(replications: u32) -> Vec<Series> {
+    [4.0, 10.0, 30.0, 60.0]
+        .iter()
+        .map(|&speed| {
+            acceptance_curve(
+                &format!("{speed:.0}km/h"),
+                &request_counts(),
+                |n| ScenarioConfig {
+                    speed: SpeedSpec::Fixed(speed),
+                    angle: AngleSpec::HeadingHistory { history_s: 300.0 },
+                    replications,
+                    ..base_scenario(n)
+                },
+                &facs_builder(FacsConfig::default()),
+            )
+        })
+        .collect()
+}
+
+/// Fig. 8 — acceptance vs. requesting connections for pinned angles
+/// {0, 30, 50, 60, 90}°.
+#[must_use]
+pub fn fig8_angle(replications: u32) -> Vec<Series> {
+    [0.0, 30.0, 50.0, 60.0, 90.0]
+        .iter()
+        .map(|&angle| {
+            acceptance_curve(
+                &format!("angle={angle:.0}"),
+                &request_counts(),
+                |n| ScenarioConfig {
+                    angle: AngleSpec::Fixed(angle),
+                    replications,
+                    ..base_scenario(n)
+                },
+                &facs_builder(FacsConfig::default()),
+            )
+        })
+        .collect()
+}
+
+/// Fig. 9 — acceptance vs. requesting connections for pinned distances
+/// {1, 3, 7, 10} km.
+#[must_use]
+pub fn fig9_distance(replications: u32) -> Vec<Series> {
+    [1.0, 3.0, 7.0, 10.0]
+        .iter()
+        .map(|&distance| {
+            acceptance_curve(
+                &format!("{distance:.0}km"),
+                &request_counts(),
+                |n| ScenarioConfig {
+                    distance: DistanceSpec::Fixed(distance),
+                    replications,
+                    ..base_scenario(n)
+                },
+                &facs_builder(FacsConfig::default()),
+            )
+        })
+        .collect()
+}
+
+/// Fig. 10 — FACS vs SCC acceptance on the 7-cell cluster.
+#[must_use]
+pub fn fig10_facs_vs_scc(replications: u32) -> Vec<Series> {
+    let xs = request_counts();
+    let facs = acceptance_curve(
+        "FACS",
+        &xs,
+        |n| ScenarioConfig { replications, ..fig10_scenario(n) },
+        &facs_builder(FacsConfig::default()),
+    );
+    let scc = acceptance_curve(
+        "SCC",
+        &xs,
+        |n| ScenarioConfig { replications, ..fig10_scenario(n) },
+        &scc_builder(SccConfig::default()),
+    );
+    vec![facs, scc]
+}
+
+/// QoS companion to Fig. 10: handoff-dropping percentage per system.
+#[must_use]
+pub fn qos_dropping(replications: u32) -> Vec<Series> {
+    let xs = [30usize, 50, 70, 100];
+    let mut facs = Series::new("FACS drop%");
+    let mut scc = Series::new("SCC drop%");
+    let mut cs = Series::new("CS drop%");
+    for &n in &xs {
+        let config = ScenarioConfig { replications, ..fig10_scenario(n) };
+        facs.push(n as f64, config.aggregate(&facs_builder(FacsConfig::default())).dropping_percentage());
+        scc.push(n as f64, config.aggregate(&scc_builder(SccConfig::default())).dropping_percentage());
+        cs.push(n as f64, config.aggregate(&cs_builder()).dropping_percentage());
+    }
+    vec![facs, scc, cs]
+}
+
+/// Ablation: defuzzification strategy (paper-default centroid vs the
+/// alternatives) on the default mixed-population scenario.
+#[must_use]
+pub fn ablation_defuzz(replications: u32) -> Vec<Series> {
+    [
+        ("centroid", Defuzzifier::Centroid),
+        ("bisector", Defuzzifier::Bisector),
+        ("mom", Defuzzifier::MeanOfMaxima),
+        ("wavg", Defuzzifier::WeightedAverage),
+    ]
+    .iter()
+    .map(|&(label, defuzzifier)| {
+        let config = FacsConfig {
+            inference: InferenceConfig { defuzzifier, ..InferenceConfig::default() },
+            ..FacsConfig::default()
+        };
+        acceptance_curve(
+            label,
+            &[20, 60, 100],
+            |n| ScenarioConfig { replications, ..base_scenario(n) },
+            &facs_builder(config),
+        )
+    })
+    .collect()
+}
+
+/// Ablation: conjunction T-norm (paper-default min vs product).
+#[must_use]
+pub fn ablation_tnorm(replications: u32) -> Vec<Series> {
+    [("min", TNorm::Minimum), ("product", TNorm::Product)]
+        .iter()
+        .map(|&(label, tnorm)| {
+            let config = FacsConfig {
+                inference: InferenceConfig { tnorm, ..InferenceConfig::default() },
+                ..FacsConfig::default()
+            };
+            acceptance_curve(
+                label,
+                &[20, 60, 100],
+                |n| ScenarioConfig { replications, ..base_scenario(n) },
+                &facs_builder(config),
+            )
+        })
+        .collect()
+}
+
+/// Ablation: acceptance threshold sweep over the defuzzified A/R score.
+#[must_use]
+pub fn ablation_threshold(replications: u32) -> Vec<Series> {
+    [-0.25, 0.0, 0.1, 0.25, 0.5]
+        .iter()
+        .map(|&threshold| {
+            let config = FacsConfig { threshold, ..FacsConfig::default() };
+            acceptance_curve(
+                &format!("t={threshold:+.2}"),
+                &[20, 60, 100],
+                |n| ScenarioConfig { replications, ..base_scenario(n) },
+                &facs_builder(config),
+            )
+        })
+        .collect()
+}
+
+/// The paper's named future work: handoff priority. Sweeps the FACS
+/// handoff bias and reports acceptance and dropping side by side.
+#[must_use]
+pub fn handoff_extension(replications: u32) -> Vec<Series> {
+    let mut out = Vec::new();
+    for &bias in &[0.0, 0.2, 0.4] {
+        let config = FacsConfig { handoff_bias: bias, ..FacsConfig::default() };
+        let mut acc = Series::new(format!("bias={bias:.1} acc%"));
+        let mut drop = Series::new(format!("bias={bias:.1} drop%"));
+        for &n in &[50usize, 100] {
+            let scenario = ScenarioConfig { replications, ..fig10_scenario(n) };
+            let metrics = scenario.aggregate(&facs_builder(config));
+            acc.push(n as f64, metrics.acceptance_percentage());
+            drop.push(n as f64, metrics.dropping_percentage());
+        }
+        out.push(acc);
+        out.push(drop);
+    }
+    out
+}
+
+/// Renders series as a crude ASCII chart for terminal inspection.
+#[must_use]
+pub fn ascii_chart(series: &[Series], y_min: f64, y_max: f64) -> String {
+    let mut out = String::new();
+    const ROWS: usize = 20;
+    let marks = ['*', 'o', '+', 'x', '#', '@'];
+    let x_max = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .fold(1.0_f64, f64::max);
+    let mut grid = vec![vec![' '; 64]; ROWS + 1];
+    for (si, s) in series.iter().enumerate() {
+        for &(x, y) in &s.points {
+            let col = ((x / x_max) * 60.0).round() as usize;
+            let row = if y_max > y_min {
+                (((y - y_min) / (y_max - y_min)) * ROWS as f64).round() as isize
+            } else {
+                0
+            };
+            let row = row.clamp(0, ROWS as isize) as usize;
+            let r = ROWS - row;
+            if col < 64 {
+                grid[r][col] = marks[si % marks.len()];
+            }
+        }
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let y_label = y_max - (y_max - y_min) * i as f64 / ROWS as f64;
+        out.push_str(&format!("{y_label:6.1} |"));
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str("        +");
+    out.push_str(&"-".repeat(62));
+    out.push('\n');
+    out.push_str(&format!("         0 ... {x_max:.0} (requesting connections)\n"));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} = {}\n", marks[si % marks.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_paper_sizes() {
+        assert_eq!(table_sizes(), (42, 27));
+        assert_eq!(tab1_rules().len(), 42);
+        assert_eq!(tab2_rules().len(), 27);
+    }
+
+    #[test]
+    fn tab_rules_are_valid_dsl() {
+        for line in tab1_rules().iter().chain(tab2_rules().iter()) {
+            assert!(facs_fuzzy::parse_rule(line).is_ok(), "unparseable: {line}");
+        }
+    }
+
+    #[test]
+    fn membership_csv_has_all_terms() {
+        let csv = fig5_membership_csv();
+        for term in ["sl", "m", "fa", "b1", "st", "b2", "n", "f", "cv1", "cv9"] {
+            assert!(csv.lines().any(|l| l.split(',').nth(1) == Some(term)), "missing {term}");
+        }
+        let csv6 = fig6_membership_csv();
+        for term in ["b", "g", "t", "vo", "vi", "s", "f", "r", "wr", "nrna", "wa", "a"] {
+            assert!(csv6.lines().any(|l| l.split(',').nth(1) == Some(term)), "missing {term}");
+        }
+    }
+
+    #[test]
+    fn ascii_chart_renders() {
+        let mut s = Series::new("demo");
+        s.push(10.0, 90.0);
+        s.push(100.0, 60.0);
+        let chart = ascii_chart(&[s], 40.0, 100.0);
+        assert!(chart.contains("demo"));
+        assert!(chart.contains('*'));
+    }
+}

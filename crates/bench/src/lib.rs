@@ -1,0 +1,12 @@
+//! # facs-bench — experiment harness shared code
+//!
+//! The [`experiments`] module maps every figure and
+//! table of the paper onto a runnable experiment; the `experiments` binary
+//! and the Criterion benches are thin wrappers over it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,168 @@
+//! The admission-controller abstraction every CAC policy implements.
+
+use crate::decision::Decision;
+use crate::ledger::CellSnapshot;
+use crate::traffic::{CallId, CallRequest, ServiceClass};
+
+/// A call admission control policy for one cell.
+///
+/// The simulator calls [`decide`](AdmissionController::decide) for every
+/// arriving request (new or handoff) and then notifies the controller of
+/// the outcome via [`on_admitted`](AdmissionController::on_admitted) /
+/// [`on_released`](AdmissionController::on_released), letting stateful
+/// policies (guard channels, fractional policies, SCC projections, FACS
+/// counters) track the cell.
+///
+/// Implementations must be deterministic given the same call sequence —
+/// the reproduction relies on seeded, repeatable runs. Policies that need
+/// randomness derive it from their own seeded state, never from global
+/// entropy.
+///
+/// Controllers are `Send` so per-cell actors can own them on worker
+/// threads.
+pub trait AdmissionController: Send {
+    /// A short human-readable policy name (e.g. `"FACS"`, `"SCC"`).
+    fn name(&self) -> &str;
+
+    /// Decides whether to admit `request` given the current `cell` load.
+    ///
+    /// Returning an admitting [`Decision`] does **not** allocate bandwidth;
+    /// the caller performs the allocation and only then calls
+    /// [`on_admitted`](AdmissionController::on_admitted). A decision to
+    /// admit a request that no longer fits is downgraded to a rejection by
+    /// the caller.
+    fn decide(&mut self, request: &CallRequest, cell: &CellSnapshot) -> Decision;
+
+    /// Called after `request` was admitted and its bandwidth allocated.
+    fn on_admitted(&mut self, request: &CallRequest, cell: &CellSnapshot) {
+        let _ = (request, cell);
+    }
+
+    /// Called after call `call` of `class` ended (completion or outbound
+    /// handoff) and its bandwidth was released.
+    fn on_released(&mut self, call: CallId, class: ServiceClass, cell: &CellSnapshot) {
+        let _ = (call, class, cell);
+    }
+}
+
+/// Object-safe boxed controller, the form the simulator stores per cell.
+pub type BoxedController = Box<dyn AdmissionController>;
+
+impl AdmissionController for BoxedController {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+
+    fn decide(&mut self, request: &CallRequest, cell: &CellSnapshot) -> Decision {
+        self.as_mut().decide(request, cell)
+    }
+
+    fn on_admitted(&mut self, request: &CallRequest, cell: &CellSnapshot) {
+        self.as_mut().on_admitted(request, cell);
+    }
+
+    fn on_released(&mut self, call: CallId, class: ServiceClass, cell: &CellSnapshot) {
+        self.as_mut().on_released(call, class, cell);
+    }
+}
+
+/// A factory producing one controller instance per cell, so multi-cell
+/// simulations can give every base station its own policy state.
+pub trait ControllerFactory {
+    /// Builds a fresh controller for one cell.
+    fn build(&self) -> BoxedController;
+
+    /// The policy name shared by all instances.
+    fn policy_name(&self) -> &str;
+}
+
+impl<F> ControllerFactory for F
+where
+    F: Fn() -> BoxedController,
+{
+    fn build(&self) -> BoxedController {
+        self()
+    }
+
+    fn policy_name(&self) -> &str {
+        "closure-policy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::Decision;
+    use crate::ledger::CellSnapshot;
+    use crate::traffic::{CallId, CallKind, CallRequest, MobilityInfo, ServiceClass};
+    use crate::units::BandwidthUnits;
+
+    /// A controller that admits everything and counts notifications.
+    struct CountingController {
+        admitted: usize,
+        released: usize,
+    }
+
+    impl AdmissionController for CountingController {
+        fn name(&self) -> &str {
+            "counting"
+        }
+
+        fn decide(&mut self, _request: &CallRequest, _cell: &CellSnapshot) -> Decision {
+            Decision::binary(true)
+        }
+
+        fn on_admitted(&mut self, _request: &CallRequest, _cell: &CellSnapshot) {
+            self.admitted += 1;
+        }
+
+        fn on_released(&mut self, _call: CallId, _class: ServiceClass, _cell: &CellSnapshot) {
+            self.released += 1;
+        }
+    }
+
+    fn request() -> CallRequest {
+        CallRequest::new(CallId(1), ServiceClass::Voice, CallKind::New, MobilityInfo::stationary())
+    }
+
+    #[test]
+    fn boxed_controller_delegates() {
+        let mut boxed: BoxedController =
+            Box::new(CountingController { admitted: 0, released: 0 });
+        let cell = CellSnapshot::empty(BandwidthUnits::new(40));
+        assert_eq!(boxed.name(), "counting");
+        assert!(boxed.decide(&request(), &cell).admits());
+        boxed.on_admitted(&request(), &cell);
+        boxed.on_released(CallId(1), ServiceClass::Voice, &cell);
+    }
+
+    #[test]
+    fn closures_are_factories() {
+        let factory = || -> BoxedController {
+            Box::new(CountingController { admitted: 0, released: 0 })
+        };
+        let a = factory.build();
+        let b = factory.build();
+        assert_eq!(a.name(), "counting");
+        assert_eq!(b.name(), "counting");
+        assert_eq!(ControllerFactory::policy_name(&factory), "closure-policy");
+    }
+
+    #[test]
+    fn default_hooks_are_no_ops() {
+        struct Minimal;
+        impl AdmissionController for Minimal {
+            fn name(&self) -> &str {
+                "minimal"
+            }
+            fn decide(&mut self, _r: &CallRequest, _c: &CellSnapshot) -> Decision {
+                Decision::binary(false)
+            }
+        }
+        let mut m = Minimal;
+        let cell = CellSnapshot::empty(BandwidthUnits::new(40));
+        m.on_admitted(&request(), &cell);
+        m.on_released(CallId(1), ServiceClass::Text, &cell);
+        assert!(!m.decide(&request(), &cell).admits());
+    }
+}

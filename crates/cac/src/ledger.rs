@@ -1,0 +1,364 @@
+//! Per-cell bandwidth bookkeeping.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::traffic::{CallId, ServiceClass};
+use crate::units::BandwidthUnits;
+
+/// Errors from ledger operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LedgerError {
+    /// Allocation refused: not enough free bandwidth.
+    Insufficient {
+        /// Requested amount.
+        requested: BandwidthUnits,
+        /// Currently free amount.
+        free: BandwidthUnits,
+    },
+    /// The call is already holding an allocation in this ledger.
+    AlreadyAllocated(CallId),
+    /// Release of a call this ledger never admitted (or already released).
+    UnknownCall(CallId),
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::Insufficient { requested, free } => {
+                write!(f, "insufficient bandwidth: requested {requested}, free {free}")
+            }
+            LedgerError::AlreadyAllocated(id) => write!(f, "{id} already holds an allocation"),
+            LedgerError::UnknownCall(id) => write!(f, "{id} holds no allocation"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// Tracks the bandwidth allocations of one cell, including the paper's
+/// RTC/NRTC differentiated-service counters.
+///
+/// Invariant: `occupied() + free() == capacity()` at all times, and
+/// `occupied()` equals the sum of all outstanding allocations.
+///
+/// # Examples
+///
+/// ```
+/// use facs_cac::{BandwidthLedger, BandwidthUnits, CallId, ServiceClass};
+///
+/// # fn main() -> Result<(), facs_cac::LedgerError> {
+/// let mut ledger = BandwidthLedger::new(BandwidthUnits::new(40));
+/// ledger.allocate(CallId(1), ServiceClass::Video)?;
+/// ledger.allocate(CallId(2), ServiceClass::Voice)?;
+/// assert_eq!(ledger.occupied().get(), 15);
+/// assert_eq!(ledger.real_time_calls(), 2);
+/// ledger.release(CallId(1))?;
+/// assert_eq!(ledger.occupied().get(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthLedger {
+    capacity: BandwidthUnits,
+    occupied: BandwidthUnits,
+    allocations: HashMap<CallId, ServiceClass>,
+    real_time_calls: u32,
+    non_real_time_calls: u32,
+}
+
+impl BandwidthLedger {
+    /// Creates an empty ledger with the given capacity.
+    #[must_use]
+    pub fn new(capacity: BandwidthUnits) -> Self {
+        Self {
+            capacity,
+            occupied: BandwidthUnits::ZERO,
+            allocations: HashMap::new(),
+            real_time_calls: 0,
+            non_real_time_calls: 0,
+        }
+    }
+
+    /// Total capacity (the paper's 40 BU per base station).
+    #[must_use]
+    pub fn capacity(&self) -> BandwidthUnits {
+        self.capacity
+    }
+
+    /// Currently allocated bandwidth — the paper's *Counter state* `Cs`.
+    #[must_use]
+    pub fn occupied(&self) -> BandwidthUnits {
+        self.occupied
+    }
+
+    /// Currently free bandwidth.
+    #[must_use]
+    pub fn free(&self) -> BandwidthUnits {
+        self.capacity - self.occupied
+    }
+
+    /// Occupancy as a fraction of capacity in `[0, 1]`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.occupied.fraction_of(self.capacity)
+    }
+
+    /// Number of active calls.
+    #[must_use]
+    pub fn active_calls(&self) -> usize {
+        self.allocations.len()
+    }
+
+    /// The paper's Real Time Counter (RTC): active voice + video calls.
+    #[must_use]
+    pub fn real_time_calls(&self) -> u32 {
+        self.real_time_calls
+    }
+
+    /// The paper's Non Real Time Counter (NRTC): active text calls.
+    #[must_use]
+    pub fn non_real_time_calls(&self) -> u32 {
+        self.non_real_time_calls
+    }
+
+    /// Whether `demand` would fit right now.
+    #[must_use]
+    pub fn can_fit(&self, demand: BandwidthUnits) -> bool {
+        demand <= self.free()
+    }
+
+    /// Class of an active call, if present.
+    #[must_use]
+    pub fn class_of(&self, id: CallId) -> Option<ServiceClass> {
+        self.allocations.get(&id).copied()
+    }
+
+    /// Allocates bandwidth for a call.
+    ///
+    /// # Errors
+    ///
+    /// * [`LedgerError::Insufficient`] — not enough free bandwidth (the
+    ///   ledger is left unchanged);
+    /// * [`LedgerError::AlreadyAllocated`] — `id` is already active.
+    pub fn allocate(&mut self, id: CallId, class: ServiceClass) -> Result<(), LedgerError> {
+        let demand = class.demand();
+        if self.allocations.contains_key(&id) {
+            return Err(LedgerError::AlreadyAllocated(id));
+        }
+        if !self.can_fit(demand) {
+            return Err(LedgerError::Insufficient { requested: demand, free: self.free() });
+        }
+        self.allocations.insert(id, class);
+        self.occupied += demand;
+        if class.is_real_time() {
+            self.real_time_calls += 1;
+        } else {
+            self.non_real_time_calls += 1;
+        }
+        Ok(())
+    }
+
+    /// Releases a call's bandwidth, returning its class.
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::UnknownCall`] when `id` holds no allocation.
+    pub fn release(&mut self, id: CallId) -> Result<ServiceClass, LedgerError> {
+        let class = self.allocations.remove(&id).ok_or(LedgerError::UnknownCall(id))?;
+        self.occupied -= class.demand();
+        if class.is_real_time() {
+            self.real_time_calls -= 1;
+        } else {
+            self.non_real_time_calls -= 1;
+        }
+        Ok(class)
+    }
+
+    /// Iterates over `(call, class)` pairs of active allocations in
+    /// unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (CallId, ServiceClass)> + '_ {
+        self.allocations.iter().map(|(&id, &class)| (id, class))
+    }
+
+    /// A read-only snapshot for admission controllers.
+    #[must_use]
+    pub fn snapshot(&self) -> CellSnapshot {
+        CellSnapshot {
+            capacity: self.capacity,
+            occupied: self.occupied,
+            real_time_calls: self.real_time_calls,
+            non_real_time_calls: self.non_real_time_calls,
+        }
+    }
+}
+
+/// An immutable view of a cell's load, handed to
+/// [`AdmissionController::decide`](crate::controller::AdmissionController::decide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellSnapshot {
+    /// Total capacity.
+    pub capacity: BandwidthUnits,
+    /// Currently allocated bandwidth (the paper's `Cs` input).
+    pub occupied: BandwidthUnits,
+    /// Active real-time calls (paper's RTC).
+    pub real_time_calls: u32,
+    /// Active non-real-time calls (paper's NRTC).
+    pub non_real_time_calls: u32,
+}
+
+impl CellSnapshot {
+    /// An empty cell with `capacity`.
+    #[must_use]
+    pub fn empty(capacity: BandwidthUnits) -> Self {
+        Self {
+            capacity,
+            occupied: BandwidthUnits::ZERO,
+            real_time_calls: 0,
+            non_real_time_calls: 0,
+        }
+    }
+
+    /// Free bandwidth.
+    #[must_use]
+    pub fn free(&self) -> BandwidthUnits {
+        self.capacity.saturating_sub(self.occupied)
+    }
+
+    /// Occupancy fraction in `[0, 1]`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.occupied.fraction_of(self.capacity)
+    }
+
+    /// Whether `demand` fits in the free bandwidth.
+    #[must_use]
+    pub fn can_fit(&self, demand: BandwidthUnits) -> bool {
+        demand <= self.free()
+    }
+
+    /// The crisp counter-state value fed to FLC2's `Cs` input: occupied BU
+    /// over the paper's `[0, 40]` universe (scaled if capacity differs).
+    #[must_use]
+    pub fn counter_state(&self) -> f64 {
+        f64::from(self.occupied.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_ledger() -> BandwidthLedger {
+        // 40 BU: 2 video (20) + 3 voice (15) + 5 text (5) = 40.
+        let mut l = BandwidthLedger::new(BandwidthUnits::new(40));
+        l.allocate(CallId(1), ServiceClass::Video).unwrap();
+        l.allocate(CallId(2), ServiceClass::Video).unwrap();
+        l.allocate(CallId(3), ServiceClass::Voice).unwrap();
+        l.allocate(CallId(4), ServiceClass::Voice).unwrap();
+        l.allocate(CallId(5), ServiceClass::Voice).unwrap();
+        for i in 6..=10 {
+            l.allocate(CallId(i), ServiceClass::Text).unwrap();
+        }
+        l
+    }
+
+    #[test]
+    fn conservation_invariant() {
+        let l = full_ledger();
+        assert_eq!(l.occupied() + l.free(), l.capacity());
+        assert_eq!(l.occupied().get(), 40);
+        assert_eq!(l.free(), BandwidthUnits::ZERO);
+        assert_eq!(l.utilization(), 1.0);
+    }
+
+    #[test]
+    fn counters_track_classes() {
+        let l = full_ledger();
+        assert_eq!(l.real_time_calls(), 5);
+        assert_eq!(l.non_real_time_calls(), 5);
+        assert_eq!(l.active_calls(), 10);
+    }
+
+    #[test]
+    fn refuses_over_allocation_without_side_effects() {
+        let mut l = full_ledger();
+        let before = l.clone();
+        let err = l.allocate(CallId(99), ServiceClass::Text).unwrap_err();
+        assert_eq!(
+            err,
+            LedgerError::Insufficient {
+                requested: BandwidthUnits::new(1),
+                free: BandwidthUnits::ZERO
+            }
+        );
+        assert_eq!(l, before, "failed allocation must not mutate the ledger");
+    }
+
+    #[test]
+    fn refuses_duplicate_allocation() {
+        let mut l = BandwidthLedger::new(BandwidthUnits::new(40));
+        l.allocate(CallId(1), ServiceClass::Voice).unwrap();
+        let err = l.allocate(CallId(1), ServiceClass::Text).unwrap_err();
+        assert_eq!(err, LedgerError::AlreadyAllocated(CallId(1)));
+        assert_eq!(l.occupied().get(), 5);
+    }
+
+    #[test]
+    fn release_returns_class_and_frees() {
+        let mut l = full_ledger();
+        assert_eq!(l.release(CallId(1)).unwrap(), ServiceClass::Video);
+        assert_eq!(l.free().get(), 10);
+        assert_eq!(l.real_time_calls(), 4);
+        assert_eq!(l.release(CallId(1)).unwrap_err(), LedgerError::UnknownCall(CallId(1)));
+    }
+
+    #[test]
+    fn release_then_reallocate_cycles() {
+        let mut l = BandwidthLedger::new(BandwidthUnits::new(10));
+        for round in 0..100 {
+            let id = CallId(round);
+            l.allocate(id, ServiceClass::Video).unwrap();
+            assert!(!l.can_fit(BandwidthUnits::new(1)));
+            l.release(id).unwrap();
+            assert_eq!(l.occupied(), BandwidthUnits::ZERO);
+        }
+    }
+
+    #[test]
+    fn snapshot_reflects_state() {
+        let l = full_ledger();
+        let s = l.snapshot();
+        assert_eq!(s.capacity, l.capacity());
+        assert_eq!(s.occupied, l.occupied());
+        assert_eq!(s.real_time_calls, 5);
+        assert_eq!(s.counter_state(), 40.0);
+        assert!(!s.can_fit(BandwidthUnits::new(1)));
+    }
+
+    #[test]
+    fn snapshot_empty() {
+        let s = CellSnapshot::empty(BandwidthUnits::new(40));
+        assert_eq!(s.free().get(), 40);
+        assert_eq!(s.utilization(), 0.0);
+        assert!(s.can_fit(BandwidthUnits::new(40)));
+        assert!(!s.can_fit(BandwidthUnits::new(41)));
+    }
+
+    #[test]
+    fn class_of_lookup() {
+        let l = full_ledger();
+        assert_eq!(l.class_of(CallId(1)), Some(ServiceClass::Video));
+        assert_eq!(l.class_of(CallId(99)), None);
+    }
+
+    #[test]
+    fn iter_covers_all_allocations() {
+        let l = full_ledger();
+        let total: BandwidthUnits = l.iter().map(|(_, c)| c.demand()).sum();
+        assert_eq!(total, l.occupied());
+    }
+}

@@ -1,0 +1,107 @@
+//! Complete Sharing — the simplest CAC technique.
+//!
+//! Paper §1: *"In CS, an arriving customer is served if there are enough
+//! free channels for its service. If the number of free channels is less
+//! than the channel requirements of the arriving customer, it is lost.
+//! This technique is easy to implement but it suffers from the fact that
+//! it is not fair to customers with large bandwidth requirements."*
+
+use crate::controller::AdmissionController;
+use crate::decision::Decision;
+use crate::ledger::CellSnapshot;
+use crate::traffic::CallRequest;
+
+/// Admits any request that fits in the free bandwidth; no reservation, no
+/// prioritization.
+///
+/// # Examples
+///
+/// ```
+/// use facs_cac::policies::CompleteSharing;
+/// use facs_cac::{
+///     AdmissionController, BandwidthUnits, CallId, CallKind, CallRequest, CellSnapshot,
+///     MobilityInfo, ServiceClass,
+/// };
+///
+/// let mut cs = CompleteSharing::new();
+/// let cell = CellSnapshot::empty(BandwidthUnits::new(40));
+/// let req = CallRequest::new(CallId(1), ServiceClass::Video, CallKind::New,
+///                            MobilityInfo::stationary());
+/// assert!(cs.decide(&req, &cell).admits());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompleteSharing;
+
+impl CompleteSharing {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl AdmissionController for CompleteSharing {
+    fn name(&self) -> &str {
+        "CS"
+    }
+
+    fn decide(&mut self, request: &CallRequest, cell: &CellSnapshot) -> Decision {
+        Decision::binary(cell.can_fit(request.demand()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{CallId, CallKind, MobilityInfo, ServiceClass};
+    use crate::units::BandwidthUnits;
+
+    fn req(class: ServiceClass) -> CallRequest {
+        CallRequest::new(CallId(1), class, CallKind::New, MobilityInfo::stationary())
+    }
+
+    fn cell(occupied: u32) -> CellSnapshot {
+        CellSnapshot {
+            capacity: BandwidthUnits::new(40),
+            occupied: BandwidthUnits::new(occupied),
+            real_time_calls: 0,
+            non_real_time_calls: 0,
+        }
+    }
+
+    #[test]
+    fn admits_while_it_fits() {
+        let mut cs = CompleteSharing::new();
+        assert!(cs.decide(&req(ServiceClass::Video), &cell(30)).admits());
+        assert!(cs.decide(&req(ServiceClass::Video), &cell(31)).admits() == false);
+        assert!(cs.decide(&req(ServiceClass::Text), &cell(39)).admits());
+        assert!(!cs.decide(&req(ServiceClass::Text), &cell(40)).admits());
+    }
+
+    #[test]
+    fn unfair_to_wide_calls_near_capacity() {
+        // The documented weakness: at 35/40 occupancy text fits, video not.
+        let mut cs = CompleteSharing::new();
+        assert!(cs.decide(&req(ServiceClass::Text), &cell(35)).admits());
+        assert!(cs.decide(&req(ServiceClass::Voice), &cell(35)).admits());
+        assert!(!cs.decide(&req(ServiceClass::Video), &cell(35)).admits());
+    }
+
+    #[test]
+    fn ignores_call_kind() {
+        let mut cs = CompleteSharing::new();
+        let new = CallRequest::new(
+            CallId(1),
+            ServiceClass::Voice,
+            CallKind::New,
+            MobilityInfo::stationary(),
+        );
+        let handoff = CallRequest::new(
+            CallId(2),
+            ServiceClass::Voice,
+            CallKind::Handoff,
+            MobilityInfo::stationary(),
+        );
+        assert_eq!(cs.decide(&new, &cell(38)).admits(), cs.decide(&handoff, &cell(38)).admits());
+    }
+}

@@ -1,0 +1,173 @@
+//! Fractional Guard Channel — probabilistic thinning of new calls.
+//!
+//! The classic fractional guard-channel policy admits a new call with a
+//! probability that decreases as the cell fills, instead of the hard
+//! cutoff of [`GuardChannel`](crate::policies::GuardChannel).
+//!
+//! To keep simulations reproducible without importing an RNG into this
+//! crate, the implementation uses **deterministic error diffusion**: an
+//! accumulator gains the admission probability on every new-call arrival
+//! and a call is admitted when the accumulator reaches 1. Over any long
+//! arrival sequence the admitted fraction converges to the configured
+//! probability exactly, with the lowest possible variance.
+
+use crate::controller::AdmissionController;
+use crate::decision::Decision;
+use crate::ledger::CellSnapshot;
+use crate::traffic::{CallKind, CallRequest};
+
+/// Fractional guard channel with linear admission-probability decay.
+///
+/// New-call admission probability as a function of utilization `u`:
+///
+/// ```text
+/// p(u) = 1                              for u <= start
+/// p(u) = 1 - (u - start)/(end - start)  for start < u < end
+/// p(u) = 0                              for u >= end
+/// ```
+///
+/// Handoffs bypass the thinning entirely (subject to capacity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FractionalGuardChannel {
+    start: f64,
+    end: f64,
+    credit: f64,
+}
+
+impl FractionalGuardChannel {
+    /// Creates the policy: thinning begins at utilization `start` and
+    /// new calls are fully blocked at utilization `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `!(0.0 <= start < end <= 1.0)` — these are programmer
+    /// configuration constants, not runtime data.
+    #[must_use]
+    pub fn new(start: f64, end: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&start) && start < end && end <= 1.0,
+            "need 0 <= start < end <= 1 (got start={start}, end={end})"
+        );
+        Self { start, end, credit: 0.0 }
+    }
+
+    /// Admission probability for a new call at utilization `u`.
+    #[must_use]
+    pub fn admission_probability(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        if u <= self.start {
+            1.0
+        } else if u >= self.end {
+            0.0
+        } else {
+            1.0 - (u - self.start) / (self.end - self.start)
+        }
+    }
+}
+
+impl AdmissionController for FractionalGuardChannel {
+    fn name(&self) -> &str {
+        "FractionalGuard"
+    }
+
+    fn decide(&mut self, request: &CallRequest, cell: &CellSnapshot) -> Decision {
+        if !cell.can_fit(request.demand()) {
+            return Decision::binary(false);
+        }
+        match request.kind {
+            CallKind::Handoff => Decision::binary(true),
+            CallKind::New => {
+                let p = self.admission_probability(cell.utilization());
+                self.credit += p;
+                if self.credit >= 1.0 {
+                    self.credit -= 1.0;
+                    // Soft score mirrors how comfortable the admission was.
+                    Decision::accept(2.0 * p - 1.0)
+                } else {
+                    Decision::reject(2.0 * p - 1.0)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{CallId, MobilityInfo, ServiceClass};
+    use crate::units::BandwidthUnits;
+
+    fn req(kind: CallKind) -> CallRequest {
+        CallRequest::new(CallId(1), ServiceClass::Text, kind, MobilityInfo::stationary())
+    }
+
+    fn cell(occupied: u32) -> CellSnapshot {
+        CellSnapshot {
+            capacity: BandwidthUnits::new(40),
+            occupied: BandwidthUnits::new(occupied),
+            real_time_calls: 0,
+            non_real_time_calls: 0,
+        }
+    }
+
+    #[test]
+    fn probability_profile() {
+        let fg = FractionalGuardChannel::new(0.5, 1.0);
+        assert_eq!(fg.admission_probability(0.0), 1.0);
+        assert_eq!(fg.admission_probability(0.5), 1.0);
+        assert!((fg.admission_probability(0.75) - 0.5).abs() < 1e-12);
+        assert_eq!(fg.admission_probability(1.0), 0.0);
+    }
+
+    #[test]
+    fn full_admission_below_start() {
+        let mut fg = FractionalGuardChannel::new(0.5, 1.0);
+        for _ in 0..100 {
+            assert!(fg.decide(&req(CallKind::New), &cell(10)).admits());
+        }
+    }
+
+    #[test]
+    fn error_diffusion_converges_to_probability() {
+        let mut fg = FractionalGuardChannel::new(0.5, 1.0);
+        // Utilization 0.75 => p = 0.5: exactly half of arrivals admitted.
+        let admitted = (0..1000)
+            .filter(|_| fg.decide(&req(CallKind::New), &cell(30)).admits())
+            .count();
+        assert_eq!(admitted, 500);
+    }
+
+    #[test]
+    fn handoffs_bypass_thinning() {
+        let mut fg = FractionalGuardChannel::new(0.1, 0.5);
+        // Utilization 0.975 — new calls fully blocked, handoffs pass.
+        assert!(fg.decide(&req(CallKind::Handoff), &cell(39)).admits());
+        assert!(!fg.decide(&req(CallKind::New), &cell(39)).admits());
+    }
+
+    #[test]
+    fn capacity_still_binds() {
+        let mut fg = FractionalGuardChannel::new(0.5, 1.0);
+        let full = cell(40);
+        assert!(!fg.decide(&req(CallKind::Handoff), &full).admits());
+        assert!(!fg.decide(&req(CallKind::New), &full).admits());
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 <= start < end <= 1")]
+    fn rejects_bad_configuration() {
+        let _ = FractionalGuardChannel::new(0.9, 0.5);
+    }
+
+    #[test]
+    fn determinism_across_clones() {
+        let fg = FractionalGuardChannel::new(0.2, 0.8);
+        let mut a = fg.clone();
+        let mut b = fg;
+        for occupied in [10, 20, 25, 30, 18, 22] {
+            let da = a.decide(&req(CallKind::New), &cell(occupied));
+            let db = b.decide(&req(CallKind::New), &cell(occupied));
+            assert_eq!(da.admits(), db.admits());
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Guard Channel — reserve headroom for handoffs.
+//!
+//! Since *"users are much more sensitive to call dropping than to call
+//! blocking, the handoff calls are assigned higher priority than new
+//! calls"* (paper §1). The guard-channel policy implements that priority
+//! by denying new calls once free capacity falls to a reserved guard
+//! band, while handoffs may use the full capacity.
+
+use crate::controller::AdmissionController;
+use crate::decision::Decision;
+use crate::ledger::CellSnapshot;
+use crate::traffic::{CallKind, CallRequest};
+use crate::units::BandwidthUnits;
+
+/// Reserves `guard` BU exclusively for handoff calls.
+///
+/// * handoff: admitted iff `demand <= free`;
+/// * new call: admitted iff `demand <= free - guard`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardChannel {
+    guard: BandwidthUnits,
+}
+
+impl GuardChannel {
+    /// Creates a policy reserving `guard` BU for handoffs.
+    #[must_use]
+    pub fn new(guard: BandwidthUnits) -> Self {
+        Self { guard }
+    }
+
+    /// The reserved guard band.
+    #[must_use]
+    pub fn guard(&self) -> BandwidthUnits {
+        self.guard
+    }
+}
+
+impl AdmissionController for GuardChannel {
+    fn name(&self) -> &str {
+        "GuardChannel"
+    }
+
+    fn decide(&mut self, request: &CallRequest, cell: &CellSnapshot) -> Decision {
+        let free = cell.free();
+        let admit = match request.kind {
+            CallKind::Handoff => request.demand() <= free,
+            CallKind::New => {
+                let usable = free.saturating_sub(self.guard);
+                request.demand() <= usable
+            }
+        };
+        Decision::binary(admit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{CallId, MobilityInfo, ServiceClass};
+
+    fn req(class: ServiceClass, kind: CallKind) -> CallRequest {
+        CallRequest::new(CallId(1), class, kind, MobilityInfo::stationary())
+    }
+
+    fn cell(occupied: u32) -> CellSnapshot {
+        CellSnapshot {
+            capacity: BandwidthUnits::new(40),
+            occupied: BandwidthUnits::new(occupied),
+            real_time_calls: 0,
+            non_real_time_calls: 0,
+        }
+    }
+
+    #[test]
+    fn handoffs_use_full_capacity() {
+        let mut gc = GuardChannel::new(BandwidthUnits::new(10));
+        assert!(gc.decide(&req(ServiceClass::Video, CallKind::Handoff), &cell(30)).admits());
+        assert!(!gc.decide(&req(ServiceClass::Video, CallKind::Handoff), &cell(31)).admits());
+    }
+
+    #[test]
+    fn new_calls_blocked_inside_guard_band() {
+        let mut gc = GuardChannel::new(BandwidthUnits::new(10));
+        // free = 10 == guard: nothing usable by new calls.
+        assert!(!gc.decide(&req(ServiceClass::Text, CallKind::New), &cell(30)).admits());
+        // free = 15, usable = 5: voice fits, video not.
+        assert!(gc.decide(&req(ServiceClass::Voice, CallKind::New), &cell(25)).admits());
+        assert!(!gc.decide(&req(ServiceClass::Video, CallKind::New), &cell(25)).admits());
+    }
+
+    #[test]
+    fn handoff_acceptance_dominates_new_calls() {
+        // Whatever the load, a handoff is admitted whenever the same-class
+        // new call would be (priority invariant).
+        let mut gc = GuardChannel::new(BandwidthUnits::new(8));
+        for occupied in 0..=40 {
+            for class in ServiceClass::ALL {
+                let new_ok = gc.decide(&req(class, CallKind::New), &cell(occupied)).admits();
+                let ho_ok = gc.decide(&req(class, CallKind::Handoff), &cell(occupied)).admits();
+                assert!(!new_ok || ho_ok, "new admitted but handoff denied at {occupied}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_guard_degenerates_to_complete_sharing() {
+        let mut gc = GuardChannel::new(BandwidthUnits::ZERO);
+        let mut cs = crate::policies::CompleteSharing::new();
+        for occupied in 0..=40 {
+            for class in ServiceClass::ALL {
+                for kind in [CallKind::New, CallKind::Handoff] {
+                    assert_eq!(
+                        gc.decide(&req(class, kind), &cell(occupied)).admits(),
+                        cs.decide(&req(class, kind), &cell(occupied)).admits(),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn guard_accessor() {
+        assert_eq!(GuardChannel::new(BandwidthUnits::new(7)).guard().get(), 7);
+    }
+}

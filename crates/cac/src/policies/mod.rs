@@ -1,0 +1,13 @@
+//! Classical CAC baseline policies from the paper's related-work survey
+//! (§1): Complete Sharing, Guard Channel, Fractional Guard Channel, and
+//! the Multi-Priority Threshold policy.
+
+mod complete_sharing;
+mod fractional_guard;
+mod guard_channel;
+mod threshold;
+
+pub use complete_sharing::CompleteSharing;
+pub use fractional_guard::FractionalGuardChannel;
+pub use guard_channel::GuardChannel;
+pub use threshold::{ThresholdPolicy, ThresholdPolicyBuilder};

@@ -1,0 +1,211 @@
+//! Multi-Priority Threshold policy.
+//!
+//! Paper §1 cites Bartolini & Chlamtac (PIMRC 2002): *"under some
+//! assumptions, the optimal policy has the shape of Multi-Priority
+//! Threshold Policy"* — each class `c` is admitted only while the
+//! occupancy (after admission) stays below a per-class threshold
+//! `T_c <= capacity`, giving high-priority classes the larger headroom.
+
+use crate::controller::AdmissionController;
+use crate::decision::Decision;
+use crate::ledger::CellSnapshot;
+use crate::traffic::{CallKind, CallRequest, ServiceClass};
+use crate::units::BandwidthUnits;
+
+/// Per-class occupancy thresholds, with an optional handoff bonus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThresholdPolicy {
+    text: BandwidthUnits,
+    voice: BandwidthUnits,
+    video: BandwidthUnits,
+    handoff_bonus: BandwidthUnits,
+}
+
+impl ThresholdPolicy {
+    /// Starts building a policy over a cell of `capacity` BU; all
+    /// thresholds default to the full capacity (making it equivalent to
+    /// Complete Sharing until tightened).
+    #[must_use]
+    pub fn builder(capacity: BandwidthUnits) -> ThresholdPolicyBuilder {
+        ThresholdPolicyBuilder {
+            capacity,
+            text: capacity,
+            voice: capacity,
+            video: capacity,
+            handoff_bonus: BandwidthUnits::ZERO,
+        }
+    }
+
+    /// The admission threshold applied to `class`.
+    #[must_use]
+    pub fn threshold(&self, class: ServiceClass) -> BandwidthUnits {
+        match class {
+            ServiceClass::Text => self.text,
+            ServiceClass::Voice => self.voice,
+            ServiceClass::Video => self.video,
+        }
+    }
+}
+
+impl AdmissionController for ThresholdPolicy {
+    fn name(&self) -> &str {
+        "Threshold"
+    }
+
+    fn decide(&mut self, request: &CallRequest, cell: &CellSnapshot) -> Decision {
+        if !cell.can_fit(request.demand()) {
+            return Decision::binary(false);
+        }
+        let mut limit = self.threshold(request.class);
+        if request.kind == CallKind::Handoff {
+            limit += self.handoff_bonus;
+        }
+        let limit = limit.min(cell.capacity);
+        let after = cell.occupied + request.demand();
+        Decision::binary(after <= limit)
+    }
+}
+
+/// Builder for [`ThresholdPolicy`].
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdPolicyBuilder {
+    capacity: BandwidthUnits,
+    text: BandwidthUnits,
+    voice: BandwidthUnits,
+    video: BandwidthUnits,
+    handoff_bonus: BandwidthUnits,
+}
+
+impl ThresholdPolicyBuilder {
+    /// Sets the text-class threshold.
+    #[must_use]
+    pub fn text(mut self, threshold: BandwidthUnits) -> Self {
+        self.text = threshold;
+        self
+    }
+
+    /// Sets the voice-class threshold.
+    #[must_use]
+    pub fn voice(mut self, threshold: BandwidthUnits) -> Self {
+        self.voice = threshold;
+        self
+    }
+
+    /// Sets the video-class threshold.
+    #[must_use]
+    pub fn video(mut self, threshold: BandwidthUnits) -> Self {
+        self.video = threshold;
+        self
+    }
+
+    /// Extra headroom granted to handoff requests of any class.
+    #[must_use]
+    pub fn handoff_bonus(mut self, bonus: BandwidthUnits) -> Self {
+        self.handoff_bonus = bonus;
+        self
+    }
+
+    /// Finishes the policy; thresholds are clamped to the capacity.
+    #[must_use]
+    pub fn build(self) -> ThresholdPolicy {
+        ThresholdPolicy {
+            text: self.text.min(self.capacity),
+            voice: self.voice.min(self.capacity),
+            video: self.video.min(self.capacity),
+            handoff_bonus: self.handoff_bonus,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{CallId, MobilityInfo};
+
+    fn req(class: ServiceClass, kind: CallKind) -> CallRequest {
+        CallRequest::new(CallId(1), class, kind, MobilityInfo::stationary())
+    }
+
+    fn cell(occupied: u32) -> CellSnapshot {
+        CellSnapshot {
+            capacity: BandwidthUnits::new(40),
+            occupied: BandwidthUnits::new(occupied),
+            real_time_calls: 0,
+            non_real_time_calls: 0,
+        }
+    }
+
+    fn policy() -> ThresholdPolicy {
+        ThresholdPolicy::builder(BandwidthUnits::new(40))
+            .text(BandwidthUnits::new(25))
+            .voice(BandwidthUnits::new(35))
+            .video(BandwidthUnits::new(40))
+            .handoff_bonus(BandwidthUnits::new(5))
+            .build()
+    }
+
+    #[test]
+    fn per_class_thresholds_bind() {
+        let mut p = policy();
+        // Text threshold 25: at 24 occupied, text (1 BU) makes 25 <= 25 — ok.
+        assert!(p.decide(&req(ServiceClass::Text, CallKind::New), &cell(24)).admits());
+        // At 25 occupied, it would make 26 > 25 — blocked.
+        assert!(!p.decide(&req(ServiceClass::Text, CallKind::New), &cell(25)).admits());
+        // Voice threshold 35: at 30 occupied ok (35 <= 35), at 31 blocked.
+        assert!(p.decide(&req(ServiceClass::Voice, CallKind::New), &cell(30)).admits());
+        assert!(!p.decide(&req(ServiceClass::Voice, CallKind::New), &cell(31)).admits());
+        // Video threshold = capacity: only capacity binds.
+        assert!(p.decide(&req(ServiceClass::Video, CallKind::New), &cell(30)).admits());
+        assert!(!p.decide(&req(ServiceClass::Video, CallKind::New), &cell(31)).admits());
+    }
+
+    #[test]
+    fn handoff_bonus_loosens_threshold() {
+        let mut p = policy();
+        // Text new blocked at 25 occupied, but handoff (threshold 25+5) ok.
+        assert!(!p.decide(&req(ServiceClass::Text, CallKind::New), &cell(25)).admits());
+        assert!(p.decide(&req(ServiceClass::Text, CallKind::Handoff), &cell(25)).admits());
+    }
+
+    #[test]
+    fn capacity_always_binds() {
+        let mut p = ThresholdPolicy::builder(BandwidthUnits::new(40))
+            .handoff_bonus(BandwidthUnits::new(100))
+            .build();
+        assert!(!p.decide(&req(ServiceClass::Video, CallKind::Handoff), &cell(35)).admits());
+    }
+
+    #[test]
+    fn default_thresholds_equal_complete_sharing() {
+        let mut p = ThresholdPolicy::builder(BandwidthUnits::new(40)).build();
+        let mut cs = crate::policies::CompleteSharing::new();
+        for occupied in 0..=40 {
+            for class in ServiceClass::ALL {
+                assert_eq!(
+                    p.decide(&req(class, CallKind::New), &cell(occupied)).admits(),
+                    cs.decide(&req(class, CallKind::New), &cell(occupied)).admits(),
+                    "class {class} at occupancy {occupied}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thresholds_clamp_to_capacity() {
+        let p = ThresholdPolicy::builder(BandwidthUnits::new(40))
+            .text(BandwidthUnits::new(100))
+            .build();
+        assert_eq!(p.threshold(ServiceClass::Text).get(), 40);
+    }
+
+    #[test]
+    fn fairness_shape_blocks_narrow_classes_first() {
+        // The point of the policy: reserve headroom for wide (video) calls
+        // by cutting narrow classes earlier.
+        let mut p = policy();
+        let occupied = 30;
+        assert!(!p.decide(&req(ServiceClass::Text, CallKind::New), &cell(occupied)).admits());
+        assert!(p.decide(&req(ServiceClass::Voice, CallKind::New), &cell(occupied)).admits());
+        assert!(p.decide(&req(ServiceClass::Video, CallKind::New), &cell(occupied)).admits());
+    }
+}

@@ -1,0 +1,259 @@
+//! Traffic classes and call descriptors.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::BandwidthUnits;
+
+/// The paper's three service classes, with their per-call bandwidth demand
+/// (§4: "The requested size was 1, 5 and 10 BU for text, voice and video").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ServiceClass {
+    /// Queue-able, delay-tolerant data traffic (1 BU).
+    Text,
+    /// Real-time audio (5 BU).
+    Voice,
+    /// Real-time video (10 BU).
+    Video,
+}
+
+impl ServiceClass {
+    /// All classes, in demand order.
+    pub const ALL: [ServiceClass; 3] = [ServiceClass::Text, ServiceClass::Voice, ServiceClass::Video];
+
+    /// Bandwidth demanded by one call of this class.
+    #[must_use]
+    pub const fn demand(self) -> BandwidthUnits {
+        match self {
+            ServiceClass::Text => BandwidthUnits::new(1),
+            ServiceClass::Voice => BandwidthUnits::new(5),
+            ServiceClass::Video => BandwidthUnits::new(10),
+        }
+    }
+
+    /// Whether the class carries real-time traffic (drives the paper's
+    /// RTC/NRTC differentiated-service counters).
+    #[must_use]
+    pub const fn is_real_time(self) -> bool {
+        matches!(self, ServiceClass::Voice | ServiceClass::Video)
+    }
+
+    /// The crisp value fed to FLC2's `R` (required bandwidth) input — the
+    /// demand in BU, over the paper's `[0, 10]` universe.
+    #[must_use]
+    pub fn request_level(self) -> f64 {
+        f64::from(self.demand().get())
+    }
+}
+
+impl fmt::Display for ServiceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ServiceClass::Text => "text",
+            ServiceClass::Voice => "voice",
+            ServiceClass::Video => "video",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether a request is a brand-new call or an ongoing call handed off
+/// from a neighboring cell. Handoffs are dropped (not blocked) on
+/// rejection, which users perceive as far worse — CAC schemes treat them
+/// with priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CallKind {
+    /// A new call originating in the cell.
+    New,
+    /// An active call arriving from a neighbor cell.
+    Handoff,
+}
+
+impl fmt::Display for CallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CallKind::New => "new",
+            CallKind::Handoff => "handoff",
+        })
+    }
+}
+
+/// Unique identifier of a call across the whole network.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CallId(pub u64);
+
+impl fmt::Display for CallId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "call#{}", self.0)
+    }
+}
+
+/// Unique identifier of a cell / base station.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CellId(pub u32);
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell#{}", self.0)
+    }
+}
+
+/// The GPS-derived mobility observation the paper feeds to FLC1:
+/// user speed, heading deviation from the base station, and distance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MobilityInfo {
+    /// User speed in km/h (paper universe: 0–120).
+    pub speed_kmh: f64,
+    /// Angle between the user's heading and the bearing toward the BS, in
+    /// degrees (paper universe: −180…180; 0 = heading straight at the BS).
+    pub angle_deg: f64,
+    /// Distance between user and BS in km (paper universe: 0–10).
+    pub distance_km: f64,
+}
+
+impl MobilityInfo {
+    /// Creates a mobility observation, normalizing the angle into
+    /// `(-180, 180]` and clamping speed/distance at zero.
+    ///
+    /// Non-finite values pass through unchanged so that
+    /// [`MobilityInfo::is_finite`] can still detect a corrupted GPS fix —
+    /// silently coercing NaN to 0 would turn garbage into a "perfect"
+    /// stationary reading.
+    #[must_use]
+    pub fn new(speed_kmh: f64, angle_deg: f64, distance_km: f64) -> Self {
+        // `if v < 0.0` (not `v.max(0.0)`) so NaN is preserved, not masked.
+        Self {
+            speed_kmh: if speed_kmh < 0.0 { 0.0 } else { speed_kmh },
+            angle_deg: normalize_angle(angle_deg),
+            distance_km: if distance_km < 0.0 { 0.0 } else { distance_km },
+        }
+    }
+
+    /// A stationary observation at the cell center — the most favorable
+    /// input FLC1 can see; useful as a neutral default in tests.
+    #[must_use]
+    pub fn stationary() -> Self {
+        Self { speed_kmh: 0.0, angle_deg: 0.0, distance_km: 0.0 }
+    }
+
+    /// `true` when every field is finite (a corrupted GPS fix is not).
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.speed_kmh.is_finite() && self.angle_deg.is_finite() && self.distance_km.is_finite()
+    }
+}
+
+/// Wraps an angle into `(-180, 180]` degrees.
+#[must_use]
+pub fn normalize_angle(angle_deg: f64) -> f64 {
+    if !angle_deg.is_finite() {
+        return angle_deg;
+    }
+    let mut a = angle_deg % 360.0;
+    if a <= -180.0 {
+        a += 360.0;
+    } else if a > 180.0 {
+        a -= 360.0;
+    }
+    a
+}
+
+/// A complete admission request: who is asking, for what, and how they are
+/// moving.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CallRequest {
+    /// Network-unique call identifier.
+    pub id: CallId,
+    /// Requested service class.
+    pub class: ServiceClass,
+    /// New call or handoff.
+    pub kind: CallKind,
+    /// GPS mobility observation at request time.
+    pub mobility: MobilityInfo,
+}
+
+impl CallRequest {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(id: CallId, class: ServiceClass, kind: CallKind, mobility: MobilityInfo) -> Self {
+        Self { id, class, kind, mobility }
+    }
+
+    /// Bandwidth this request needs.
+    #[must_use]
+    pub fn demand(&self) -> BandwidthUnits {
+        self.class.demand()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demands_match_paper() {
+        assert_eq!(ServiceClass::Text.demand().get(), 1);
+        assert_eq!(ServiceClass::Voice.demand().get(), 5);
+        assert_eq!(ServiceClass::Video.demand().get(), 10);
+    }
+
+    #[test]
+    fn real_time_split_matches_paper() {
+        assert!(!ServiceClass::Text.is_real_time());
+        assert!(ServiceClass::Voice.is_real_time());
+        assert!(ServiceClass::Video.is_real_time());
+    }
+
+    #[test]
+    fn request_levels_span_flc2_universe() {
+        for class in ServiceClass::ALL {
+            let r = class.request_level();
+            assert!((0.0..=10.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn angle_normalization() {
+        assert_eq!(normalize_angle(0.0), 0.0);
+        assert_eq!(normalize_angle(180.0), 180.0);
+        assert_eq!(normalize_angle(-180.0), 180.0);
+        assert_eq!(normalize_angle(190.0), -170.0);
+        assert_eq!(normalize_angle(-190.0), 170.0);
+        assert_eq!(normalize_angle(360.0), 0.0);
+        assert_eq!(normalize_angle(720.0 + 45.0), 45.0);
+    }
+
+    #[test]
+    fn mobility_new_sanitizes() {
+        let m = MobilityInfo::new(-5.0, 270.0, -1.0);
+        assert_eq!(m.speed_kmh, 0.0);
+        assert_eq!(m.angle_deg, -90.0);
+        assert_eq!(m.distance_km, 0.0);
+        assert!(m.is_finite());
+        assert!(!MobilityInfo::new(f64::NAN, 0.0, 0.0).is_finite());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ServiceClass::Voice.to_string(), "voice");
+        assert_eq!(CallKind::Handoff.to_string(), "handoff");
+        assert_eq!(CallId(7).to_string(), "call#7");
+        assert_eq!(CellId(3).to_string(), "cell#3");
+    }
+
+    #[test]
+    fn request_demand_delegates() {
+        let req = CallRequest::new(
+            CallId(1),
+            ServiceClass::Video,
+            CallKind::New,
+            MobilityInfo::stationary(),
+        );
+        assert_eq!(req.demand().get(), 10);
+    }
+}

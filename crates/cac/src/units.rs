@@ -1,0 +1,180 @@
+//! Bandwidth accounting newtypes.
+//!
+//! The paper measures capacity in **Bandwidth Units (BU)**: a base station
+//! owns 40 BU; text, voice and video calls request 1, 5 and 10 BU.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A quantity of bandwidth, in the paper's Bandwidth Units (BU).
+///
+/// Arithmetic is saturating-checked: [`Add`] panics on overflow in debug
+/// builds like the underlying `u32`, while the explicit
+/// [`BandwidthUnits::checked_sub`] supports the ledger's refusal logic.
+///
+/// # Examples
+///
+/// ```
+/// use facs_cac::BandwidthUnits;
+///
+/// let capacity = BandwidthUnits::new(40);
+/// let video = BandwidthUnits::new(10);
+/// assert_eq!(capacity - video, BandwidthUnits::new(30));
+/// assert!(video <= capacity);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct BandwidthUnits(u32);
+
+impl BandwidthUnits {
+    /// Zero bandwidth.
+    pub const ZERO: BandwidthUnits = BandwidthUnits(0);
+
+    /// Creates a quantity of `units` BU.
+    #[must_use]
+    pub const fn new(units: u32) -> Self {
+        Self(units)
+    }
+
+    /// The raw unit count.
+    #[must_use]
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Checked subtraction; `None` when `other > self`.
+    #[must_use]
+    pub const fn checked_sub(self, other: Self) -> Option<Self> {
+        match self.0.checked_sub(other.0) {
+            Some(v) => Some(Self(v)),
+            None => None,
+        }
+    }
+
+    /// Saturating subtraction (floors at zero).
+    #[must_use]
+    pub const fn saturating_sub(self, other: Self) -> Self {
+        Self(self.0.saturating_sub(other.0))
+    }
+
+    /// This quantity as a fraction of `total` (0.0 when `total` is zero).
+    #[must_use]
+    pub fn fraction_of(self, total: Self) -> f64 {
+        if total.0 == 0 {
+            0.0
+        } else {
+            f64::from(self.0) / f64::from(total.0)
+        }
+    }
+
+    /// `true` when the quantity is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for BandwidthUnits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} BU", self.0)
+    }
+}
+
+impl From<u32> for BandwidthUnits {
+    fn from(units: u32) -> Self {
+        Self(units)
+    }
+}
+
+impl From<BandwidthUnits> for u32 {
+    fn from(bu: BandwidthUnits) -> Self {
+        bu.0
+    }
+}
+
+impl Add for BandwidthUnits {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for BandwidthUnits {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for BandwidthUnits {
+    type Output = Self;
+
+    /// # Panics
+    ///
+    /// Panics on underflow; use [`BandwidthUnits::checked_sub`] when the
+    /// subtrahend may exceed `self`.
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for BandwidthUnits {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for BandwidthUnits {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|b| b.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_works() {
+        let a = BandwidthUnits::new(30);
+        let b = BandwidthUnits::new(10);
+        assert_eq!(a + b, BandwidthUnits::new(40));
+        assert_eq!(a - b, BandwidthUnits::new(20));
+        let mut c = a;
+        c += b;
+        c -= BandwidthUnits::new(5);
+        assert_eq!(c.get(), 35);
+    }
+
+    #[test]
+    fn checked_sub_refuses_underflow() {
+        let a = BandwidthUnits::new(5);
+        let b = BandwidthUnits::new(10);
+        assert_eq!(a.checked_sub(b), None);
+        assert_eq!(b.checked_sub(a), Some(BandwidthUnits::new(5)));
+        assert_eq!(a.saturating_sub(b), BandwidthUnits::ZERO);
+    }
+
+    #[test]
+    fn fraction_of_handles_zero_total() {
+        assert_eq!(BandwidthUnits::new(10).fraction_of(BandwidthUnits::new(40)), 0.25);
+        assert_eq!(BandwidthUnits::new(10).fraction_of(BandwidthUnits::ZERO), 0.0);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(BandwidthUnits::new(1) < BandwidthUnits::new(5));
+        assert_eq!(BandwidthUnits::new(40).to_string(), "40 BU");
+    }
+
+    #[test]
+    fn sums() {
+        let total: BandwidthUnits =
+            [1u32, 5, 10].into_iter().map(BandwidthUnits::new).sum();
+        assert_eq!(total.get(), 16);
+    }
+}

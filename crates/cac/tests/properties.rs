@@ -1,0 +1,188 @@
+//! Property-based tests for the CAC substrate invariants.
+
+use facs_cac::policies::{CompleteSharing, FractionalGuardChannel, GuardChannel, ThresholdPolicy};
+use facs_cac::{
+    AdmissionController, BandwidthLedger, BandwidthUnits, CallId, CallKind, CallRequest,
+    CellSnapshot, MobilityInfo, ServiceClass, Verdict,
+};
+use proptest::prelude::*;
+
+fn arb_class() -> impl Strategy<Value = ServiceClass> {
+    prop::sample::select(vec![ServiceClass::Text, ServiceClass::Voice, ServiceClass::Video])
+}
+
+fn arb_kind() -> impl Strategy<Value = CallKind> {
+    prop::sample::select(vec![CallKind::New, CallKind::Handoff])
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Allocate(u64, ServiceClass),
+    Release(u64),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..32, arb_class()).prop_map(|(id, c)| Op::Allocate(id, c)),
+            (0u64..32).prop_map(Op::Release),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    /// The ledger conserves bandwidth under any operation sequence:
+    /// occupied + free == capacity, and occupied equals the sum of live
+    /// allocations.
+    #[test]
+    fn ledger_conservation(ops in arb_ops(), capacity in 1u32..200) {
+        let capacity = BandwidthUnits::new(capacity);
+        let mut ledger = BandwidthLedger::new(capacity);
+        let mut live: std::collections::HashMap<u64, ServiceClass> = Default::default();
+        for op in ops {
+            match op {
+                Op::Allocate(id, class) => {
+                    let ok = ledger.allocate(CallId(id), class).is_ok();
+                    let expect_ok = !live.contains_key(&id)
+                        && class.demand() <= capacity - live.values().map(|c| c.demand()).sum::<BandwidthUnits>();
+                    prop_assert_eq!(ok, expect_ok, "allocate({}, {:?})", id, class);
+                    if ok {
+                        live.insert(id, class);
+                    }
+                }
+                Op::Release(id) => {
+                    let ok = ledger.release(CallId(id)).is_ok();
+                    prop_assert_eq!(ok, live.remove(&id).is_some(), "release({})", id);
+                }
+            }
+            // Invariants after every step.
+            let model_occupied: BandwidthUnits = live.values().map(|c| c.demand()).sum();
+            prop_assert_eq!(ledger.occupied(), model_occupied);
+            prop_assert_eq!(ledger.occupied() + ledger.free(), capacity);
+            prop_assert_eq!(ledger.active_calls(), live.len());
+            let rt = live.values().filter(|c| c.is_real_time()).count() as u32;
+            prop_assert_eq!(ledger.real_time_calls(), rt);
+            prop_assert_eq!(ledger.non_real_time_calls(), live.len() as u32 - rt);
+        }
+    }
+
+    /// Complete sharing admits exactly when the demand fits.
+    #[test]
+    fn complete_sharing_is_fit_test(occupied in 0u32..=40, class in arb_class(), kind in arb_kind()) {
+        let cell = CellSnapshot {
+            capacity: BandwidthUnits::new(40),
+            occupied: BandwidthUnits::new(occupied),
+            real_time_calls: 0,
+            non_real_time_calls: 0,
+        };
+        let req = CallRequest::new(CallId(0), class, kind, MobilityInfo::stationary());
+        let mut cs = CompleteSharing::new();
+        prop_assert_eq!(
+            cs.decide(&req, &cell).admits(),
+            class.demand().get() + occupied <= 40
+        );
+    }
+
+    /// Guard channel: a handoff is admitted whenever the equivalent new
+    /// call is (handoff priority), and never exceeds capacity.
+    #[test]
+    fn guard_channel_priority(
+        occupied in 0u32..=40,
+        guard in 0u32..=40,
+        class in arb_class(),
+    ) {
+        let cell = CellSnapshot {
+            capacity: BandwidthUnits::new(40),
+            occupied: BandwidthUnits::new(occupied),
+            real_time_calls: 0,
+            non_real_time_calls: 0,
+        };
+        let mut gc = GuardChannel::new(BandwidthUnits::new(guard));
+        let new = CallRequest::new(CallId(0), class, CallKind::New, MobilityInfo::stationary());
+        let ho = CallRequest::new(CallId(1), class, CallKind::Handoff, MobilityInfo::stationary());
+        let new_ok = gc.decide(&new, &cell).admits();
+        let ho_ok = gc.decide(&ho, &cell).admits();
+        prop_assert!(!new_ok || ho_ok);
+        if ho_ok {
+            prop_assert!(occupied + class.demand().get() <= 40);
+        }
+    }
+
+    /// Fractional guard: over n arrivals at fixed utilization, admitted
+    /// count differs from n*p by at most 1 (error-diffusion tightness).
+    #[test]
+    fn fractional_guard_tracks_probability(
+        occupied in 0u32..=40,
+        n in 1usize..500,
+    ) {
+        let mut fg = FractionalGuardChannel::new(0.25, 0.95);
+        let cell = CellSnapshot {
+            capacity: BandwidthUnits::new(40),
+            occupied: BandwidthUnits::new(occupied),
+            real_time_calls: 0,
+            non_real_time_calls: 0,
+        };
+        let req = CallRequest::new(
+            CallId(0), ServiceClass::Text, CallKind::New, MobilityInfo::stationary());
+        prop_assume!(cell.can_fit(req.demand()));
+        let p = fg.admission_probability(cell.utilization());
+        let admitted = (0..n).filter(|_| fg.decide(&req, &cell).admits()).count();
+        let expected = p * n as f64;
+        prop_assert!((admitted as f64 - expected).abs() <= 1.0 + 1e-9,
+            "admitted {} of {} expected {:.2}", admitted, n, expected);
+    }
+
+    /// Threshold policy never admits past capacity nor past the class
+    /// threshold (+bonus for handoffs).
+    #[test]
+    fn threshold_policy_respects_limits(
+        occupied in 0u32..=40,
+        t_text in 0u32..=40,
+        t_voice in 0u32..=40,
+        t_video in 0u32..=40,
+        bonus in 0u32..=10,
+        class in arb_class(),
+        kind in arb_kind(),
+    ) {
+        let mut p = ThresholdPolicy::builder(BandwidthUnits::new(40))
+            .text(BandwidthUnits::new(t_text))
+            .voice(BandwidthUnits::new(t_voice))
+            .video(BandwidthUnits::new(t_video))
+            .handoff_bonus(BandwidthUnits::new(bonus))
+            .build();
+        let cell = CellSnapshot {
+            capacity: BandwidthUnits::new(40),
+            occupied: BandwidthUnits::new(occupied),
+            real_time_calls: 0,
+            non_real_time_calls: 0,
+        };
+        let req = CallRequest::new(CallId(0), class, kind, MobilityInfo::stationary());
+        if p.decide(&req, &cell).admits() {
+            let after = occupied + class.demand().get();
+            prop_assert!(after <= 40);
+            let mut limit = p.threshold(class).get();
+            if kind == CallKind::Handoff {
+                limit += bonus;
+            }
+            prop_assert!(after <= limit.min(40));
+        }
+    }
+
+    /// Verdict banding is monotone in the score.
+    #[test]
+    fn verdict_monotone(a in -1.0_f64..1.0, b in -1.0_f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Verdict::from_score(lo) <= Verdict::from_score(hi));
+    }
+
+    /// Angle normalization lands in (-180, 180] and preserves the heading
+    /// modulo 360.
+    #[test]
+    fn normalize_angle_range(angle in -1e5_f64..1e5) {
+        let n = facs_cac::normalize_angle(angle);
+        prop_assert!(n > -180.0 - 1e-9 && n <= 180.0 + 1e-9, "{n}");
+        let diff = (angle - n).rem_euclid(360.0);
+        prop_assert!(diff.abs() < 1e-6 || (diff - 360.0).abs() < 1e-6, "angle={angle} n={n}");
+    }
+}

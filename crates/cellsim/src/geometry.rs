@@ -1,0 +1,366 @@
+//! Planar geometry and the hexagonal cell layout.
+//!
+//! The paper (and the SCC paper it compares against) model the coverage
+//! area as a honeycomb of hexagonal cells around base stations. We use
+//! axial coordinates (`q`, `r`) on a pointy-top hex lattice, with cell
+//! centers spaced so that a cell's *radius* (center → corner) is
+//! configurable in kilometers.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use facs_cac::CellId;
+
+/// A point in the plane, in kilometers.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// East-west coordinate (km).
+    pub x: f64,
+    /// North-south coordinate (km).
+    pub y: f64,
+}
+
+impl Point {
+    /// Origin.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`, in km.
+    #[must_use]
+    pub fn distance_to(&self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Bearing from `self` to `other`, in degrees in `(-180, 180]`,
+    /// measured counterclockwise from the +x axis.
+    #[must_use]
+    pub fn bearing_to(&self, other: Point) -> f64 {
+        (other.y - self.y).atan2(other.x - self.x).to_degrees()
+    }
+
+    /// The point reached by moving `distance_km` along `heading_deg`.
+    #[must_use]
+    pub fn step(&self, heading_deg: f64, distance_km: f64) -> Point {
+        let rad = heading_deg.to_radians();
+        Point { x: self.x + distance_km * rad.cos(), y: self.y + distance_km * rad.sin() }
+    }
+}
+
+/// Axial coordinates of a hexagonal cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HexCoord {
+    /// Axial `q` (column).
+    pub q: i32,
+    /// Axial `r` (row).
+    pub r: i32,
+}
+
+impl HexCoord {
+    /// The center cell.
+    pub const CENTER: HexCoord = HexCoord { q: 0, r: 0 };
+
+    /// Creates a coordinate.
+    #[must_use]
+    pub const fn new(q: i32, r: i32) -> Self {
+        Self { q, r }
+    }
+
+    /// The six neighbors in fixed order (E, NE, NW, W, SW, SE for a
+    /// pointy-top layout).
+    #[must_use]
+    pub fn neighbors(self) -> [HexCoord; 6] {
+        const DIRS: [(i32, i32); 6] = [(1, 0), (1, -1), (0, -1), (-1, 0), (-1, 1), (0, 1)];
+        DIRS.map(|(dq, dr)| HexCoord::new(self.q + dq, self.r + dr))
+    }
+
+    /// Hex-grid distance (number of cell hops).
+    #[must_use]
+    pub fn grid_distance(self, other: HexCoord) -> u32 {
+        let dq = (self.q - other.q).abs();
+        let dr = (self.r - other.r).abs();
+        let ds = (self.q + self.r - other.q - other.r).abs();
+        ((dq + dr + ds) / 2) as u32
+    }
+}
+
+/// A finite hexagonal grid of cells: a center cell plus `radius` rings.
+///
+/// Ring `k` holds `6k` cells, so the grid has `3 r (r + 1) + 1` cells.
+/// Cell ids are assigned ring by ring, center first (`CellId(0)` is the
+/// center).
+///
+/// # Examples
+///
+/// ```
+/// use facs_cellsim::geometry::HexGrid;
+///
+/// let grid = HexGrid::new(2, 1.0); // 19 cells of radius 1 km
+/// assert_eq!(grid.len(), 19);
+/// let center = grid.center_of(facs_cac::CellId(0));
+/// assert_eq!(center.x, 0.0);
+/// assert_eq!(center.y, 0.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HexGrid {
+    radius: u32,
+    cell_radius_km: f64,
+    coords: Vec<HexCoord>,
+    by_coord: HashMap<HexCoord, CellId>,
+}
+
+impl HexGrid {
+    /// Builds a grid with `radius` rings around the center; each cell has
+    /// the given radius (center → corner) in km.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_radius_km` is not finite and positive.
+    #[must_use]
+    pub fn new(radius: u32, cell_radius_km: f64) -> Self {
+        assert!(
+            cell_radius_km.is_finite() && cell_radius_km > 0.0,
+            "bad cell radius {cell_radius_km}"
+        );
+        let mut coords = vec![HexCoord::CENTER];
+        for ring in 1..=radius as i32 {
+            // Walk the ring starting from (ring, 0) (standard ring walk).
+            let mut coord = HexCoord::new(ring, 0);
+            const DIRS: [(i32, i32); 6] =
+                [(0, -1), (-1, 0), (-1, 1), (0, 1), (1, 0), (1, -1)];
+            for (dq, dr) in DIRS {
+                for _ in 0..ring {
+                    coords.push(coord);
+                    coord = HexCoord::new(coord.q + dq, coord.r + dr);
+                }
+            }
+        }
+        let by_coord =
+            coords.iter().enumerate().map(|(i, &c)| (c, CellId(i as u32))).collect();
+        Self { radius, cell_radius_km, coords, by_coord }
+    }
+
+    /// A single-cell "grid" (figs. 7–9 run against one base station).
+    #[must_use]
+    pub fn single_cell(cell_radius_km: f64) -> Self {
+        Self::new(0, cell_radius_km)
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// `false` — a grid always contains at least the center cell.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Ring count around the center.
+    #[must_use]
+    pub fn radius(&self) -> u32 {
+        self.radius
+    }
+
+    /// Cell radius (center → corner) in km.
+    #[must_use]
+    pub fn cell_radius_km(&self) -> f64 {
+        self.cell_radius_km
+    }
+
+    /// All cell ids.
+    pub fn cell_ids(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.coords.len()).map(|i| CellId(i as u32))
+    }
+
+    /// Axial coordinate of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a cell of this grid.
+    #[must_use]
+    pub fn coord_of(&self, id: CellId) -> HexCoord {
+        self.coords[id.0 as usize]
+    }
+
+    /// Cell id at an axial coordinate, if inside the grid.
+    #[must_use]
+    pub fn cell_at(&self, coord: HexCoord) -> Option<CellId> {
+        self.by_coord.get(&coord).copied()
+    }
+
+    /// Planar center of a cell, in km.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a cell of this grid.
+    #[must_use]
+    pub fn center_of(&self, id: CellId) -> Point {
+        let c = self.coord_of(id);
+        // Pointy-top axial -> pixel transform; the distance between
+        // adjacent centers is sqrt(3) * cell radius.
+        let size = self.cell_radius_km;
+        let x = size * (3f64.sqrt() * f64::from(c.q) + 3f64.sqrt() / 2.0 * f64::from(c.r));
+        let y = size * (1.5 * f64::from(c.r));
+        Point::new(x, y)
+    }
+
+    /// In-grid neighbor cells of `id`, in fixed direction order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a cell of this grid.
+    #[must_use]
+    pub fn neighbors_of(&self, id: CellId) -> Vec<CellId> {
+        self.coord_of(id).neighbors().iter().filter_map(|&c| self.cell_at(c)).collect()
+    }
+
+    /// The cell whose center is nearest to `point` (ties broken by lower
+    /// id). The honeycomb Voronoi partition is exactly "nearest center".
+    #[must_use]
+    pub fn locate(&self, point: Point) -> CellId {
+        let mut best = CellId(0);
+        let mut best_d = f64::INFINITY;
+        for id in self.cell_ids() {
+            let d = self.center_of(id).distance_to(point);
+            if d < best_d {
+                best_d = d;
+                best = id;
+            }
+        }
+        best
+    }
+
+    /// `true` when `point` lies farther from every center than one cell
+    /// diameter — i.e. it has wandered off the modelled coverage area.
+    #[must_use]
+    pub fn out_of_coverage(&self, point: Point) -> bool {
+        let nearest = self.locate(point);
+        self.center_of(nearest).distance_to(point) > 2.0 * self.cell_radius_km
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_sizes() {
+        assert_eq!(HexGrid::new(0, 1.0).len(), 1);
+        assert_eq!(HexGrid::new(1, 1.0).len(), 7);
+        assert_eq!(HexGrid::new(2, 1.0).len(), 19);
+        assert_eq!(HexGrid::new(3, 1.0).len(), 37);
+    }
+
+    #[test]
+    fn center_cell_is_id_zero_at_origin() {
+        let g = HexGrid::new(2, 1.0);
+        assert_eq!(g.coord_of(CellId(0)), HexCoord::CENTER);
+        let c = g.center_of(CellId(0));
+        assert_eq!((c.x, c.y), (0.0, 0.0));
+    }
+
+    #[test]
+    fn coords_are_unique() {
+        let g = HexGrid::new(3, 1.0);
+        let mut seen = std::collections::HashSet::new();
+        for id in g.cell_ids() {
+            assert!(seen.insert(g.coord_of(id)), "duplicate coord for {id}");
+        }
+    }
+
+    #[test]
+    fn neighbor_symmetry() {
+        let g = HexGrid::new(2, 1.0);
+        for id in g.cell_ids() {
+            for n in g.neighbors_of(id) {
+                assert!(
+                    g.neighbors_of(n).contains(&id),
+                    "{id} -> {n} not symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn center_has_six_neighbors_edge_fewer() {
+        let g = HexGrid::new(1, 1.0);
+        assert_eq!(g.neighbors_of(CellId(0)).len(), 6);
+        // Every ring-1 cell in a radius-1 grid touches the center plus two
+        // ring mates.
+        for i in 1..7 {
+            assert_eq!(g.neighbors_of(CellId(i)).len(), 3);
+        }
+    }
+
+    #[test]
+    fn adjacent_centers_are_sqrt3_apart() {
+        let g = HexGrid::new(1, 2.0);
+        let c0 = g.center_of(CellId(0));
+        for n in g.neighbors_of(CellId(0)) {
+            let d = c0.distance_to(g.center_of(n));
+            assert!((d - 2.0 * 3f64.sqrt()).abs() < 1e-9, "distance {d}");
+        }
+    }
+
+    #[test]
+    fn locate_maps_centers_to_their_cells() {
+        let g = HexGrid::new(2, 1.5);
+        for id in g.cell_ids() {
+            assert_eq!(g.locate(g.center_of(id)), id);
+        }
+    }
+
+    #[test]
+    fn locate_partitions_midpoints_consistently() {
+        let g = HexGrid::new(1, 1.0);
+        // A point clearly inside the east neighbor.
+        let east = g
+            .cell_ids()
+            .find(|&id| id != CellId(0) && g.center_of(id).y.abs() < 1e-9 && g.center_of(id).x > 0.0)
+            .expect("east neighbor exists");
+        let p = Point::new(g.center_of(east).x - 0.1, 0.0);
+        assert_eq!(g.locate(p), east);
+    }
+
+    #[test]
+    fn grid_distance_matches_rings() {
+        let g = HexGrid::new(2, 1.0);
+        let center = g.coord_of(CellId(0));
+        // Ring 1 = ids 1..=6, ring 2 = ids 7..=18.
+        for i in 1..=6u32 {
+            assert_eq!(center.grid_distance(g.coord_of(CellId(i))), 1);
+        }
+        for i in 7..=18u32 {
+            assert_eq!(center.grid_distance(g.coord_of(CellId(i))), 2);
+        }
+    }
+
+    #[test]
+    fn bearing_and_step_agree() {
+        let a = Point::new(0.0, 0.0);
+        let b = a.step(30.0, 2.0);
+        assert!((a.bearing_to(b) - 30.0).abs() < 1e-9);
+        assert!((a.distance_to(b) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_coverage_detects_wanderers() {
+        let g = HexGrid::new(1, 1.0);
+        assert!(!g.out_of_coverage(Point::new(0.0, 0.0)));
+        assert!(g.out_of_coverage(Point::new(50.0, 50.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad cell radius")]
+    fn rejects_bad_radius() {
+        let _ = HexGrid::new(1, 0.0);
+    }
+}

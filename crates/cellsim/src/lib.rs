@@ -1,0 +1,88 @@
+//! # facs-cellsim — a discrete-event wireless cellular-network simulator
+//!
+//! The evaluation substrate of the FACS reproduction. The paper evaluates
+//! its admission controller purely in simulation; this crate rebuilds that
+//! simulator from the parameters published in §4: hexagonal cells with
+//! 40-BU base stations, users with GPS-observable mobility (speed 0–120
+//! km/h, direction −180…180°, distance 0–10 km), a 60/30/10 %
+//! text/voice/video mix with 1/5/10 BU requests, Poisson arrivals and
+//! exponential holding times.
+//!
+//! ## Architecture
+//!
+//! * [`geometry`] — hexagonal cell grid, planar points, locating users;
+//! * [`mobility`] — walker / random-waypoint / Gauss–Markov models plus
+//!   the GPS observation (`(S, A, D)` triple) FLC1 consumes;
+//! * [`traffic`] — traffic mix, Poisson arrivals, holding times;
+//! * [`events`] — deterministic discrete-event queue;
+//! * [`network`] — the simulation engine (cells, users, handoffs);
+//! * [`scenario`] — the paper's experiment configurations;
+//! * [`metrics`] — acceptance/dropping/utilization counters and series;
+//! * [`rng`] / [`time`] — seeded randomness and integer sim-time.
+//!
+//! ## Example
+//!
+//! ```
+//! use facs_cac::policies::CompleteSharing;
+//! use facs_cac::BoxedController;
+//! use facs_cellsim::prelude::*;
+//!
+//! // Fig. 7-style scenario: 50 requests at a fixed 30 km/h.
+//! let config = ScenarioConfig {
+//!     requests: 50,
+//!     speed: SpeedSpec::Fixed(30.0),
+//!     replications: 1,
+//!     ..Default::default()
+//! };
+//! let acceptance = config.acceptance(&|grid: &HexGrid| {
+//!     grid.cell_ids()
+//!         .map(|_| Box::new(CompleteSharing::new()) as BoxedController)
+//!         .collect()
+//! });
+//! assert!(acceptance > 0.0 && acceptance <= 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod erlang;
+pub mod events;
+pub mod geometry;
+pub mod metrics;
+pub mod mobility;
+pub mod network;
+pub mod rng;
+pub mod scenario;
+pub mod stats;
+pub mod time;
+pub mod traffic;
+
+pub use events::{Event, EventQueue, UserId};
+pub use geometry::{HexCoord, HexGrid, Point};
+pub use metrics::{ClassCounters, Metrics, Series};
+pub use mobility::{GaussMarkov, MobileState, MobilityModel, RandomWaypoint, StraightLine, Walker};
+pub use network::{MobilityKind, Simulation, SimulationConfig, UserSpec};
+pub use rng::SimRng;
+pub use scenario::{
+    acceptance_curve, offered_load_fraction, paper_request_counts, AngleSpec, DistanceSpec,
+    MobilityChoice, ScenarioConfig, SpawnSpec, SpeedSpec,
+};
+pub use stats::Summary;
+pub use time::{SimDuration, SimTime};
+pub use traffic::{HoldingTimes, PoissonArrivals, TrafficMix};
+
+/// Commonly used items, for glob import in applications and examples.
+pub mod prelude {
+    pub use crate::geometry::{HexGrid, Point};
+    pub use crate::metrics::{Metrics, Series};
+    pub use crate::mobility::{MobileState, MobilityModel, Walker};
+    pub use crate::network::{MobilityKind, Simulation, SimulationConfig, UserSpec};
+    pub use crate::rng::SimRng;
+    pub use crate::scenario::{
+        acceptance_curve, paper_request_counts, AngleSpec, DistanceSpec, MobilityChoice,
+        ScenarioConfig, SpawnSpec, SpeedSpec,
+    };
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::traffic::{HoldingTimes, PoissonArrivals, TrafficMix};
+}

@@ -1,0 +1,314 @@
+//! Simulation metrics: the counters behind every figure of the paper.
+
+use facs_cac::{CallKind, ServiceClass};
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Offered/accepted/denied counters for one service class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassCounters {
+    /// Requests offered (new calls only).
+    pub offered: u64,
+    /// Requests admitted.
+    pub accepted: u64,
+    /// Requests denied.
+    pub denied: u64,
+}
+
+impl ClassCounters {
+    /// Acceptance percentage (100 when nothing was offered).
+    #[must_use]
+    pub fn acceptance_percentage(&self) -> f64 {
+        if self.offered == 0 {
+            100.0
+        } else {
+            100.0 * self.accepted as f64 / self.offered as f64
+        }
+    }
+}
+
+/// All counters collected over one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// New-call requests offered.
+    pub offered_new: u64,
+    /// New-call requests admitted.
+    pub accepted_new: u64,
+    /// New-call requests denied (blocked).
+    pub blocked_new: u64,
+    /// Handoff attempts (boundary crossings with an active call).
+    pub handoff_attempts: u64,
+    /// Handoffs admitted by the target cell.
+    pub handoff_accepted: u64,
+    /// Handoffs denied — the call is dropped (the QoS failure users hate).
+    pub handoff_dropped: u64,
+    /// Calls that ran to completion.
+    pub completed: u64,
+    /// Calls ended by the terminal leaving the coverage area.
+    pub exited_coverage: u64,
+    /// Per-class new-call counters, indexed text/voice/video.
+    pub per_class: [ClassCounters; 3],
+    /// Integral of (occupied BU · seconds) across all cells, for
+    /// time-averaged utilization.
+    utilization_bu_seconds: f64,
+    /// Integral horizon (seconds · capacity) accumulated.
+    capacity_bu_seconds: f64,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn class_index(class: ServiceClass) -> usize {
+        match class {
+            ServiceClass::Text => 0,
+            ServiceClass::Voice => 1,
+            ServiceClass::Video => 2,
+        }
+    }
+
+    /// Records the outcome of an admission decision.
+    pub fn record_decision(&mut self, class: ServiceClass, kind: CallKind, admitted: bool) {
+        match kind {
+            CallKind::New => {
+                self.offered_new += 1;
+                let c = &mut self.per_class[Self::class_index(class)];
+                c.offered += 1;
+                if admitted {
+                    self.accepted_new += 1;
+                    c.accepted += 1;
+                } else {
+                    self.blocked_new += 1;
+                    c.denied += 1;
+                }
+            }
+            CallKind::Handoff => {
+                self.handoff_attempts += 1;
+                if admitted {
+                    self.handoff_accepted += 1;
+                } else {
+                    self.handoff_dropped += 1;
+                }
+            }
+        }
+    }
+
+    /// Records a call that completed its holding time.
+    pub fn record_completion(&mut self) {
+        self.completed += 1;
+    }
+
+    /// Records a call ended by leaving coverage.
+    pub fn record_exit(&mut self) {
+        self.exited_coverage += 1;
+    }
+
+    /// Accumulates `occupied`/`capacity` BU over `dt` seconds for the
+    /// time-averaged utilization estimate.
+    pub fn record_utilization(&mut self, occupied_bu: u32, capacity_bu: u32, dt_s: f64) {
+        self.utilization_bu_seconds += f64::from(occupied_bu) * dt_s;
+        self.capacity_bu_seconds += f64::from(capacity_bu) * dt_s;
+    }
+
+    /// The paper's headline metric: percentage of accepted (new) calls.
+    /// Returns 100 when nothing was offered.
+    #[must_use]
+    pub fn acceptance_percentage(&self) -> f64 {
+        if self.offered_new == 0 {
+            100.0
+        } else {
+            100.0 * self.accepted_new as f64 / self.offered_new as f64
+        }
+    }
+
+    /// Percentage of handoff attempts that were dropped (0 when there were
+    /// none).
+    #[must_use]
+    pub fn dropping_percentage(&self) -> f64 {
+        if self.handoff_attempts == 0 {
+            0.0
+        } else {
+            100.0 * self.handoff_dropped as f64 / self.handoff_attempts as f64
+        }
+    }
+
+    /// Time-averaged occupancy fraction across cells in `[0, 1]`.
+    #[must_use]
+    pub fn mean_utilization(&self) -> f64 {
+        if self.capacity_bu_seconds <= 0.0 {
+            0.0
+        } else {
+            self.utilization_bu_seconds / self.capacity_bu_seconds
+        }
+    }
+
+    /// Per-class acceptance percentage.
+    #[must_use]
+    pub fn class_acceptance(&self, class: ServiceClass) -> f64 {
+        self.per_class[Self::class_index(class)].acceptance_percentage()
+    }
+
+    /// Accumulates another run's counters into this one (used to
+    /// aggregate replications; percentages are recomputed from the summed
+    /// counters).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.offered_new += other.offered_new;
+        self.accepted_new += other.accepted_new;
+        self.blocked_new += other.blocked_new;
+        self.handoff_attempts += other.handoff_attempts;
+        self.handoff_accepted += other.handoff_accepted;
+        self.handoff_dropped += other.handoff_dropped;
+        self.completed += other.completed;
+        self.exited_coverage += other.exited_coverage;
+        for i in 0..3 {
+            self.per_class[i].offered += other.per_class[i].offered;
+            self.per_class[i].accepted += other.per_class[i].accepted;
+            self.per_class[i].denied += other.per_class[i].denied;
+        }
+        self.utilization_bu_seconds += other.utilization_bu_seconds;
+        self.capacity_bu_seconds += other.capacity_bu_seconds;
+    }
+}
+
+/// One `(x, y)` series of an experiment figure (e.g. acceptance percentage
+/// vs. number of requesting connections).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (e.g. `"30km/h"` or `"FACS"`).
+    pub label: String,
+    /// The `(x, y)` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new(label: impl Into<String>) -> Self {
+        Self { label: label.into(), points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Mean of the y values (`NaN`-free input assumed; empty ⇒ 0).
+    #[must_use]
+    pub fn mean_y(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|&(_, y)| y).sum::<f64>() / self.points.len() as f64
+        }
+    }
+
+    /// Renders the series as CSV rows `label,x,y`.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for &(x, y) in &self.points {
+            out.push_str(&format!("{},{:.4},{:.4}\n", self.label, x, y));
+        }
+        out
+    }
+}
+
+/// Timestamped snapshot helper: carries the last update instant for
+/// utilization integration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UtilizationProbe {
+    last: SimTime,
+}
+
+impl UtilizationProbe {
+    /// Creates a probe starting at t = 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances to `now`, returning the elapsed seconds since the last
+    /// call (0 on the first).
+    pub fn advance(&mut self, now: SimTime) -> f64 {
+        let dt = now.since(self.last).as_secs_f64();
+        self.last = now;
+        dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_percentage_math() {
+        let mut m = Metrics::new();
+        for i in 0..10 {
+            m.record_decision(ServiceClass::Text, CallKind::New, i < 7);
+        }
+        assert_eq!(m.offered_new, 10);
+        assert_eq!(m.accepted_new, 7);
+        assert_eq!(m.blocked_new, 3);
+        assert!((m.acceptance_percentage() - 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_edge_cases() {
+        let m = Metrics::new();
+        assert_eq!(m.acceptance_percentage(), 100.0);
+        assert_eq!(m.dropping_percentage(), 0.0);
+        assert_eq!(m.mean_utilization(), 0.0);
+    }
+
+    #[test]
+    fn handoffs_tracked_separately() {
+        let mut m = Metrics::new();
+        m.record_decision(ServiceClass::Voice, CallKind::Handoff, true);
+        m.record_decision(ServiceClass::Voice, CallKind::Handoff, false);
+        assert_eq!(m.offered_new, 0, "handoffs are not offered new calls");
+        assert_eq!(m.handoff_attempts, 2);
+        assert_eq!(m.handoff_dropped, 1);
+        assert_eq!(m.dropping_percentage(), 50.0);
+    }
+
+    #[test]
+    fn per_class_counters() {
+        let mut m = Metrics::new();
+        m.record_decision(ServiceClass::Video, CallKind::New, true);
+        m.record_decision(ServiceClass::Video, CallKind::New, false);
+        m.record_decision(ServiceClass::Text, CallKind::New, true);
+        assert_eq!(m.class_acceptance(ServiceClass::Video), 50.0);
+        assert_eq!(m.class_acceptance(ServiceClass::Text), 100.0);
+        assert_eq!(m.class_acceptance(ServiceClass::Voice), 100.0, "nothing offered => 100");
+    }
+
+    #[test]
+    fn utilization_time_average() {
+        let mut m = Metrics::new();
+        m.record_utilization(40, 40, 10.0); // full for 10 s
+        m.record_utilization(0, 40, 30.0); // empty for 30 s
+        assert!((m.mean_utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_csv_and_mean() {
+        let mut s = Series::new("30km/h");
+        s.push(10.0, 95.0);
+        s.push(20.0, 85.0);
+        assert_eq!(s.mean_y(), 90.0);
+        let csv = s.to_csv();
+        assert!(csv.contains("30km/h,10.0000,95.0000"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn probe_advances() {
+        let mut p = UtilizationProbe::new();
+        assert_eq!(p.advance(SimTime::from_secs_f64(5.0)), 5.0);
+        assert_eq!(p.advance(SimTime::from_secs_f64(7.5)), 2.5);
+    }
+}

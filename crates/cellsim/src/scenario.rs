@@ -1,0 +1,454 @@
+//! Paper-experiment scenarios: map "number of requesting connections" and
+//! the controlled parameters (speed / angle / distance) onto a workload,
+//! run it, and report the acceptance percentage.
+//!
+//! The paper's §4 parameters are the defaults: speed 0–120 km/h,
+//! direction −180…180°, distance 0–10 km, traffic mix 60/30/10 %
+//! text/voice/video, request sizes 1/5/10 BU, 40 BU per base station.
+
+use facs_cac::{BandwidthUnits, BoxedController};
+
+use crate::geometry::HexGrid;
+use crate::metrics::{Metrics, Series};
+use crate::mobility::{MobileState, Walker};
+use crate::stats::Summary;
+use crate::network::{MobilityKind, Simulation, SimulationConfig, UserSpec};
+use crate::rng::SimRng;
+use crate::traffic::{HoldingTimes, PoissonArrivals, TrafficMix};
+
+/// How user speed is drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpeedSpec {
+    /// Every user moves at exactly this speed (km/h) — Fig. 7's curves.
+    Fixed(f64),
+    /// Uniform over the paper's 0–120 km/h range.
+    PaperUniform,
+    /// Uniform over a custom range.
+    Uniform(f64, f64),
+}
+
+impl SpeedSpec {
+    fn sample(self, rng: &mut SimRng) -> f64 {
+        match self {
+            SpeedSpec::Fixed(v) => v,
+            SpeedSpec::PaperUniform => rng.uniform_range(0.0, 120.0),
+            SpeedSpec::Uniform(lo, hi) => rng.uniform_range(lo, hi),
+        }
+    }
+}
+
+/// How the user's heading (and therefore FLC1's angle input) is drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AngleSpec {
+    /// The observed angle at request time is exactly this value (degrees)
+    /// — Fig. 8's curves.
+    Fixed(f64),
+    /// Uniform over −180…180°.
+    Uniform,
+    /// The GPS-substitution model (DESIGN.md): users originally headed at
+    /// the base station, but their heading has diffused for `history_s`
+    /// seconds of walker motion — so slow users arrive with nearly
+    /// uniform headings while fast users still point at the BS. This is
+    /// the mechanism behind Fig. 7.
+    HeadingHistory {
+        /// Seconds of heading diffusion before the request.
+        history_s: f64,
+    },
+}
+
+/// How the user's distance from the base station is drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DistanceSpec {
+    /// Exactly this many km from the BS — Fig. 9's curves.
+    Fixed(f64),
+    /// Uniform over `0..cell radius`.
+    UniformInCell,
+    /// Uniform over a custom range (km).
+    Uniform(f64, f64),
+}
+
+/// Where users spawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpawnSpec {
+    /// All requests target the center cell (figs. 7–9: one BS).
+    CenterCell,
+    /// Requests spread uniformly over all cells (fig. 10: a cluster).
+    AnyCell,
+}
+
+/// Which mobility model users follow after the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MobilityChoice {
+    /// Walker for sampled-angle populations, straight-line for pinned
+    /// angles (so the controlled variable stays controlled).
+    Auto,
+    /// Always the heading-diffusion walker.
+    Walker,
+    /// Always straight-line.
+    StraightLine,
+}
+
+/// Full description of one paper experiment run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// The paper's x-axis: number of requesting connections.
+    pub requests: usize,
+    /// Arrival window (seconds) the requests are spread over.
+    pub window_s: f64,
+    /// Mean exponential call-holding time (seconds).
+    pub holding_mean_s: f64,
+    /// Base-station capacity in BU.
+    pub capacity_bu: u32,
+    /// Grid rings (0 = single cell).
+    pub grid_radius: u32,
+    /// Cell radius in km (the paper's 0–10 km distance universe).
+    pub cell_radius_km: f64,
+    /// Speed distribution.
+    pub speed: SpeedSpec,
+    /// Angle distribution.
+    pub angle: AngleSpec,
+    /// Distance distribution.
+    pub distance: DistanceSpec,
+    /// Spawn placement.
+    pub spawn: SpawnSpec,
+    /// Mobility model choice.
+    pub mobility: MobilityChoice,
+    /// Traffic class mix.
+    pub mix: TrafficMix,
+    /// Movement/handoff cadence (seconds).
+    pub movement_tick_s: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Number of independent replications to average over.
+    pub replications: u32,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            requests: 50,
+            window_s: 600.0,
+            holding_mean_s: 40.0,
+            capacity_bu: 40,
+            grid_radius: 0,
+            cell_radius_km: 10.0,
+            speed: SpeedSpec::PaperUniform,
+            angle: AngleSpec::HeadingHistory { history_s: 300.0 },
+            distance: DistanceSpec::UniformInCell,
+            spawn: SpawnSpec::CenterCell,
+            mobility: MobilityChoice::Auto,
+            mix: TrafficMix::PAPER,
+            movement_tick_s: 5.0,
+            seed: 2007,
+            replications: 3,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// Returns the grid this scenario runs on.
+    #[must_use]
+    pub fn grid(&self) -> HexGrid {
+        HexGrid::new(self.grid_radius, self.cell_radius_km)
+    }
+
+    /// Generates the workload for one replication.
+    ///
+    /// All randomness is drawn from `seed`, independent of the policy
+    /// under test, so competing controllers face byte-identical traffic.
+    #[must_use]
+    pub fn generate_workload(&self, seed: u64) -> Vec<UserSpec> {
+        let grid = self.grid();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let holding = HoldingTimes::new(self.holding_mean_s);
+        let arrivals = PoissonArrivals::arrival_times(self.requests, self.window_s, &mut rng);
+        let walker = Walker::paper_default();
+
+        arrivals
+            .into_iter()
+            .map(|arrival_s| {
+                let class = self.mix.sample(&mut rng);
+                let speed = self.speed.sample(&mut rng);
+                let cell = match self.spawn {
+                    SpawnSpec::CenterCell => facs_cac::CellId(0),
+                    SpawnSpec::AnyCell => facs_cac::CellId(rng.index(grid.len()) as u32),
+                };
+                let bs = grid.center_of(cell);
+                let distance = match self.distance {
+                    DistanceSpec::Fixed(d) => d,
+                    DistanceSpec::UniformInCell => rng.uniform_range(0.0, self.cell_radius_km),
+                    DistanceSpec::Uniform(lo, hi) => rng.uniform_range(lo, hi),
+                };
+                // Place the user on a uniformly random bearing from the BS.
+                let bearing_from_bs = rng.uniform_range(-180.0, 180.0);
+                let position = bs.step(bearing_from_bs, distance);
+                let bearing_to_bs = if distance > 1e-9 {
+                    position.bearing_to(bs)
+                } else {
+                    rng.uniform_range(-180.0, 180.0)
+                };
+                let heading = match self.angle {
+                    AngleSpec::Fixed(angle) => bearing_to_bs + angle,
+                    AngleSpec::Uniform => rng.uniform_range(-180.0, 180.0),
+                    AngleSpec::HeadingHistory { history_s } => {
+                        let sigma = walker.turn_sigma_at(speed) * history_s.sqrt();
+                        if sigma >= 60.0 {
+                            // Past ~60° of diffusion a wrapped normal is
+                            // dispersed enough that the direction carries
+                            // no usable information — the paper's
+                            // "walking users can change their direction"
+                            // regime. Model it as fully randomized.
+                            rng.uniform_range(-180.0, 180.0)
+                        } else {
+                            bearing_to_bs + rng.normal(0.0, sigma)
+                        }
+                    }
+                };
+                let mobility = match self.mobility {
+                    MobilityChoice::Walker => MobilityKind::Walker(walker.clone()),
+                    MobilityChoice::StraightLine => MobilityKind::StraightLine,
+                    MobilityChoice::Auto => match self.angle {
+                        AngleSpec::Fixed(_) => MobilityKind::StraightLine,
+                        _ => MobilityKind::Walker(walker.clone()),
+                    },
+                };
+                UserSpec {
+                    arrival_s,
+                    class,
+                    start: MobileState::new(position, heading, speed),
+                    mobility,
+                    holding_s: holding.sample_s(&mut rng),
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the scenario once with the given per-grid controller builder
+    /// and returns the metrics.
+    pub fn run_once(
+        &self,
+        seed: u64,
+        build: &dyn Fn(&HexGrid) -> Vec<BoxedController>,
+    ) -> Metrics {
+        let grid = self.grid();
+        let controllers = build(&grid);
+        let config = SimulationConfig {
+            capacity: BandwidthUnits::new(self.capacity_bu),
+            movement_tick_s: self.movement_tick_s,
+            max_time_s: self.window_s + 50.0 * self.holding_mean_s,
+            seed: seed ^ 0x5EED_0001,
+        };
+        let mut sim = Simulation::new(grid, config, controllers);
+        sim.run(self.generate_workload(seed))
+    }
+
+    /// Runs all replications and returns the mean acceptance percentage.
+    pub fn acceptance(&self, build: &dyn Fn(&HexGrid) -> Vec<BoxedController>) -> f64 {
+        let mut total = 0.0;
+        for rep in 0..self.replications.max(1) {
+            let metrics = self.run_once(self.seed + u64::from(rep) * 7919, build);
+            total += metrics.acceptance_percentage();
+        }
+        total / f64::from(self.replications.max(1))
+    }
+
+    /// Runs all replications and returns the acceptance percentage with
+    /// a 95 % confidence interval across replications.
+    pub fn acceptance_summary(
+        &self,
+        build: &dyn Fn(&HexGrid) -> Vec<BoxedController>,
+    ) -> Summary {
+        let sample: Vec<f64> = (0..self.replications.max(1))
+            .map(|rep| {
+                self.run_once(self.seed + u64::from(rep) * 7919, build).acceptance_percentage()
+            })
+            .collect();
+        Summary::of(&sample)
+    }
+
+    /// Runs all replications and returns aggregated full metrics
+    /// (counters summed, percentages recomputed from the sums).
+    pub fn aggregate(&self, build: &dyn Fn(&HexGrid) -> Vec<BoxedController>) -> Metrics {
+        let mut sum = Metrics::new();
+        for rep in 0..self.replications.max(1) {
+            let m = self.run_once(self.seed + u64::from(rep) * 7919, build);
+            sum.merge(&m);
+        }
+        sum
+    }
+}
+
+/// Sweeps the paper's x-axis (number of requesting connections) and
+/// produces one figure series.
+pub fn acceptance_curve(
+    label: &str,
+    request_counts: &[usize],
+    configure: impl Fn(usize) -> ScenarioConfig,
+    build: &dyn Fn(&HexGrid) -> Vec<BoxedController>,
+) -> Series {
+    let mut series = Series::new(label);
+    for &n in request_counts {
+        let config = configure(n);
+        series.push(n as f64, config.acceptance(build));
+    }
+    series
+}
+
+/// The x-axis the paper plots: 10, 20, …, 100 requesting connections.
+#[must_use]
+pub fn paper_request_counts() -> Vec<usize> {
+    (1..=10).map(|i| i * 10).collect()
+}
+
+/// Offered-load summary for a scenario, in Erlang-like units: expected
+/// concurrent calls × mean demand relative to capacity.
+#[must_use]
+pub fn offered_load_fraction(config: &ScenarioConfig) -> f64 {
+    let concurrent = config.requests as f64 * config.holding_mean_s / config.window_s;
+    concurrent * config.mix.expected_demand_bu() / f64::from(config.capacity_bu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facs_cac::policies::CompleteSharing;
+
+    fn cs_builder() -> impl Fn(&HexGrid) -> Vec<BoxedController> {
+        |grid: &HexGrid| {
+            grid.cell_ids().map(|_| Box::new(CompleteSharing::new()) as BoxedController).collect()
+        }
+    }
+
+    #[test]
+    fn workload_respects_fixed_parameters() {
+        let config = ScenarioConfig {
+            requests: 200,
+            speed: SpeedSpec::Fixed(30.0),
+            angle: AngleSpec::Fixed(45.0),
+            distance: DistanceSpec::Fixed(3.0),
+            ..Default::default()
+        };
+        let grid = config.grid();
+        let bs = grid.center_of(facs_cac::CellId(0));
+        for spec in config.generate_workload(1) {
+            assert_eq!(spec.start.speed_kmh, 30.0);
+            let obs = spec.start.observe(bs);
+            assert!((obs.angle_deg - 45.0).abs() < 1e-6, "angle {}", obs.angle_deg);
+            assert!((obs.distance_km - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn workload_arrivals_sorted_within_window() {
+        let config = ScenarioConfig { requests: 100, window_s: 300.0, ..Default::default() };
+        let workload = config.generate_workload(2);
+        assert_eq!(workload.len(), 100);
+        assert!(workload.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert!(workload.iter().all(|s| (0.0..300.0).contains(&s.arrival_s)));
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let config = ScenarioConfig::default();
+        let a = config.generate_workload(9);
+        let b = config.generate_workload(9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival_s, y.arrival_s);
+            assert_eq!(x.start, y.start);
+            assert_eq!(x.class, y.class);
+            assert_eq!(x.holding_s, y.holding_s);
+        }
+    }
+
+    #[test]
+    fn heading_history_slow_users_spread_wide() {
+        let spread = |speed: f64| {
+            let config = ScenarioConfig {
+                requests: 400,
+                speed: SpeedSpec::Fixed(speed),
+                angle: AngleSpec::HeadingHistory { history_s: 300.0 },
+                ..Default::default()
+            };
+            let grid = config.grid();
+            let bs = grid.center_of(facs_cac::CellId(0));
+            let angles: Vec<f64> = config
+                .generate_workload(3)
+                .iter()
+                .map(|s| s.start.observe(bs).angle_deg.abs())
+                .collect();
+            angles.iter().sum::<f64>() / angles.len() as f64
+        };
+        // Uniform |angle| has mean 90°; a tight gaussian near zero stays
+        // low. Both walking speeds are past the 60° diffusion cutoff, so
+        // they spread near-uniformly.
+        assert!(spread(4.0) > 70.0, "4 km/h mean |angle| {}", spread(4.0));
+        assert!(spread(10.0) > 70.0, "10 km/h mean |angle| {}", spread(10.0));
+        assert!(spread(60.0) < 25.0, "60 km/h mean |angle| {}", spread(60.0));
+        assert!(spread(10.0) > spread(30.0));
+        assert!(spread(30.0) > spread(60.0));
+    }
+
+    #[test]
+    fn acceptance_monotone_in_load_for_complete_sharing() {
+        let accept = |n: usize| {
+            ScenarioConfig { requests: n, replications: 2, ..Default::default() }
+                .acceptance(&cs_builder())
+        };
+        let light = accept(10);
+        let heavy = accept(100);
+        assert!(light > heavy, "light {light} <= heavy {heavy}");
+        assert!(light > 95.0, "light load should accept nearly all, got {light}");
+    }
+
+    #[test]
+    fn acceptance_curve_shapes() {
+        let series = acceptance_curve(
+            "cs",
+            &[10, 50, 100],
+            |n| ScenarioConfig { requests: n, replications: 1, ..Default::default() },
+            &cs_builder(),
+        );
+        assert_eq!(series.points.len(), 3);
+        assert_eq!(series.points[0].0, 10.0);
+        assert!(series.points.iter().all(|&(_, y)| (0.0..=100.0).contains(&y)));
+    }
+
+    #[test]
+    fn offered_load_math() {
+        let config = ScenarioConfig {
+            requests: 100,
+            window_s: 600.0,
+            holding_mean_s: 120.0,
+            capacity_bu: 40,
+            ..Default::default()
+        };
+        // 100 * 120/600 = 20 concurrent × 3.1 BU / 40 BU = 1.55.
+        assert!((offered_load_fraction(&config) - 1.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_counts() {
+        assert_eq!(paper_request_counts(), vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+    }
+}
+
+#[cfg(test)]
+mod summary_tests {
+    use super::*;
+    use facs_cac::policies::CompleteSharing;
+
+    #[test]
+    fn acceptance_summary_reports_interval() {
+        let config = ScenarioConfig { requests: 60, replications: 3, ..Default::default() };
+        let summary = config.acceptance_summary(&|grid: &HexGrid| {
+            grid.cell_ids()
+                .map(|_| Box::new(CompleteSharing::new()) as BoxedController)
+                .collect()
+        });
+        assert_eq!(summary.n, 3);
+        assert!(summary.mean > 0.0 && summary.mean <= 100.0);
+        let (lo, hi) = summary.ci95();
+        assert!(lo <= summary.mean && summary.mean <= hi);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests over the simulator substrate invariants.
+
+use facs_cac::CellId;
+use facs_cellsim::erlang::erlang_b;
+use facs_cellsim::events::{Event, EventQueue, UserId};
+use facs_cellsim::geometry::{HexCoord, HexGrid, Point};
+use facs_cellsim::mobility::{MobileState, MobilityModel, Walker};
+use facs_cellsim::rng::SimRng;
+use facs_cellsim::time::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    /// Hex-grid size follows the centered hexagonal numbers 3r(r+1)+1.
+    #[test]
+    fn grid_size_formula(radius in 0u32..6) {
+        let grid = HexGrid::new(radius, 1.0);
+        prop_assert_eq!(grid.len() as u32, 3 * radius * (radius + 1) + 1);
+    }
+
+    /// Neighbor relations are symmetric and distinct for every grid.
+    #[test]
+    fn neighbor_symmetry(radius in 0u32..5) {
+        let grid = HexGrid::new(radius, 1.0);
+        for id in grid.cell_ids() {
+            let neighbors = grid.neighbors_of(id);
+            prop_assert!(neighbors.len() <= 6);
+            for n in &neighbors {
+                prop_assert!(*n != id);
+                prop_assert!(grid.neighbors_of(*n).contains(&id));
+            }
+        }
+    }
+
+    /// `locate` returns the nearest center: no other cell is strictly
+    /// closer to the query point.
+    #[test]
+    fn locate_is_nearest_center(
+        radius in 1u32..4,
+        x in -5.0_f64..5.0,
+        y in -5.0_f64..5.0,
+    ) {
+        let grid = HexGrid::new(radius, 1.5);
+        let p = Point::new(x, y);
+        let located = grid.locate(p);
+        let d_located = grid.center_of(located).distance_to(p);
+        for id in grid.cell_ids() {
+            let d = grid.center_of(id).distance_to(p);
+            prop_assert!(d_located <= d + 1e-12, "{id} closer than {located}");
+        }
+    }
+
+    /// Grid distance is a metric between cells (symmetric, triangle
+    /// inequality against the center).
+    #[test]
+    fn grid_distance_metric(q1 in -5i32..5, r1 in -5i32..5, q2 in -5i32..5, r2 in -5i32..5) {
+        let a = HexCoord::new(q1, r1);
+        let b = HexCoord::new(q2, r2);
+        let center = HexCoord::CENTER;
+        prop_assert_eq!(a.grid_distance(b), b.grid_distance(a));
+        prop_assert_eq!(a.grid_distance(a), 0);
+        prop_assert!(a.grid_distance(b) <= a.grid_distance(center) + center.grid_distance(b));
+    }
+
+    /// Bearing/step are consistent: stepping along the bearing to a
+    /// target moves directly toward it.
+    #[test]
+    fn bearing_step_consistency(
+        x in -10.0_f64..10.0,
+        y in -10.0_f64..10.0,
+        tx in -10.0_f64..10.0,
+        ty in -10.0_f64..10.0,
+    ) {
+        let from = Point::new(x, y);
+        let to = Point::new(tx, ty);
+        let d = from.distance_to(to);
+        prop_assume!(d > 1e-6);
+        let stepped = from.step(from.bearing_to(to), d);
+        prop_assert!(stepped.distance_to(to) < 1e-9 * (1.0 + d));
+    }
+
+    /// The event queue is a stable priority queue: pops are sorted by
+    /// time, ties in insertion order.
+    #[test]
+    fn event_queue_stable_order(times in prop::collection::vec(0u64..1000, 1..100)) {
+        let mut queue = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            queue.schedule(
+                SimTime::from_micros(t),
+                Event::Arrival { user: UserId(i as u64) },
+            );
+        }
+        let mut last: Option<(SimTime, u64)> = None;
+        while let Some((time, event)) = queue.pop() {
+            let Event::Arrival { user } = event else { unreachable!() };
+            if let Some((lt, lu)) = last {
+                prop_assert!(time > lt || (time == lt && user.0 > lu),
+                    "order violated: ({time}, {user}) after ({lt}, {lu})");
+            }
+            last = Some((time, user.0));
+        }
+    }
+
+    /// The walker conserves speed and moves at most speed × time.
+    #[test]
+    fn walker_kinematics(speed in 0.1_f64..120.0, steps in 1usize..200, seed in 0u64..50) {
+        let mut model = Walker::paper_default();
+        let mut state = MobileState::new(Point::ORIGIN, 0.0, speed);
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..steps {
+            model.step(&mut state, 1.0, &mut rng);
+            prop_assert_eq!(state.speed_kmh, speed);
+            prop_assert!((-180.0 - 1e9..=180.0).contains(&state.heading_deg));
+        }
+        let max_path = speed * steps as f64 / 3600.0;
+        prop_assert!(Point::ORIGIN.distance_to(state.position) <= max_path + 1e-9);
+    }
+
+    /// Observation invariants: distance is the true Euclidean distance,
+    /// angle in (-180, 180].
+    #[test]
+    fn observation_invariants(
+        px in -20.0_f64..20.0,
+        py in -20.0_f64..20.0,
+        heading in -180.0_f64..180.0,
+        speed in 0.0_f64..120.0,
+    ) {
+        let state = MobileState::new(Point::new(px, py), heading, speed);
+        let obs = state.observe(Point::ORIGIN);
+        let true_distance = (px * px + py * py).sqrt();
+        prop_assert!((obs.distance_km - true_distance).abs() < 1e-9);
+        prop_assert!(obs.angle_deg > -180.0 - 1e-9 && obs.angle_deg <= 180.0 + 1e-9);
+        prop_assert_eq!(obs.speed_kmh, speed);
+    }
+
+    /// Erlang-B stays in [0, 1) and is monotone in load.
+    #[test]
+    fn erlang_b_bounds(servers in 1u32..60, tenths in 1u32..500) {
+        let a = f64::from(tenths) / 10.0;
+        let b = erlang_b(servers, a);
+        prop_assert!((0.0..1.0).contains(&b));
+        prop_assert!(erlang_b(servers, a + 0.1) >= b);
+        prop_assert!(erlang_b(servers + 1, a) <= b);
+    }
+}

@@ -1,0 +1,400 @@
+//! The FACS admission controller: FLC1 → FLC2 cascade (paper Fig. 4).
+
+use facs_cac::{
+    AdmissionController, CallKind, CallRequest, CellSnapshot, Decision, MobilityInfo,
+};
+use facs_fuzzy::{FuzzyError, InferenceConfig};
+
+use crate::flc1::Flc1;
+use crate::flc2::Flc2;
+
+/// Tunables of the FACS controller.
+///
+/// Defaults are paper-faithful where the paper specifies them: no handoff
+/// bias (the paper explicitly defers call priority to future work), a
+/// 10-km distance universe and a 40-BU counter universe. The paper leaves
+/// the binary gate over the soft A/R score unspecified; the default
+/// threshold of 0.1 ("must lean at least slightly toward accept") is the
+/// calibration that reproduces the figure shapes — EXPERIMENTS.md records
+/// the sweep behind it, and `ablation_threshold` benches the sensitivity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FacsConfig {
+    /// Admit iff the defuzzified score exceeds this threshold.
+    pub threshold: f64,
+    /// Score bonus applied to handoff requests (0 = paper-faithful; the
+    /// handoff-priority extension of EXPERIMENTS.md sets it positive).
+    pub handoff_bias: f64,
+    /// The radius the FLC1 distance universe (0–10 km) is scaled from:
+    /// observed distances are multiplied by `10 / cell_radius_km`.
+    pub cell_radius_km: f64,
+    /// The capacity the FLC2 counter universe (0–40 BU) is scaled from.
+    pub capacity_bu: u32,
+    /// Inference operators shared by both FLCs.
+    pub inference: InferenceConfig,
+}
+
+impl Default for FacsConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.1,
+            handoff_bias: 0.0,
+            cell_radius_km: 10.0,
+            capacity_bu: 40,
+            inference: InferenceConfig::default(),
+        }
+    }
+}
+
+/// The full evidence of one FACS evaluation, exposed so operators can
+/// audit why a call was admitted or denied (C-INTERMEDIATE).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FacsEvaluation {
+    /// FLC1's correction value in `[0, 1]`.
+    pub correction_value: f64,
+    /// FLC2's defuzzified score in `[-1, 1]` (after any handoff bias).
+    pub score: f64,
+    /// The gated decision.
+    pub decision: Decision,
+}
+
+/// The Fuzzy Admission Control System of Barolli et al. (ICDCSW 2007).
+///
+/// One instance serves one cell. The controller is pure over its inputs —
+/// identical requests against identical cell states yield identical
+/// decisions — which the reproduction's determinism rests on.
+///
+/// # Examples
+///
+/// ```
+/// use facs::FacsController;
+/// use facs_cac::{
+///     AdmissionController, BandwidthUnits, CallId, CallKind, CallRequest, CellSnapshot,
+///     MobilityInfo, ServiceClass,
+/// };
+///
+/// # fn main() -> Result<(), facs_fuzzy::FuzzyError> {
+/// let mut facs = FacsController::new()?;
+/// let cell = CellSnapshot::empty(BandwidthUnits::new(40));
+/// // A vehicle heading straight at the BS asking for voice: admitted.
+/// let req = CallRequest::new(
+///     CallId(1),
+///     ServiceClass::Voice,
+///     CallKind::New,
+///     MobilityInfo::new(60.0, 0.0, 2.0),
+/// );
+/// assert!(facs.decide(&req, &cell).admits());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FacsController {
+    flc1: Flc1,
+    flc2: Flc2,
+    config: FacsConfig,
+}
+
+impl FacsController {
+    /// Builds FACS with the default (paper-faithful) configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FuzzyError`] if the FLCs fail to compile.
+    pub fn new() -> Result<Self, FuzzyError> {
+        Self::with_config(FacsConfig::default())
+    }
+
+    /// Builds FACS with a custom configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FuzzyError`] if the FLCs fail to compile (e.g. an
+    /// invalid resolution in `config.inference`).
+    pub fn with_config(config: FacsConfig) -> Result<Self, FuzzyError> {
+        Ok(Self {
+            flc1: Flc1::with_config(config.inference)?,
+            flc2: Flc2::with_config(config.inference)?,
+            config,
+        })
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &FacsConfig {
+        &self.config
+    }
+
+    /// FLC1, for membership dumps and rule inspection.
+    #[must_use]
+    pub fn flc1(&self) -> &Flc1 {
+        &self.flc1
+    }
+
+    /// FLC2, for membership dumps and rule inspection.
+    #[must_use]
+    pub fn flc2(&self) -> &Flc2 {
+        &self.flc2
+    }
+
+    /// Runs the full cascade and returns every intermediate value.
+    ///
+    /// A corrupted (non-finite) mobility observation yields a firm
+    /// rejection with `correction_value = 0` rather than an error: in a
+    /// live system a broken GPS fix must not take the admission path down.
+    #[must_use]
+    pub fn evaluate(&self, request: &CallRequest, cell: &CellSnapshot) -> FacsEvaluation {
+        if !request.mobility.is_finite() {
+            return FacsEvaluation {
+                correction_value: 0.0,
+                score: -1.0,
+                decision: Decision::reject(-1.0),
+            };
+        }
+        let scaled = self.scale_mobility(&request.mobility);
+        let correction_value = match self.flc1.correction_value(&scaled) {
+            Ok(cv) => cv,
+            Err(_) => {
+                return FacsEvaluation {
+                    correction_value: 0.0,
+                    score: -1.0,
+                    decision: Decision::reject(-1.0),
+                }
+            }
+        };
+        let counter = self.scale_counter(cell);
+        let request_bu = request.class.request_level();
+        let mut score = match self.flc2.decision_score(correction_value, request_bu, counter) {
+            Ok(s) => s,
+            Err(_) => {
+                return FacsEvaluation {
+                    correction_value,
+                    score: -1.0,
+                    decision: Decision::reject(-1.0),
+                }
+            }
+        };
+        if request.kind == CallKind::Handoff {
+            score = (score + self.config.handoff_bias).clamp(-1.0, 1.0);
+        }
+        // Snap to a 1e-12 grid: the sampled centroid carries ~1e-16 noise
+        // which must not flip a `score > threshold` gate at exactly the
+        // neutral point (a pure-NRNA surface defuzzifies to 0 ± ulp).
+        score = (score * 1e12).round() / 1e12;
+        FacsEvaluation {
+            correction_value,
+            score,
+            decision: Decision::from_score(score, self.config.threshold),
+        }
+    }
+
+    /// Scales an observed distance into FLC1's 0–10 km universe according
+    /// to the configured cell radius.
+    fn scale_mobility(&self, mobility: &MobilityInfo) -> MobilityInfo {
+        let scale = 10.0 / self.config.cell_radius_km.max(f64::MIN_POSITIVE);
+        MobilityInfo {
+            speed_kmh: mobility.speed_kmh,
+            angle_deg: mobility.angle_deg,
+            distance_km: mobility.distance_km * scale,
+        }
+    }
+
+    /// Scales occupancy into FLC2's 0–40 BU counter universe according to
+    /// the configured capacity.
+    fn scale_counter(&self, cell: &CellSnapshot) -> f64 {
+        let capacity = f64::from(self.config.capacity_bu.max(1));
+        f64::from(cell.occupied.get()) * 40.0 / capacity
+    }
+}
+
+impl AdmissionController for FacsController {
+    fn name(&self) -> &str {
+        "FACS"
+    }
+
+    fn decide(&mut self, request: &CallRequest, cell: &CellSnapshot) -> Decision {
+        self.evaluate(request, cell).decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facs_cac::{BandwidthUnits, CallId, ServiceClass};
+
+    fn facs() -> FacsController {
+        FacsController::new().expect("FACS builds")
+    }
+
+    fn cell(occupied: u32) -> CellSnapshot {
+        CellSnapshot {
+            capacity: BandwidthUnits::new(40),
+            occupied: BandwidthUnits::new(occupied),
+            real_time_calls: 0,
+            non_real_time_calls: 0,
+        }
+    }
+
+    fn req(class: ServiceClass, kind: CallKind, mobility: MobilityInfo) -> CallRequest {
+        CallRequest::new(CallId(1), class, kind, mobility)
+    }
+
+    #[test]
+    fn admits_good_users_into_light_cell() {
+        let mut facs = facs();
+        let r = req(ServiceClass::Voice, CallKind::New, MobilityInfo::new(60.0, 0.0, 2.0));
+        assert!(facs.decide(&r, &cell(0)).admits());
+        assert!(facs.decide(&r, &cell(5)).admits());
+    }
+
+    #[test]
+    fn rejects_video_into_full_cell_even_with_perfect_mobility() {
+        let mut facs = facs();
+        let r = req(ServiceClass::Video, CallKind::New, MobilityInfo::new(60.0, 0.0, 1.0));
+        assert!(!facs.decide(&r, &cell(39)).admits());
+    }
+
+    #[test]
+    fn good_mobility_unlocks_moderate_load() {
+        let mut facs = facs();
+        let good = req(ServiceClass::Voice, CallKind::New, MobilityInfo::new(60.0, 0.0, 2.0));
+        let bad = req(ServiceClass::Voice, CallKind::New, MobilityInfo::new(5.0, 170.0, 9.0));
+        // Moderate occupancy: good mobility admitted, bad denied.
+        assert!(facs.decide(&good, &cell(20)).admits());
+        assert!(!facs.decide(&bad, &cell(20)).admits());
+    }
+
+    #[test]
+    fn evaluation_exposes_cascade() {
+        let facs = facs();
+        let r = req(ServiceClass::Text, CallKind::New, MobilityInfo::new(90.0, 0.0, 1.0));
+        let eval = facs.evaluate(&r, &cell(3));
+        assert!(eval.correction_value > 0.85, "cv {}", eval.correction_value);
+        assert!(eval.score > 0.0);
+        assert!(eval.decision.admits());
+    }
+
+    #[test]
+    fn corrupted_gps_is_firmly_rejected() {
+        let facs = facs();
+        let r = req(
+            ServiceClass::Text,
+            CallKind::New,
+            MobilityInfo { speed_kmh: f64::NAN, angle_deg: 0.0, distance_km: 1.0 },
+        );
+        let eval = facs.evaluate(&r, &cell(0));
+        assert!(!eval.decision.admits());
+        assert_eq!(eval.score, -1.0);
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        let strict = FacsController::with_config(FacsConfig {
+            threshold: 0.6,
+            ..FacsConfig::default()
+        })
+        .unwrap();
+        let lax = FacsController::with_config(FacsConfig {
+            threshold: -0.6,
+            ..FacsConfig::default()
+        })
+        .unwrap();
+        let r = req(ServiceClass::Video, CallKind::New, MobilityInfo::new(30.0, 40.0, 4.0));
+        let mid_cell = cell(14);
+        let eval_strict = strict.evaluate(&r, &mid_cell);
+        let eval_lax = lax.evaluate(&r, &mid_cell);
+        assert_eq!(eval_strict.score, eval_lax.score, "threshold must not change the score");
+        assert!(!eval_strict.decision.admits());
+        assert!(eval_lax.decision.admits());
+    }
+
+    #[test]
+    fn handoff_bias_prioritizes_handoffs() {
+        let biased = FacsController::with_config(FacsConfig {
+            handoff_bias: 0.4,
+            ..FacsConfig::default()
+        })
+        .unwrap();
+        let mobility = MobilityInfo::new(5.0, 100.0, 6.0);
+        let new_call = req(ServiceClass::Voice, CallKind::New, mobility);
+        let handoff = req(ServiceClass::Voice, CallKind::Handoff, mobility);
+        let c = cell(18);
+        let s_new = biased.evaluate(&new_call, &c).score;
+        let s_ho = biased.evaluate(&handoff, &c).score;
+        assert!(s_ho > s_new, "handoff {s_ho} should score above new {s_new}");
+    }
+
+    #[test]
+    fn paper_default_has_no_handoff_priority() {
+        let facs = facs();
+        let mobility = MobilityInfo::new(30.0, 20.0, 3.0);
+        let new_call = req(ServiceClass::Voice, CallKind::New, mobility);
+        let handoff = req(ServiceClass::Voice, CallKind::Handoff, mobility);
+        let c = cell(18);
+        assert_eq!(facs.evaluate(&new_call, &c).score, facs.evaluate(&handoff, &c).score);
+    }
+
+    #[test]
+    fn distance_scaling_for_small_cells() {
+        // In a 2-km cell, 1.8 km from the BS is "far" (9/10 scaled).
+        let small = FacsController::with_config(FacsConfig {
+            cell_radius_km: 2.0,
+            ..FacsConfig::default()
+        })
+        .unwrap();
+        let default = facs();
+        let r = req(ServiceClass::Voice, CallKind::New, MobilityInfo::new(5.0, 0.0, 1.8));
+        let eval_small = small.evaluate(&r, &cell(0));
+        let eval_default = default.evaluate(&r, &cell(0));
+        // Slow straight user: near => mostly cv9 (high), far => cv3 (low).
+        // (The default cv stays below ~0.7 because the cv9 edge trapezoid
+        // holds little in-universe area; what matters is the gap.)
+        assert!(eval_default.correction_value > 0.6, "{}", eval_default.correction_value);
+        assert!(eval_small.correction_value < 0.45, "{}", eval_small.correction_value);
+        assert!(eval_default.correction_value > eval_small.correction_value + 0.2);
+    }
+
+    #[test]
+    fn capacity_scaling_for_bigger_cells() {
+        // An 80-BU cell half full should look like Cs = 20 (Middle).
+        let big = FacsController::with_config(FacsConfig {
+            capacity_bu: 80,
+            ..FacsConfig::default()
+        })
+        .unwrap();
+        let big_cell = CellSnapshot {
+            capacity: BandwidthUnits::new(80),
+            occupied: BandwidthUnits::new(40),
+            real_time_calls: 0,
+            non_real_time_calls: 0,
+        };
+        let r = req(ServiceClass::Voice, CallKind::New, MobilityInfo::new(60.0, 0.0, 2.0));
+        let eval = big.evaluate(&r, &big_cell);
+        // Good cv at middle occupancy -> accept (G ? M -> A).
+        assert!(eval.decision.admits());
+        // Same controller, nearly full big cell -> reject.
+        let full_cell = CellSnapshot {
+            capacity: BandwidthUnits::new(80),
+            occupied: BandwidthUnits::new(78),
+            real_time_calls: 0,
+            non_real_time_calls: 0,
+        };
+        let r_vid = req(ServiceClass::Video, CallKind::New, MobilityInfo::new(60.0, 0.0, 2.0));
+        assert!(!big.evaluate(&r_vid, &full_cell).decision.admits());
+    }
+
+    #[test]
+    fn decide_matches_evaluate() {
+        let mut facs = facs();
+        let r = req(ServiceClass::Text, CallKind::New, MobilityInfo::new(45.0, 30.0, 5.0));
+        let c = cell(12);
+        let eval = facs.evaluate(&r, &c);
+        let decision = facs.decide(&r, &c);
+        assert_eq!(eval.decision.admits(), decision.admits());
+        assert_eq!(eval.decision.score(), decision.score());
+    }
+
+    #[test]
+    fn controller_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<FacsController>();
+    }
+}

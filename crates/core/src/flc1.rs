@@ -1,0 +1,313 @@
+//! FLC1 — the mobility-prediction controller (paper §3.1).
+//!
+//! Inputs: user **S**peed (0–120 km/h, terms Sl/M/Fa), user **A**ngle
+//! relative to the BS bearing (−180…180°, terms B1/L1/L2/St/R1/R2/B2) and
+//! **D**istance from the BS (0–10 km, terms N/F). Output: the correction
+//! value **Cv** in `[0, 1]` over nine terms Cv1…Cv9 (Fig. 5), driven by
+//! the 42-rule FRB1 (Table 1).
+//!
+//! All membership break-points are read off the printed axes of Fig. 5
+//! and exposed as named constants so EXPERIMENTS.md can cite them.
+
+use facs_cac::MobilityInfo;
+use facs_fuzzy::{
+    Engine, FuzzyError, InferenceConfig, MembershipFunction, Rule, Variable,
+};
+
+use crate::tables::FRB1;
+
+/// Universe of the speed input, km/h (paper §4).
+pub const SPEED_UNIVERSE: (f64, f64) = (0.0, 120.0);
+/// Universe of the angle input, degrees.
+pub const ANGLE_UNIVERSE: (f64, f64) = (-180.0, 180.0);
+/// Universe of the distance input, km.
+pub const DISTANCE_UNIVERSE: (f64, f64) = (0.0, 10.0);
+/// Universe of the correction-value output.
+pub const CV_UNIVERSE: (f64, f64) = (0.0, 1.0);
+
+/// Speed break-points of Fig. 5(a): Slow flat to 15, gone by 30; Middle
+/// peaks at 30; Fast flat from 60.
+pub const SPEED_BREAKS: [f64; 4] = [0.0, 15.0, 30.0, 60.0];
+/// Angle term centers of Fig. 5(b), degrees.
+pub const ANGLE_CENTERS: [f64; 7] = [-180.0, -90.0, -45.0, 0.0, 45.0, 90.0, 135.0];
+
+/// Builds the speed variable (Fig. 5a).
+fn speed_variable() -> Result<Variable, FuzzyError> {
+    Variable::builder("s", SPEED_UNIVERSE.0, SPEED_UNIVERSE.1)
+        .term("sl", MembershipFunction::trapezoidal(0.0, 15.0, 0.0, 15.0)?)
+        .term("m", MembershipFunction::triangular(30.0, 15.0, 30.0)?)
+        .term("fa", MembershipFunction::trapezoidal(60.0, 120.0, 30.0, 0.0)?)
+        .build()
+}
+
+/// Builds the angle variable (Fig. 5b). B1/B2 are the "back" trapezoids
+/// at ±180°; the five triangles sit at −90, −45, 0, 45, 90 with 45°
+/// flanks.
+fn angle_variable() -> Result<Variable, FuzzyError> {
+    Variable::builder("a", ANGLE_UNIVERSE.0, ANGLE_UNIVERSE.1)
+        .term("b1", MembershipFunction::trapezoidal(-180.0, -135.0, 0.0, 45.0)?)
+        .term("l1", MembershipFunction::triangular(-90.0, 45.0, 45.0)?)
+        .term("l2", MembershipFunction::triangular(-45.0, 45.0, 45.0)?)
+        .term("st", MembershipFunction::triangular(0.0, 45.0, 45.0)?)
+        .term("r1", MembershipFunction::triangular(45.0, 45.0, 45.0)?)
+        .term("r2", MembershipFunction::triangular(90.0, 45.0, 45.0)?)
+        .term("b2", MembershipFunction::trapezoidal(135.0, 180.0, 45.0, 0.0)?)
+        .build()
+}
+
+/// Builds the distance variable (Fig. 5c): Near and Far crossing at 5 km.
+fn distance_variable() -> Result<Variable, FuzzyError> {
+    Variable::builder("d", DISTANCE_UNIVERSE.0, DISTANCE_UNIVERSE.1)
+        .term("n", MembershipFunction::triangular(0.0, 0.0, 10.0)?)
+        .term("f", MembershipFunction::triangular(10.0, 10.0, 0.0)?)
+        .build()
+}
+
+/// Builds the Cv output (Fig. 5d): nine terms evenly spaced over `[0, 1]`
+/// with edge trapezoids (a Ruspini partition with centers at i/8).
+fn cv_variable() -> Result<Variable, FuzzyError> {
+    let step = 1.0 / 8.0;
+    let mut builder = Variable::builder("cv", CV_UNIVERSE.0, CV_UNIVERSE.1)
+        .term("cv1", MembershipFunction::trapezoidal(-1.0, 0.0, 0.0, step)?);
+    for i in 2..=8 {
+        let center = step * (i as f64 - 1.0);
+        builder = builder.term(
+            format!("cv{i}"),
+            MembershipFunction::triangular(center, step, step)?,
+        );
+    }
+    builder
+        .term("cv9", MembershipFunction::trapezoidal(1.0, 2.0, step, 0.0)?)
+        .build()
+}
+
+/// The compiled FLC1.
+///
+/// # Examples
+///
+/// ```
+/// use facs::Flc1;
+/// use facs_cac::MobilityInfo;
+///
+/// # fn main() -> Result<(), facs_fuzzy::FuzzyError> {
+/// let flc1 = Flc1::new()?;
+/// // Fast user heading straight at a near BS: excellent correction.
+/// let good = flc1.correction_value(&MobilityInfo::new(70.0, 0.0, 1.0))?;
+/// // Fast user heading away from a far BS: hopeless.
+/// let bad = flc1.correction_value(&MobilityInfo::new(70.0, 180.0, 9.0))?;
+/// assert!(good > 0.85);
+/// assert!(bad < 0.15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Flc1 {
+    engine: Engine,
+}
+
+impl Flc1 {
+    /// Builds FLC1 with the paper's default inference configuration
+    /// (min/max Mamdani, centroid defuzzification).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FuzzyError`] if construction fails (cannot happen for
+    /// the built-in tables; the `Result` exists because the engine API is
+    /// fallible by design).
+    pub fn new() -> Result<Self, FuzzyError> {
+        Self::with_config(InferenceConfig::default())
+    }
+
+    /// Builds FLC1 with a custom inference configuration (used by the
+    /// ablation benches).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FuzzyError`] on invalid configuration (e.g. a
+    /// resolution below 2).
+    pub fn with_config(config: InferenceConfig) -> Result<Self, FuzzyError> {
+        let rules: Result<Vec<Rule>, FuzzyError> = FRB1
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, a, d, cv))| {
+                Rule::when("s", s)
+                    .and("a", a)
+                    .and("d", d)
+                    .then("cv", cv)
+                    .label(format!("frb1-{i}"))
+                    .build()
+            })
+            .collect();
+        let engine = Engine::builder()
+            .input(speed_variable()?)
+            .input(angle_variable()?)
+            .input(distance_variable()?)
+            .output(cv_variable()?)
+            .rules(rules?)
+            .config(config)
+            .build()?;
+        Ok(Self { engine })
+    }
+
+    /// Computes the correction value for a mobility observation.
+    ///
+    /// Inputs are clamped into the paper universes (speed 0–120, angle
+    /// −180…180, distance 0–10).
+    ///
+    /// # Errors
+    ///
+    /// [`FuzzyError::NonFiniteInput`] if the observation contains NaN or
+    /// infinities.
+    pub fn correction_value(&self, mobility: &MobilityInfo) -> Result<f64, FuzzyError> {
+        self.engine.evaluate_single(&[
+            ("s", mobility.speed_kmh),
+            ("a", mobility.angle_deg),
+            ("d", mobility.distance_km),
+        ])
+    }
+
+    /// The underlying fuzzy engine, exposed for inspection (rule firing
+    /// strengths, membership sampling for the Fig. 5 reproduction).
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flc1() -> Flc1 {
+        Flc1::new().expect("FLC1 builds")
+    }
+
+    fn cv(speed: f64, angle: f64, distance: f64) -> f64 {
+        flc1()
+            .correction_value(&MobilityInfo::new(speed, angle, distance))
+            .expect("inference succeeds")
+    }
+
+    #[test]
+    fn rule_count_matches_table_1() {
+        assert_eq!(flc1().engine().rule_base().len(), 42);
+    }
+
+    #[test]
+    fn anchor_points_fire_single_rules() {
+        // At exact term centers only one rule fires; centroid sits at the
+        // consequent's center (within discretization and edge-clipping).
+        // Sl St N -> Cv9.
+        assert!(cv(5.0, 0.0, 0.0) > 0.85, "{}", cv(5.0, 0.0, 0.0));
+        // Fa B2 F -> Cv1.
+        assert!(cv(90.0, 160.0, 10.0) < 0.15);
+        // M St F -> Cv7 (center 0.75).
+        let v = cv(30.0, 0.0, 10.0);
+        assert!((v - 0.75).abs() < 0.05, "{v}");
+        // M L2 N -> Cv8 (center 0.875).
+        let v = cv(30.0, -45.0, 0.0);
+        assert!((v - 0.875).abs() < 0.05, "{v}");
+    }
+
+    #[test]
+    fn output_always_in_unit_interval() {
+        for s in [0.0, 4.0, 10.0, 30.0, 60.0, 120.0] {
+            for a in [-180.0, -90.0, -30.0, 0.0, 45.0, 135.0, 180.0] {
+                for d in [0.0, 1.0, 5.0, 10.0] {
+                    let v = cv(s, a, d);
+                    assert!((0.0..=1.0).contains(&v), "cv({s},{a},{d}) = {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn straight_beats_back_for_every_speed() {
+        for s in [5.0, 30.0, 90.0] {
+            for d in [2.0, 8.0] {
+                assert!(
+                    cv(s, 0.0, d) > cv(s, 170.0, d),
+                    "straight should beat back at speed {s}, distance {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_straight_users_get_best_correction_anywhere() {
+        // Fa St N and Fa St F are both Cv9: fast straight users are ideal
+        // regardless of distance.
+        assert!(cv(90.0, 0.0, 0.5) > 0.85);
+        assert!(cv(90.0, 0.0, 9.5) > 0.85);
+        // Slow straight users degrade with distance (Cv9 near, Cv3 far).
+        assert!(cv(5.0, 0.0, 0.5) > 0.8);
+        assert!(cv(5.0, 0.0, 9.5) < 0.4);
+    }
+
+    #[test]
+    fn angle_symmetry_for_middle_and_fast() {
+        // Table 1 is left/right symmetric for the M and Fa speed rows;
+        // mirrored angles give the same Cv there.
+        for s in [30.0, 90.0] {
+            for d in [1.0, 9.0] {
+                for a in [30.0, 45.0, 90.0, 120.0] {
+                    let right = cv(s, a, d);
+                    let left = cv(s, -a, d);
+                    assert!(
+                        (right - left).abs() < 1e-9,
+                        "asymmetry at s={s} a={a} d={d}: {right} vs {left}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_slow_row_asymmetry_is_preserved() {
+        // The paper's Table 1 maps Sl/L2/F -> Cv3 but its mirror
+        // Sl/R1/F -> Cv2 (rules 5 and 9). We transcribe faithfully, so a
+        // slow user at -45° over a far BS scores slightly *better* than
+        // one at +45°.
+        let left = cv(5.0, -45.0, 10.0);
+        let right = cv(5.0, 45.0, 10.0);
+        assert!(left > right, "paper asymmetry lost: {left} vs {right}");
+    }
+
+    #[test]
+    fn perpendicular_walkers_get_middling_correction() {
+        // Sl R2 N -> Cv4 (center 0.375).
+        let v = cv(5.0, 90.0, 0.0);
+        assert!((v - 0.375).abs() < 0.06, "{v}");
+    }
+
+    #[test]
+    fn inputs_are_clamped_to_universes() {
+        assert_eq!(cv(500.0, 0.0, 1.0), cv(120.0, 0.0, 1.0));
+        assert_eq!(cv(30.0, 0.0, 50.0), cv(30.0, 0.0, 10.0));
+    }
+
+    #[test]
+    fn non_finite_observation_is_an_error() {
+        let err = flc1().correction_value(&MobilityInfo {
+            speed_kmh: f64::NAN,
+            angle_deg: 0.0,
+            distance_km: 1.0,
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn every_observation_fires_some_rule() {
+        // Dense sweep: the rule base covers the whole input space (no
+        // NoRuleFired anywhere).
+        let flc = flc1();
+        for s in (0..=120).step_by(8) {
+            for a in (-180..=180).step_by(15) {
+                for d in 0..=10 {
+                    let m = MobilityInfo::new(f64::from(s), f64::from(a), f64::from(d));
+                    assert!(flc.correction_value(&m).is_ok(), "hole at {m:?}");
+                }
+            }
+        }
+    }
+}

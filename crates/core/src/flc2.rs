@@ -1,0 +1,256 @@
+//! FLC2 — the admission-decision controller (paper §3.2).
+//!
+//! Inputs: the correction value **Cv** from FLC1 (terms Bad/Normal/Good),
+//! the user **R**equest in BU (terms Text/Voice/Video) and the **C**ounter
+//! **s**tate — occupied capacity in BU (terms Small/Middle/Full). Output:
+//! the soft accept/reject score **A/R** in `[-1, 1]` over the five terms
+//! {R, WR, NRNA, WA, A} (Fig. 6), driven by the 27-rule FRB2 (Table 2).
+
+use facs_fuzzy::{Engine, FuzzyError, InferenceConfig, MembershipFunction, Rule, Variable};
+
+use crate::tables::FRB2;
+
+/// Universe of the Cv input.
+pub const CV_UNIVERSE: (f64, f64) = (0.0, 1.0);
+/// Universe of the request input, BU.
+pub const REQUEST_UNIVERSE: (f64, f64) = (0.0, 10.0);
+/// Universe of the counter-state input, BU (the paper's 40-BU cell).
+pub const COUNTER_UNIVERSE: (f64, f64) = (0.0, 40.0);
+/// Universe of the decision output.
+pub const DECISION_UNIVERSE: (f64, f64) = (-1.0, 1.0);
+
+fn cv_variable() -> Result<Variable, FuzzyError> {
+    Variable::builder("cv", CV_UNIVERSE.0, CV_UNIVERSE.1)
+        .term("b", MembershipFunction::triangular(0.0, 0.0, 0.5)?)
+        .term("n", MembershipFunction::triangular(0.5, 0.5, 0.5)?)
+        .term("g", MembershipFunction::triangular(1.0, 0.5, 0.0)?)
+        .build()
+}
+
+fn request_variable() -> Result<Variable, FuzzyError> {
+    Variable::builder("r", REQUEST_UNIVERSE.0, REQUEST_UNIVERSE.1)
+        .term("t", MembershipFunction::triangular(0.0, 0.0, 5.0)?)
+        .term("vo", MembershipFunction::triangular(5.0, 5.0, 5.0)?)
+        .term("vi", MembershipFunction::triangular(10.0, 5.0, 0.0)?)
+        .build()
+}
+
+fn counter_variable() -> Result<Variable, FuzzyError> {
+    Variable::builder("cs", COUNTER_UNIVERSE.0, COUNTER_UNIVERSE.1)
+        .term("s", MembershipFunction::triangular(0.0, 0.0, 20.0)?)
+        .term("m", MembershipFunction::triangular(20.0, 20.0, 20.0)?)
+        .term("f", MembershipFunction::triangular(40.0, 20.0, 0.0)?)
+        .build()
+}
+
+fn decision_variable() -> Result<Variable, FuzzyError> {
+    Variable::builder("ar", DECISION_UNIVERSE.0, DECISION_UNIVERSE.1)
+        .term("r", MembershipFunction::trapezoidal(-2.0, -1.0, 0.0, 0.5)?)
+        .term("wr", MembershipFunction::triangular(-0.5, 0.5, 0.5)?)
+        .term("nrna", MembershipFunction::triangular(0.0, 0.5, 0.5)?)
+        .term("wa", MembershipFunction::triangular(0.5, 0.5, 0.5)?)
+        .term("a", MembershipFunction::trapezoidal(1.0, 2.0, 0.5, 0.0)?)
+        .build()
+}
+
+/// The compiled FLC2.
+///
+/// # Examples
+///
+/// ```
+/// use facs::Flc2;
+///
+/// # fn main() -> Result<(), facs_fuzzy::FuzzyError> {
+/// let flc2 = Flc2::new()?;
+/// // Good correction, text request, empty cell: strong accept.
+/// let yes = flc2.decision_score(0.95, 1.0, 2.0)?;
+/// // Good correction but a video request into a full cell: reject.
+/// let no = flc2.decision_score(0.95, 10.0, 39.0)?;
+/// assert!(yes > 0.5);
+/// assert!(no < -0.3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Flc2 {
+    engine: Engine,
+}
+
+impl Flc2 {
+    /// Builds FLC2 with the paper's default inference configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FuzzyError`] if construction fails.
+    pub fn new() -> Result<Self, FuzzyError> {
+        Self::with_config(InferenceConfig::default())
+    }
+
+    /// Builds FLC2 with a custom inference configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FuzzyError`] on invalid configuration.
+    pub fn with_config(config: InferenceConfig) -> Result<Self, FuzzyError> {
+        let rules: Result<Vec<Rule>, FuzzyError> = FRB2
+            .iter()
+            .enumerate()
+            .map(|(i, &(cv, r, cs, ar))| {
+                Rule::when("cv", cv)
+                    .and("r", r)
+                    .and("cs", cs)
+                    .then("ar", ar)
+                    .label(format!("frb2-{i}"))
+                    .build()
+            })
+            .collect();
+        let engine = Engine::builder()
+            .input(cv_variable()?)
+            .input(request_variable()?)
+            .input(counter_variable()?)
+            .output(decision_variable()?)
+            .rules(rules?)
+            .config(config)
+            .build()?;
+        Ok(Self { engine })
+    }
+
+    /// Computes the soft decision score in `[-1, 1]`.
+    ///
+    /// * `cv` — FLC1's correction value (clamped to `[0, 1]`);
+    /// * `request_bu` — requested bandwidth in BU (1/5/10 for
+    ///   text/voice/video);
+    /// * `counter_bu` — occupied bandwidth in BU over the 0–40 universe
+    ///   (callers with a different capacity scale first).
+    ///
+    /// # Errors
+    ///
+    /// [`FuzzyError::NonFiniteInput`] on NaN/infinite inputs.
+    pub fn decision_score(
+        &self,
+        cv: f64,
+        request_bu: f64,
+        counter_bu: f64,
+    ) -> Result<f64, FuzzyError> {
+        self.engine.evaluate_single(&[("cv", cv), ("r", request_bu), ("cs", counter_bu)])
+    }
+
+    /// The underlying fuzzy engine, exposed for inspection.
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flc2() -> Flc2 {
+        Flc2::new().expect("FLC2 builds")
+    }
+
+    fn score(cv: f64, r: f64, cs: f64) -> f64 {
+        flc2().decision_score(cv, r, cs).expect("inference succeeds")
+    }
+
+    #[test]
+    fn rule_count_matches_table_2() {
+        assert_eq!(flc2().engine().rule_base().len(), 27);
+    }
+
+    #[test]
+    fn empty_cell_accepts_everything() {
+        // Every Cs=S row of FRB2 is A or WA: at zero occupancy everyone
+        // gets in.
+        for cv in [0.05, 0.5, 0.95] {
+            for r in [1.0, 5.0, 10.0] {
+                assert!(score(cv, r, 0.0) > 0.3, "cv={cv} r={r}: {}", score(cv, r, 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn full_cell_never_accepts() {
+        // Every Cs=F row is NRNA, WR or R: scores at/below zero.
+        for cv in [0.05, 0.5, 0.95] {
+            for r in [1.0, 5.0, 10.0] {
+                assert!(score(cv, r, 40.0) <= 0.05, "cv={cv} r={r}: {}", score(cv, r, 40.0));
+            }
+        }
+    }
+
+    #[test]
+    fn good_cv_unlocks_middle_occupancy() {
+        // At Cs=20 (pure Middle): G -> A (positive), B/N -> NRNA (≈ 0).
+        for r in [1.0, 5.0, 10.0] {
+            assert!(score(0.98, r, 20.0) > 0.4, "good cv should pass at middle occupancy");
+            let b = score(0.02, r, 20.0);
+            assert!(b.abs() < 0.15, "bad cv at middle should be near-neutral, got {b}");
+        }
+    }
+
+    #[test]
+    fn video_into_full_cell_with_good_cv_is_firm_reject() {
+        // G Vi F -> R: the strongest rejection in the table.
+        let v = score(0.98, 10.0, 39.5);
+        assert!(v < -0.5, "{v}");
+    }
+
+    #[test]
+    fn score_monotone_decreasing_in_occupancy() {
+        for cv in [0.1, 0.5, 0.9] {
+            for r in [1.0, 5.0, 10.0] {
+                let mut prev = f64::INFINITY;
+                for cs in [0.0, 10.0, 20.0, 30.0, 40.0] {
+                    let v = score(cv, r, cs);
+                    assert!(
+                        v <= prev + 0.15,
+                        "score rose with occupancy: cv={cv} r={r} cs={cs}: {v} > {prev}"
+                    );
+                    prev = v;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn output_always_in_decision_universe() {
+        for cv in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            for r in [0.0, 1.0, 5.0, 10.0] {
+                for cs in [0.0, 10.0, 20.0, 30.0, 40.0] {
+                    let v = score(cv, r, cs);
+                    assert!((-1.0..=1.0).contains(&v), "score({cv},{r},{cs}) = {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn text_is_favored_over_video_under_load() {
+        // At full occupancy with bad cv: T -> NRNA but Vi -> WR.
+        let text = score(0.1, 1.0, 38.0);
+        let video = score(0.1, 10.0, 38.0);
+        assert!(text > video, "text {text} should beat video {video} under load");
+    }
+
+    #[test]
+    fn inputs_clamped() {
+        assert_eq!(score(2.0, 1.0, 10.0), score(1.0, 1.0, 10.0));
+        assert_eq!(score(0.5, 1.0, 100.0), score(0.5, 1.0, 40.0));
+    }
+
+    #[test]
+    fn full_input_grid_is_covered() {
+        let flc = flc2();
+        for cv in 0..=10 {
+            for r in 0..=10 {
+                for cs in 0..=40 {
+                    let result =
+                        flc.decision_score(f64::from(cv) / 10.0, f64::from(r), f64::from(cs));
+                    assert!(result.is_ok(), "hole at cv={cv} r={r} cs={cs}");
+                }
+            }
+        }
+    }
+}

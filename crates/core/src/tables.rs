@@ -1,0 +1,174 @@
+//! The paper's rule bases, transcribed verbatim.
+//!
+//! * [`FRB1`] — Table 1: 42 rules mapping (Speed, Angle, Distance) to the
+//!   correction value Cv.
+//! * [`FRB2`] — Table 2: 27 rules mapping (Cv, Request, Counter state) to
+//!   the accept/reject decision A/R.
+//!
+//! Keeping the tables as plain data (rather than inline rule-builder
+//! calls) makes them auditable against the paper row by row and lets the
+//! experiment harness dump them for EXPERIMENTS.md.
+
+/// One row of Table 1: `(speed, angle, distance, cv)` term names.
+pub type Frb1Row = (&'static str, &'static str, &'static str, &'static str);
+
+/// Table 1 of the paper — FRB1, 42 rules in the paper's row order
+/// (rule 0 at index 0).
+pub const FRB1: [Frb1Row; 42] = [
+    // Slow
+    ("sl", "b1", "n", "cv3"),
+    ("sl", "b1", "f", "cv1"),
+    ("sl", "l1", "n", "cv4"),
+    ("sl", "l1", "f", "cv2"),
+    ("sl", "l2", "n", "cv5"),
+    ("sl", "l2", "f", "cv3"),
+    ("sl", "st", "n", "cv9"),
+    ("sl", "st", "f", "cv3"),
+    ("sl", "r1", "n", "cv5"),
+    ("sl", "r1", "f", "cv2"),
+    ("sl", "r2", "n", "cv4"),
+    ("sl", "r2", "f", "cv2"),
+    ("sl", "b2", "n", "cv3"),
+    ("sl", "b2", "f", "cv1"),
+    // Middle
+    ("m", "b1", "n", "cv2"),
+    ("m", "b1", "f", "cv1"),
+    ("m", "l1", "n", "cv4"),
+    ("m", "l1", "f", "cv1"),
+    ("m", "l2", "n", "cv8"),
+    ("m", "l2", "f", "cv5"),
+    ("m", "st", "n", "cv9"),
+    ("m", "st", "f", "cv7"),
+    ("m", "r1", "n", "cv8"),
+    ("m", "r1", "f", "cv5"),
+    ("m", "r2", "n", "cv4"),
+    ("m", "r2", "f", "cv1"),
+    ("m", "b2", "n", "cv2"),
+    ("m", "b2", "f", "cv1"),
+    // Fast
+    ("fa", "b1", "n", "cv1"),
+    ("fa", "b1", "f", "cv1"),
+    ("fa", "l1", "n", "cv1"),
+    ("fa", "l1", "f", "cv2"),
+    ("fa", "l2", "n", "cv6"),
+    ("fa", "l2", "f", "cv8"),
+    ("fa", "st", "n", "cv9"),
+    ("fa", "st", "f", "cv9"),
+    ("fa", "r1", "n", "cv6"),
+    ("fa", "r1", "f", "cv8"),
+    ("fa", "r2", "n", "cv1"),
+    ("fa", "r2", "f", "cv2"),
+    ("fa", "b2", "n", "cv1"),
+    ("fa", "b2", "f", "cv1"),
+];
+
+/// One row of Table 2: `(cv, request, counter_state, decision)` term
+/// names.
+pub type Frb2Row = (&'static str, &'static str, &'static str, &'static str);
+
+/// Table 2 of the paper — FRB2, 27 rules in the paper's row order.
+pub const FRB2: [Frb2Row; 27] = [
+    ("b", "t", "s", "a"),
+    ("b", "t", "m", "nrna"),
+    ("b", "t", "f", "nrna"),
+    ("b", "vo", "s", "a"),
+    ("b", "vo", "m", "nrna"),
+    ("b", "vo", "f", "wr"),
+    ("b", "vi", "s", "wa"),
+    ("b", "vi", "m", "nrna"),
+    ("b", "vi", "f", "wr"),
+    ("n", "t", "s", "a"),
+    ("n", "t", "m", "nrna"),
+    ("n", "t", "f", "nrna"),
+    ("n", "vo", "s", "a"),
+    ("n", "vo", "m", "nrna"),
+    ("n", "vo", "f", "nrna"),
+    ("n", "vi", "s", "wa"),
+    ("n", "vi", "m", "nrna"),
+    ("n", "vi", "f", "nrna"),
+    ("g", "t", "s", "a"),
+    ("g", "t", "m", "a"),
+    ("g", "t", "f", "nrna"),
+    ("g", "vo", "s", "a"),
+    ("g", "vo", "m", "a"),
+    ("g", "vo", "f", "wr"),
+    ("g", "vi", "s", "a"),
+    ("g", "vi", "m", "a"),
+    ("g", "vi", "f", "r"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn frb1_has_42_rules_covering_the_full_grid() {
+        assert_eq!(FRB1.len(), 42);
+        // |T(S)| * |T(A)| * |T(D)| = 3 * 7 * 2 = 42 distinct antecedents.
+        let antecedents: HashSet<(&str, &str, &str)> =
+            FRB1.iter().map(|&(s, a, d, _)| (s, a, d)).collect();
+        assert_eq!(antecedents.len(), 42, "duplicate antecedent in FRB1");
+    }
+
+    #[test]
+    fn frb2_has_27_rules_covering_the_full_grid() {
+        assert_eq!(FRB2.len(), 27);
+        let antecedents: HashSet<(&str, &str, &str)> =
+            FRB2.iter().map(|&(c, r, s, _)| (c, r, s)).collect();
+        assert_eq!(antecedents.len(), 27, "duplicate antecedent in FRB2");
+    }
+
+    #[test]
+    fn frb1_spot_checks_against_paper() {
+        // Rule 6: Sl St N -> Cv9.
+        assert_eq!(FRB1[6], ("sl", "st", "n", "cv9"));
+        // Rule 21: M St F -> Cv7.
+        assert_eq!(FRB1[21], ("m", "st", "f", "cv7"));
+        // Rule 35: Fa St F -> Cv9.
+        assert_eq!(FRB1[35], ("fa", "st", "f", "cv9"));
+        // Rule 41: Fa B2 F -> Cv1.
+        assert_eq!(FRB1[41], ("fa", "b2", "f", "cv1"));
+    }
+
+    #[test]
+    fn frb2_spot_checks_against_paper() {
+        // Rule 0: B T S -> A.
+        assert_eq!(FRB2[0], ("b", "t", "s", "a"));
+        // Rule 8: B Vi F -> WR.
+        assert_eq!(FRB2[8], ("b", "vi", "f", "wr"));
+        // Rule 20: G T F -> NRNA.
+        assert_eq!(FRB2[20], ("g", "t", "f", "nrna"));
+        // Rule 26: G Vi F -> R.
+        assert_eq!(FRB2[26], ("g", "vi", "f", "r"));
+    }
+
+    #[test]
+    fn frb1_straight_near_is_always_best() {
+        // For every speed, the St/N cell maps to Cv9 (the strongest
+        // correction) — users heading straight at a nearby BS are the
+        // safest admissions.
+        for speed in ["sl", "m", "fa"] {
+            let row = FRB1
+                .iter()
+                .find(|&&(s, a, d, _)| s == speed && a == "st" && d == "n")
+                .unwrap();
+            assert_eq!(row.3, "cv9", "speed {speed}");
+        }
+    }
+
+    #[test]
+    fn frb2_good_cv_unlocks_middle_occupancy() {
+        // The core of the paper's admission logic: at middle occupancy,
+        // only good-correction users are accepted.
+        for request in ["t", "vo", "vi"] {
+            for (cv, expect) in [("b", "nrna"), ("n", "nrna"), ("g", "a")] {
+                let row = FRB2
+                    .iter()
+                    .find(|&&(c, r, s, _)| c == cv && r == request && s == "m")
+                    .unwrap();
+                assert_eq!(row.3, expect, "cv={cv} request={request}");
+            }
+        }
+    }
+}

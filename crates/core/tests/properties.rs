@@ -1,0 +1,147 @@
+//! Property-based tests over the FACS cascade invariants.
+
+use facs::{FacsConfig, FacsController, Flc1, Flc2};
+use facs_cac::{
+    BandwidthUnits, CallId, CallKind, CallRequest, CellSnapshot, MobilityInfo, ServiceClass,
+};
+use proptest::prelude::*;
+
+fn arb_class() -> impl Strategy<Value = ServiceClass> {
+    prop::sample::select(vec![ServiceClass::Text, ServiceClass::Voice, ServiceClass::Video])
+}
+
+fn snapshot(occupied: u32) -> CellSnapshot {
+    CellSnapshot {
+        capacity: BandwidthUnits::new(40),
+        occupied: BandwidthUnits::new(occupied.min(40)),
+        real_time_calls: 0,
+        non_real_time_calls: 0,
+    }
+}
+
+proptest! {
+    /// FLC1's correction value is always inside [0, 1] for any observation
+    /// — including out-of-universe readings (clamped).
+    #[test]
+    fn cv_in_unit_interval(
+        speed in -50.0_f64..300.0,
+        angle in -720.0_f64..720.0,
+        distance in -5.0_f64..50.0,
+    ) {
+        let flc1 = Flc1::new().unwrap();
+        let cv = flc1
+            .correction_value(&MobilityInfo::new(speed, angle, distance))
+            .unwrap();
+        prop_assert!((0.0..=1.0).contains(&cv), "cv = {cv}");
+    }
+
+    /// FLC2's score is always inside [-1, 1].
+    #[test]
+    fn score_in_decision_interval(
+        cv in -0.5_f64..1.5,
+        request in 0.0_f64..12.0,
+        counter in -5.0_f64..50.0,
+    ) {
+        let flc2 = Flc2::new().unwrap();
+        let score = flc2.decision_score(cv, request, counter).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&score), "score = {score}");
+    }
+
+    /// The binary gate is consistent with the soft score: admitted iff
+    /// `score > threshold`.
+    #[test]
+    fn gate_matches_score(
+        speed in 0.0_f64..120.0,
+        angle in -180.0_f64..180.0,
+        distance in 0.0_f64..10.0,
+        occupied in 0u32..=40,
+        class in arb_class(),
+        threshold_cents in -50i32..=50,
+    ) {
+        let threshold = f64::from(threshold_cents) / 100.0;
+        let facs = FacsController::with_config(FacsConfig {
+            threshold,
+            ..FacsConfig::default()
+        })
+        .unwrap();
+        let request = CallRequest::new(
+            CallId(0),
+            class,
+            CallKind::New,
+            MobilityInfo::new(speed, angle, distance),
+        );
+        let eval = facs.evaluate(&request, &snapshot(occupied));
+        prop_assert_eq!(eval.decision.admits(), eval.score > threshold);
+    }
+
+    /// Decisions are pure: the same request against the same snapshot
+    /// always produces the identical evaluation.
+    #[test]
+    fn decisions_are_pure(
+        speed in 0.0_f64..120.0,
+        angle in -180.0_f64..180.0,
+        distance in 0.0_f64..10.0,
+        occupied in 0u32..=40,
+        class in arb_class(),
+    ) {
+        let facs = FacsController::new().unwrap();
+        let request = CallRequest::new(
+            CallId(0),
+            class,
+            CallKind::New,
+            MobilityInfo::new(speed, angle, distance),
+        );
+        let a = facs.evaluate(&request, &snapshot(occupied));
+        let b = facs.evaluate(&request, &snapshot(occupied));
+        prop_assert_eq!(a, b);
+    }
+
+    /// A fuller cell never makes the same request *more* welcome
+    /// (weak monotonicity with a small tolerance for centroid wobble).
+    #[test]
+    fn occupancy_monotonicity(
+        speed in 0.0_f64..120.0,
+        angle in -180.0_f64..180.0,
+        distance in 0.0_f64..10.0,
+        class in arb_class(),
+        occ_lo in 0u32..=40,
+        occ_hi in 0u32..=40,
+    ) {
+        prop_assume!(occ_lo < occ_hi);
+        let facs = FacsController::new().unwrap();
+        let request = CallRequest::new(
+            CallId(0),
+            class,
+            CallKind::New,
+            MobilityInfo::new(speed, angle, distance),
+        );
+        let lo = facs.evaluate(&request, &snapshot(occ_lo)).score;
+        let hi = facs.evaluate(&request, &snapshot(occ_hi)).score;
+        prop_assert!(hi <= lo + 0.15, "score rose with occupancy: {lo} -> {hi}");
+    }
+
+    /// The handoff bias only ever helps a handoff, never a new call.
+    #[test]
+    fn handoff_bias_is_directional(
+        speed in 0.0_f64..120.0,
+        angle in -180.0_f64..180.0,
+        distance in 0.0_f64..10.0,
+        occupied in 0u32..=40,
+        class in arb_class(),
+        bias_cents in 0i32..=50,
+    ) {
+        let bias = f64::from(bias_cents) / 100.0;
+        let facs = FacsController::with_config(FacsConfig {
+            handoff_bias: bias,
+            ..FacsConfig::default()
+        })
+        .unwrap();
+        let mobility = MobilityInfo::new(speed, angle, distance);
+        let new_call = CallRequest::new(CallId(0), class, CallKind::New, mobility);
+        let handoff = CallRequest::new(CallId(0), class, CallKind::Handoff, mobility);
+        let cell = snapshot(occupied);
+        let s_new = facs.evaluate(&new_call, &cell).score;
+        let s_handoff = facs.evaluate(&handoff, &cell).score;
+        prop_assert!(s_handoff + 1e-9 >= s_new);
+    }
+}

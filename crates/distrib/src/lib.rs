@@ -1,0 +1,26 @@
+//! # facs-distrib — a distributed runtime for cellular admission control
+//!
+//! The SCC paper describes base stations as autonomous peers exchanging
+//! probabilistic information; this crate makes that deployment real at
+//! process scale: **one actor per base station**, each owning its
+//! bandwidth ledger and admission controller (FACS, SCC or any
+//! [`facs_cac::AdmissionController`]), communicating exclusively through
+//! crossbeam channels.
+//!
+//! Because every controller in the workspace is deterministic over
+//! `(request, cell state)`, the actor runtime produces decisions
+//! identical to the in-process simulator for the same request sequence —
+//! the `distributed_equivalence` integration test asserts this, which
+//! validates both runtimes against each other.
+//!
+//! See [`Cluster`] for the API and a runnable example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod messages;
+
+pub use cluster::{Cluster, ClusterError};
+pub use messages::{AdmissionOutcome, BsMessage};

@@ -1,0 +1,43 @@
+//! The message protocol between the cluster front-end and base-station
+//! actors.
+
+use crossbeam::channel::Sender;
+use facs_cac::{BandwidthUnits, CallId, CallRequest, Decision};
+
+/// The outcome of an admission request processed by a BS actor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionOutcome {
+    /// Whether the call was admitted *and* its bandwidth allocated.
+    pub admitted: bool,
+    /// The controller's soft decision (may admit even when allocation
+    /// failed; `admitted` is authoritative).
+    pub decision: Decision,
+    /// The cell's occupancy after processing.
+    pub occupied_after: BandwidthUnits,
+}
+
+/// Messages a base-station actor processes, in arrival order.
+#[derive(Debug)]
+pub enum BsMessage {
+    /// Decide on (and, if admitted, allocate) a call.
+    Admission {
+        /// The request to decide.
+        request: CallRequest,
+        /// Where to send the outcome.
+        reply: Sender<AdmissionOutcome>,
+    },
+    /// Release a call's bandwidth (completion or outbound handoff).
+    /// Unknown calls are ignored (idempotent, like a real BS receiving a
+    /// duplicate teardown).
+    Release {
+        /// The call to release.
+        call: CallId,
+    },
+    /// Report current occupancy.
+    Occupancy {
+        /// Where to send the occupancy.
+        reply: Sender<BandwidthUnits>,
+    },
+    /// Drain and terminate.
+    Shutdown,
+}

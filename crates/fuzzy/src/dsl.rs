@@ -1,0 +1,430 @@
+//! A small textual rule language, so rule bases can live in config files:
+//!
+//! ```text
+//! # FRB1, rule 6 (paper Table 1)
+//! RULE r6: IF s IS sl AND a IS st AND d IS n THEN cv IS cv9
+//! IF cv IS g AND r IS vi AND cs IS f THEN ar IS reject WITH 1.0
+//! ```
+//!
+//! Grammar (case-insensitive keywords; one rule per line):
+//!
+//! ```text
+//! rule      := [ "RULE" ident ":" ] "IF" clauses "THEN" assigns [ "WITH" number ]
+//! clauses   := clause { ("AND" | "OR") clause }        // no mixing
+//! clause    := ident "IS" [ "NOT" ] ident
+//! assigns   := assign { "AND" assign }
+//! assign    := ident "IS" ident
+//! ```
+//!
+//! Lines that are empty or start with `#` or `//` are skipped.
+
+use crate::error::{FuzzyError, Result};
+use crate::rule::{Connective, Rule, RuleBuilder};
+
+/// Parses a whole rule script (one rule per non-comment line).
+///
+/// # Errors
+///
+/// Returns [`FuzzyError::Parse`] with line/column positions on the first
+/// malformed rule.
+///
+/// # Examples
+///
+/// ```
+/// use facs_fuzzy::parse_rules;
+///
+/// # fn main() -> Result<(), facs_fuzzy::FuzzyError> {
+/// let rules = parse_rules(
+///     "# mobility correction\n\
+///      IF s IS sl AND a IS st AND d IS n THEN cv IS cv9\n\
+///      IF s IS fa AND a IS b1 AND d IS f THEN cv IS cv1\n",
+/// )?;
+/// assert_eq!(rules.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_rules(text: &str) -> Result<Vec<Rule>> {
+    let mut rules = Vec::new();
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+            continue;
+        }
+        rules.push(parse_rule_line(line, line_no + 1)?);
+    }
+    Ok(rules)
+}
+
+/// Parses a single rule from one line of text.
+///
+/// # Errors
+///
+/// Returns [`FuzzyError::Parse`] describing the first token that did not
+/// match the grammar.
+pub fn parse_rule(line: &str) -> Result<Rule> {
+    parse_rule_line(line.trim(), 1)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    /// Keyword or identifier (already lowercased).
+    Word(String),
+    /// A numeric literal.
+    Number(f64),
+    /// The `:` after a rule label.
+    Colon,
+}
+
+struct Tokenizer<'a> {
+    rest: &'a str,
+    line: usize,
+    consumed: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(text: &'a str, line: usize) -> Self {
+        Self { rest: text, line, consumed: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> FuzzyError {
+        FuzzyError::Parse { line: self.line, column: self.consumed + 1, message: message.into() }
+    }
+
+    fn next_token(&mut self) -> Result<Option<(Token, usize)>> {
+        let trimmed = self.rest.trim_start();
+        self.consumed += self.rest.len() - trimmed.len();
+        self.rest = trimmed;
+        if self.rest.is_empty() {
+            return Ok(None);
+        }
+        let column = self.consumed + 1;
+        let mut chars = self.rest.chars();
+        let first = chars.next().expect("non-empty");
+        if first == ':' {
+            self.rest = &self.rest[1..];
+            self.consumed += 1;
+            return Ok(Some((Token::Colon, column)));
+        }
+        let is_word_char = |c: char| c.is_alphanumeric() || c == '_' || c == '.' || c == '-' || c == '+';
+        if !is_word_char(first) {
+            return Err(self.error(format!("unexpected character `{first}`")));
+        }
+        let end = self.rest.find(|c: char| !is_word_char(c)).unwrap_or(self.rest.len());
+        let word = &self.rest[..end];
+        self.rest = &self.rest[end..];
+        self.consumed += end;
+        // Numbers: anything that parses as f64 and starts with digit/sign/dot.
+        let starts_numeric =
+            first.is_ascii_digit() || first == '-' || first == '+' || first == '.';
+        if starts_numeric {
+            return match word.parse::<f64>() {
+                Ok(n) => Ok(Some((Token::Number(n), column))),
+                Err(_) => Err(self.error(format!("malformed number `{word}`"))),
+            };
+        }
+        Ok(Some((Token::Word(word.to_ascii_lowercase()), column)))
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    line: usize,
+}
+
+impl Parser {
+    fn error_at(&self, column: usize, message: impl Into<String>) -> FuzzyError {
+        FuzzyError::Parse { line: self.line, column, message: message.into() }
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> FuzzyError {
+        let column = self
+            .tokens
+            .get(self.pos)
+            .map(|&(_, c)| c)
+            .or_else(|| self.tokens.last().map(|&(_, c)| c))
+            .unwrap_or(1);
+        self.error_at(column, message)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn advance(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<()> {
+        match self.advance() {
+            Some(Token::Word(w)) if w == keyword => Ok(()),
+            Some(other) => {
+                let found = describe(other);
+                let column = self.tokens[self.pos - 1].1;
+                Err(self.error_at(column, format!("expected `{}`, found {found}", keyword.to_uppercase())))
+            }
+            None => Err(self.error_here(format!("expected `{}`, found end of line", keyword.to_uppercase()))),
+        }
+    }
+
+    fn expect_identifier(&mut self, what: &str) -> Result<String> {
+        match self.advance() {
+            Some(Token::Word(w)) if !is_keyword(w) => Ok(w.clone()),
+            Some(other) => {
+                let found = describe(other);
+                let column = self.tokens[self.pos - 1].1;
+                Err(self.error_at(column, format!("expected {what}, found {found}")))
+            }
+            None => Err(self.error_here(format!("expected {what}, found end of line"))),
+        }
+    }
+}
+
+fn is_keyword(word: &str) -> bool {
+    matches!(word, "if" | "then" | "and" | "or" | "is" | "not" | "with" | "rule")
+}
+
+fn describe(token: &Token) -> String {
+    match token {
+        Token::Word(w) => format!("`{w}`"),
+        Token::Number(n) => format!("number {n}"),
+        Token::Colon => "`:`".into(),
+    }
+}
+
+fn parse_rule_line(line: &str, line_no: usize) -> Result<Rule> {
+    let mut tokenizer = Tokenizer::new(line, line_no);
+    let mut tokens = Vec::new();
+    while let Some(tok) = tokenizer.next_token()? {
+        tokens.push(tok);
+    }
+    let mut parser = Parser { tokens, pos: 0, line: line_no };
+
+    // Optional "RULE label :" prefix.
+    let mut label = None;
+    if parser.peek() == Some(&Token::Word("rule".into())) {
+        parser.advance();
+        label = Some(parser.expect_identifier("rule label")?);
+        match parser.advance() {
+            Some(Token::Colon) => {}
+            _ => return Err(parser.error_here("expected `:` after rule label")),
+        }
+    }
+
+    parser.expect_keyword("if")?;
+
+    // First clause.
+    let (variable, term, negated) = parse_clause(&mut parser)?;
+    let mut builder: RuleBuilder = if negated {
+        Rule::when_not(variable, term)
+    } else {
+        Rule::when(variable, term)
+    };
+    if let Some(l) = label {
+        builder = builder.label(l);
+    }
+
+    // Further clauses until THEN.
+    let mut connective: Option<Connective> = None;
+    loop {
+        match parser.peek() {
+            Some(Token::Word(w)) if w == "then" => {
+                parser.advance();
+                break;
+            }
+            Some(Token::Word(w)) if w == "and" || w == "or" => {
+                let this = if w == "and" { Connective::And } else { Connective::Or };
+                if let Some(prev) = connective {
+                    if prev != this {
+                        return Err(parser.error_here("cannot mix AND and OR within one rule"));
+                    }
+                }
+                connective = Some(this);
+                parser.advance();
+                let (variable, term, negated) = parse_clause(&mut parser)?;
+                builder = match (this, negated) {
+                    (Connective::And, false) => builder.and(variable, term),
+                    (Connective::And, true) => builder.and_not(variable, term),
+                    (Connective::Or, false) => builder.or(variable, term),
+                    (Connective::Or, true) => builder.or_not(variable, term),
+                };
+            }
+            Some(_) => return Err(parser.error_here("expected `AND`, `OR` or `THEN`")),
+            None => return Err(parser.error_here("expected `THEN`, found end of line")),
+        }
+    }
+
+    // Consequents: assign { AND assign }.
+    let (variable, term) = parse_assign(&mut parser)?;
+    builder = builder.then(variable, term);
+    loop {
+        match parser.peek() {
+            Some(Token::Word(w)) if w == "and" => {
+                parser.advance();
+                let (variable, term) = parse_assign(&mut parser)?;
+                builder = builder.then(variable, term);
+            }
+            _ => break,
+        }
+    }
+
+    // Optional "WITH weight".
+    if let Some(Token::Word(w)) = parser.peek() {
+        if w == "with" {
+            parser.advance();
+            match parser.advance() {
+                Some(Token::Number(n)) => {
+                    let n = *n;
+                    builder = builder.weight(n);
+                }
+                _ => return Err(parser.error_here("expected a number after `WITH`")),
+            }
+        }
+    }
+
+    if parser.peek().is_some() {
+        return Err(parser.error_here("unexpected trailing tokens"));
+    }
+
+    builder.build().map_err(|e| FuzzyError::Parse {
+        line: line_no,
+        column: 1,
+        message: e.to_string(),
+    })
+}
+
+fn parse_clause(parser: &mut Parser) -> Result<(String, String, bool)> {
+    let variable = parser.expect_identifier("a variable name")?;
+    parser.expect_keyword("is")?;
+    let negated = if parser.peek() == Some(&Token::Word("not".into())) {
+        parser.advance();
+        true
+    } else {
+        false
+    };
+    let term = parser.expect_identifier("a term name")?;
+    Ok((variable, term, negated))
+}
+
+fn parse_assign(parser: &mut Parser) -> Result<(String, String)> {
+    let variable = parser.expect_identifier("an output variable name")?;
+    parser.expect_keyword("is")?;
+    let term = parser.expect_identifier("an output term name")?;
+    Ok((variable, term))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_rule() {
+        let rule = parse_rule("IF s IS sl AND a IS st AND d IS n THEN cv IS cv9").unwrap();
+        assert_eq!(rule.clauses().len(), 3);
+        assert_eq!(rule.connective(), Connective::And);
+        assert_eq!(rule.consequents()[0].variable(), "cv");
+        assert_eq!(rule.consequents()[0].term(), "cv9");
+    }
+
+    #[test]
+    fn parses_label_and_weight() {
+        let rule = parse_rule("RULE r6: IF s IS sl THEN cv IS cv9 WITH 0.75").unwrap();
+        assert_eq!(rule.label(), Some("r6"));
+        assert_eq!(rule.weight(), 0.75);
+    }
+
+    #[test]
+    fn parses_negation() {
+        let rule = parse_rule("IF s IS NOT sl THEN cv IS cv1").unwrap();
+        assert!(rule.clauses()[0].negated());
+    }
+
+    #[test]
+    fn parses_or_rules() {
+        let rule = parse_rule("IF a IS x OR b IS y THEN o IS t").unwrap();
+        assert_eq!(rule.connective(), Connective::Or);
+    }
+
+    #[test]
+    fn parses_multiple_consequents() {
+        let rule = parse_rule("IF a IS x THEN o1 IS t1 AND o2 IS t2").unwrap();
+        assert_eq!(rule.consequents().len(), 2);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let rule = parse_rule("if a is x then o is t").unwrap();
+        assert_eq!(rule.clauses()[0].variable(), "a");
+        let rule = parse_rule("If a Is x Then o iS t").unwrap();
+        assert_eq!(rule.consequents()[0].term(), "t");
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let rules = parse_rules(
+            "\n# comment\n// another\n   \nIF a IS x THEN o IS t\n\nIF b IS y THEN o IS u\n",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 2);
+    }
+
+    #[test]
+    fn error_positions_are_one_based() {
+        let err = parse_rules("IF a IS x THEN o IS t\nIF broken\n").unwrap_err();
+        match err {
+            FuzzyError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_mixed_connectives() {
+        let err = parse_rule("IF a IS x AND b IS y OR c IS z THEN o IS t").unwrap_err();
+        assert!(err.to_string().contains("mix"));
+    }
+
+    #[test]
+    fn rejects_missing_then() {
+        assert!(parse_rule("IF a IS x").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_if() {
+        assert!(parse_rule("a IS x THEN o IS t").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_rule("IF a IS x THEN o IS t banana").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_weight() {
+        assert!(parse_rule("IF a IS x THEN o IS t WITH banana").is_err());
+        assert!(parse_rule("IF a IS x THEN o IS t WITH 2.0").is_err());
+    }
+
+    #[test]
+    fn rejects_keyword_as_identifier() {
+        assert!(parse_rule("IF then IS x THEN o IS t").is_err());
+    }
+
+    #[test]
+    fn identifiers_may_contain_digits() {
+        let rule = parse_rule("IF cv IS cv3 AND a IS b1 THEN ar IS wa").unwrap();
+        assert_eq!(rule.clauses()[0].term(), "cv3");
+        assert_eq!(rule.clauses()[1].term(), "b1");
+    }
+
+    #[test]
+    fn round_trips_through_builder_equivalent() {
+        let parsed = parse_rule("IF s IS sl AND a IS st THEN cv IS cv9").unwrap();
+        let built = Rule::when("s", "sl").and("a", "st").then("cv", "cv9").build().unwrap();
+        assert_eq!(parsed.clauses(), built.clauses());
+        assert_eq!(parsed.consequents(), built.consequents());
+    }
+}

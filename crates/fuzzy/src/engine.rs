@@ -1,0 +1,908 @@
+//! The Mamdani inference engine: fuzzifier, inference, rule base, and
+//! defuzzifier composed behind one API (the FLC structure of paper Fig. 2).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::defuzz::{Defuzzifier, DEFAULT_RESOLUTION};
+use crate::error::{FuzzyError, Result};
+use crate::norms::{Implication, SNorm, TNorm};
+use crate::rule::{Connective, Rule, RuleBase};
+use crate::set::SampledSet;
+use crate::variable::Variable;
+
+/// Tunable operators of the inference pipeline.
+///
+/// The default configuration is the paper's: `min` conjunction, `max`
+/// disjunction, Mamdani clipping, `max` aggregation, centroid
+/// defuzzification over [`DEFAULT_RESOLUTION`] samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InferenceConfig {
+    /// Conjunction operator for `AND` antecedents.
+    pub tnorm: TNorm,
+    /// Disjunction operator for `OR` antecedents.
+    pub snorm: SNorm,
+    /// Implication operator shaping consequents.
+    pub implication: Implication,
+    /// Aggregation operator combining rule outputs.
+    pub aggregation: SNorm,
+    /// Defuzzification strategy.
+    pub defuzzifier: Defuzzifier,
+    /// Sample count for area-based defuzzifiers.
+    pub resolution: usize,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> Self {
+        Self {
+            tnorm: TNorm::Minimum,
+            snorm: SNorm::Maximum,
+            implication: Implication::Minimum,
+            aggregation: SNorm::Maximum,
+            defuzzifier: Defuzzifier::Centroid,
+            resolution: DEFAULT_RESOLUTION,
+        }
+    }
+}
+
+/// A rule with every name resolved to indices — built once, evaluated hot.
+#[derive(Debug, Clone)]
+struct CompiledRule {
+    clauses: Vec<CompiledClause>,
+    connective: Connective,
+    consequents: Vec<CompiledConsequent>,
+    weight: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CompiledClause {
+    input: usize,
+    term: usize,
+    negated: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CompiledConsequent {
+    output: usize,
+    term: usize,
+}
+
+/// One crisp output plus its supporting evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputValue {
+    name: String,
+    crisp: f64,
+    surface: Option<SampledSet>,
+}
+
+impl OutputValue {
+    /// The output variable name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The defuzzified crisp value.
+    #[must_use]
+    pub fn crisp(&self) -> f64 {
+        self.crisp
+    }
+
+    /// The aggregated fuzzy surface this value was defuzzified from
+    /// (`None` under the weighted-average strategy, which skips it).
+    #[must_use]
+    pub fn surface(&self) -> Option<&SampledSet> {
+        self.surface.as_ref()
+    }
+}
+
+/// The result of one inference pass: crisp outputs plus per-rule firing
+/// strengths (exposed per C-INTERMEDIATE so callers can audit decisions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    outputs: Vec<OutputValue>,
+    firings: Vec<f64>,
+}
+
+impl Outcome {
+    /// Crisp value of the named output, if it exists.
+    #[must_use]
+    pub fn crisp(&self, name: &str) -> Option<f64> {
+        let lower = name.to_ascii_lowercase();
+        self.outputs.iter().find(|o| o.name == lower).map(|o| o.crisp)
+    }
+
+    /// Full [`OutputValue`] of the named output.
+    #[must_use]
+    pub fn output(&self, name: &str) -> Option<&OutputValue> {
+        let lower = name.to_ascii_lowercase();
+        self.outputs.iter().find(|o| o.name == lower)
+    }
+
+    /// All outputs in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[OutputValue] {
+        &self.outputs
+    }
+
+    /// Firing strength of every rule, in rule-base order.
+    #[must_use]
+    pub fn firing_strengths(&self) -> &[f64] {
+        &self.firings
+    }
+
+    /// Index and strength of the strongest-firing rule, or `None` when
+    /// nothing fired.
+    #[must_use]
+    pub fn dominant_rule(&self) -> Option<(usize, f64)> {
+        self.firings
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, s)| s > 0.0)
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+/// A compiled Mamdani fuzzy-logic controller.
+///
+/// Build with [`Engine::builder`]; evaluate with [`Engine::evaluate`] (or
+/// [`Engine::evaluate_single`] when there is exactly one output):
+///
+/// ```
+/// use facs_fuzzy::{Engine, MembershipFunction, Rule, Variable};
+///
+/// # fn main() -> Result<(), facs_fuzzy::FuzzyError> {
+/// let service = Variable::builder("service", 0.0, 10.0)
+///     .term("poor", MembershipFunction::triangular(0.0, 0.0, 5.0)?)
+///     .term("good", MembershipFunction::triangular(5.0, 5.0, 5.0)?)
+///     .term("excellent", MembershipFunction::triangular(10.0, 5.0, 0.0)?)
+///     .build()?;
+/// let tip = Variable::builder("tip", 0.0, 30.0)
+///     .term("low", MembershipFunction::triangular(5.0, 5.0, 5.0)?)
+///     .term("medium", MembershipFunction::triangular(15.0, 5.0, 5.0)?)
+///     .term("high", MembershipFunction::triangular(25.0, 5.0, 5.0)?)
+///     .build()?;
+/// let engine = Engine::builder()
+///     .input(service)
+///     .output(tip)
+///     .rule(Rule::when("service", "poor").then("tip", "low").build()?)
+///     .rule(Rule::when("service", "good").then("tip", "medium").build()?)
+///     .rule(Rule::when("service", "excellent").then("tip", "high").build()?)
+///     .build()?;
+/// let tip = engine.evaluate_single(&[("service", 10.0)])?;
+/// assert!(tip > 20.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    inputs: Vec<Variable>,
+    outputs: Vec<Variable>,
+    input_index: HashMap<String, usize>,
+    output_index: HashMap<String, usize>,
+    rule_base: RuleBase,
+    compiled: Vec<CompiledRule>,
+    fallbacks: HashMap<usize, f64>,
+    config: InferenceConfig,
+}
+
+impl Engine {
+    /// Starts building an engine.
+    #[must_use]
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// The input variables, in declaration order.
+    #[must_use]
+    pub fn inputs(&self) -> &[Variable] {
+        &self.inputs
+    }
+
+    /// The output variables, in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[Variable] {
+        &self.outputs
+    }
+
+    /// The rule base the engine was compiled from.
+    #[must_use]
+    pub fn rule_base(&self) -> &RuleBase {
+        &self.rule_base
+    }
+
+    /// Looks an input variable up by (case-insensitive) name.
+    #[must_use]
+    pub fn input_variable(&self, name: &str) -> Option<&Variable> {
+        self.input_index.get(&name.to_ascii_lowercase()).map(|&i| &self.inputs[i])
+    }
+
+    /// Looks an output variable up by (case-insensitive) name.
+    #[must_use]
+    pub fn output_variable(&self, name: &str) -> Option<&Variable> {
+        self.output_index.get(&name.to_ascii_lowercase()).map(|&i| &self.outputs[i])
+    }
+
+    /// The inference configuration.
+    #[must_use]
+    pub fn config(&self) -> &InferenceConfig {
+        &self.config
+    }
+
+    /// Runs one inference pass.
+    ///
+    /// `values` pairs input-variable names with crisp readings; order does
+    /// not matter and names are case-insensitive. Readings are clamped into
+    /// each variable's universe.
+    ///
+    /// # Errors
+    ///
+    /// * [`FuzzyError::UnknownVariable`] — a supplied name is not an input;
+    /// * [`FuzzyError::MissingInput`] — an input variable got no value;
+    /// * [`FuzzyError::NonFiniteInput`] — a value is NaN or infinite;
+    /// * [`FuzzyError::NoRuleFired`] — an output received no rule mass and
+    ///   has no fallback configured.
+    pub fn evaluate(&self, values: &[(&str, f64)]) -> Result<Outcome> {
+        let readings = self.gather_inputs(values)?;
+        let memberships = self.fuzzify(&readings);
+        let firings = self.fire_rules(&memberships);
+        let outputs = self.infer_outputs(&firings)?;
+        Ok(Outcome { outputs, firings })
+    }
+
+    /// Like [`Engine::evaluate`] but returns the single output's crisp
+    /// value directly.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::evaluate`]. Additionally returns an error if the engine
+    /// has more than one output (use `evaluate` there).
+    pub fn evaluate_single(&self, values: &[(&str, f64)]) -> Result<f64> {
+        if self.outputs.len() != 1 {
+            return Err(FuzzyError::InvalidMembership {
+                reason: format!(
+                    "evaluate_single requires exactly one output (engine has {})",
+                    self.outputs.len()
+                ),
+            });
+        }
+        let outcome = self.evaluate(values)?;
+        Ok(outcome.outputs[0].crisp)
+    }
+
+    fn gather_inputs(&self, values: &[(&str, f64)]) -> Result<Vec<f64>> {
+        let mut slots: Vec<Option<f64>> = vec![None; self.inputs.len()];
+        for &(name, value) in values {
+            let lower = name.to_ascii_lowercase();
+            let idx = self
+                .input_index
+                .get(&lower)
+                .copied()
+                .ok_or_else(|| FuzzyError::UnknownVariable { variable: lower.clone() })?;
+            if !value.is_finite() {
+                return Err(FuzzyError::NonFiniteInput { variable: lower, value });
+            }
+            slots[idx] = Some(self.inputs[idx].clamp(value));
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.ok_or_else(|| FuzzyError::MissingInput {
+                    variable: self.inputs[i].name().to_owned(),
+                })
+            })
+            .collect()
+    }
+
+    /// Membership of each reading in each term: `memberships[input][term]`.
+    fn fuzzify(&self, readings: &[f64]) -> Vec<Vec<f64>> {
+        self.inputs
+            .iter()
+            .zip(readings)
+            .map(|(var, &x)| var.terms().iter().map(|t| t.membership(x)).collect())
+            .collect()
+    }
+
+    /// Firing strength per rule: connective fold over clause memberships,
+    /// scaled by the rule weight.
+    fn fire_rules(&self, memberships: &[Vec<f64>]) -> Vec<f64> {
+        self.compiled
+            .iter()
+            .map(|rule| {
+                let mut degrees = rule.clauses.iter().map(|c| {
+                    let mu = memberships[c.input][c.term];
+                    if c.negated {
+                        1.0 - mu
+                    } else {
+                        mu
+                    }
+                });
+                let strength = match rule.connective {
+                    Connective::And => {
+                        let first = degrees.next().unwrap_or(1.0);
+                        degrees.fold(first, |acc, d| self.config.tnorm.apply(acc, d))
+                    }
+                    Connective::Or => {
+                        let first = degrees.next().unwrap_or(0.0);
+                        degrees.fold(first, |acc, d| self.config.snorm.apply(acc, d))
+                    }
+                };
+                strength * rule.weight
+            })
+            .collect()
+    }
+
+    fn infer_outputs(&self, firings: &[f64]) -> Result<Vec<OutputValue>> {
+        let mut outputs = Vec::with_capacity(self.outputs.len());
+        for (out_idx, var) in self.outputs.iter().enumerate() {
+            let value = if self.config.defuzzifier.needs_surface() {
+                self.defuzzify_surface(out_idx, var, firings)?
+            } else {
+                self.defuzzify_weighted(out_idx, var, firings)?
+            };
+            outputs.push(value);
+        }
+        Ok(outputs)
+    }
+
+    fn defuzzify_surface(
+        &self,
+        out_idx: usize,
+        var: &Variable,
+        firings: &[f64],
+    ) -> Result<OutputValue> {
+        let mut surface = SampledSet::empty(var.min(), var.max(), self.config.resolution)?;
+        let samples = surface.len();
+        let mut any_mass = false;
+        for (rule, &strength) in self.compiled.iter().zip(firings) {
+            if strength <= 0.0 {
+                continue;
+            }
+            for consequent in &rule.consequents {
+                if consequent.output != out_idx {
+                    continue;
+                }
+                any_mass = true;
+                let mf = var.terms()[consequent.term].function();
+                let contribution = SampledSet::from_fn(var.min(), var.max(), samples, |x| {
+                    self.config.implication.apply(strength, mf.evaluate(x))
+                })?;
+                surface.merge_with(&contribution, |a, b| self.config.aggregation.apply(a, b));
+            }
+        }
+        if !any_mass {
+            return match self.fallbacks.get(&out_idx) {
+                Some(&fallback) => Ok(OutputValue {
+                    name: var.name().to_owned(),
+                    crisp: fallback,
+                    surface: Some(surface),
+                }),
+                None => Err(FuzzyError::NoRuleFired { variable: var.name().to_owned() }),
+            };
+        }
+        let crisp = self.config.defuzzifier.crisp(&surface).map_err(|e| match e {
+            FuzzyError::NoRuleFired { .. } => {
+                FuzzyError::NoRuleFired { variable: var.name().to_owned() }
+            }
+            other => other,
+        })?;
+        Ok(OutputValue { name: var.name().to_owned(), crisp, surface: Some(surface) })
+    }
+
+    fn defuzzify_weighted(
+        &self,
+        out_idx: usize,
+        var: &Variable,
+        firings: &[f64],
+    ) -> Result<OutputValue> {
+        let mut activations = Vec::new();
+        for (rule, &strength) in self.compiled.iter().zip(firings) {
+            if strength <= 0.0 {
+                continue;
+            }
+            for consequent in &rule.consequents {
+                if consequent.output == out_idx {
+                    let representative = var.terms()[consequent.term].function().representative();
+                    activations.push((strength, representative));
+                }
+            }
+        }
+        match self.config.defuzzifier.crisp_from_activations(&activations) {
+            Ok(crisp) => Ok(OutputValue {
+                name: var.name().to_owned(),
+                crisp: crisp.clamp(var.min(), var.max()),
+                surface: None,
+            }),
+            Err(FuzzyError::NoRuleFired { .. }) => match self.fallbacks.get(&out_idx) {
+                Some(&fallback) => {
+                    Ok(OutputValue { name: var.name().to_owned(), crisp: fallback, surface: None })
+                }
+                None => Err(FuzzyError::NoRuleFired { variable: var.name().to_owned() }),
+            },
+            Err(other) => Err(other),
+        }
+    }
+}
+
+/// Builder for [`Engine`].
+#[derive(Debug, Default)]
+pub struct EngineBuilder {
+    inputs: Vec<Variable>,
+    outputs: Vec<Variable>,
+    rules: RuleBase,
+    fallbacks: Vec<(String, f64)>,
+    config: InferenceConfig,
+}
+
+impl EngineBuilder {
+    /// Adds an input variable.
+    #[must_use]
+    pub fn input(mut self, variable: Variable) -> Self {
+        self.inputs.push(variable);
+        self
+    }
+
+    /// Adds an output variable.
+    #[must_use]
+    pub fn output(mut self, variable: Variable) -> Self {
+        self.outputs.push(variable);
+        self
+    }
+
+    /// Appends one rule.
+    #[must_use]
+    pub fn rule(mut self, rule: Rule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Appends every rule of `rules`.
+    #[must_use]
+    pub fn rules(mut self, rules: impl IntoIterator<Item = Rule>) -> Self {
+        self.rules.extend(rules);
+        self
+    }
+
+    /// Sets a crisp fallback for an output when no rule fires (instead of
+    /// an [`FuzzyError::NoRuleFired`] error).
+    #[must_use]
+    pub fn fallback(mut self, output: impl Into<String>, value: f64) -> Self {
+        self.fallbacks.push((output.into().to_ascii_lowercase(), value));
+        self
+    }
+
+    /// Replaces the whole inference configuration.
+    #[must_use]
+    pub fn config(mut self, config: InferenceConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the conjunction T-norm.
+    #[must_use]
+    pub fn tnorm(mut self, tnorm: TNorm) -> Self {
+        self.config.tnorm = tnorm;
+        self
+    }
+
+    /// Sets the disjunction S-norm.
+    #[must_use]
+    pub fn snorm(mut self, snorm: SNorm) -> Self {
+        self.config.snorm = snorm;
+        self
+    }
+
+    /// Sets the implication operator.
+    #[must_use]
+    pub fn implication(mut self, implication: Implication) -> Self {
+        self.config.implication = implication;
+        self
+    }
+
+    /// Sets the aggregation operator.
+    #[must_use]
+    pub fn aggregation(mut self, aggregation: SNorm) -> Self {
+        self.config.aggregation = aggregation;
+        self
+    }
+
+    /// Sets the defuzzification strategy.
+    #[must_use]
+    pub fn defuzzifier(mut self, defuzzifier: Defuzzifier) -> Self {
+        self.config.defuzzifier = defuzzifier;
+        self
+    }
+
+    /// Sets the defuzzifier sample resolution.
+    #[must_use]
+    pub fn resolution(mut self, resolution: usize) -> Self {
+        self.config.resolution = resolution;
+        self
+    }
+
+    /// Compiles and validates the engine.
+    ///
+    /// # Errors
+    ///
+    /// * [`FuzzyError::DuplicateVariable`] — a name used twice across
+    ///   inputs and outputs;
+    /// * [`FuzzyError::EmptyRuleBase`] — no rules;
+    /// * [`FuzzyError::UnknownVariable`] / [`FuzzyError::UnknownTerm`] — a
+    ///   rule references something undeclared;
+    /// * [`FuzzyError::InvalidResolution`] — resolution below 2.
+    pub fn build(self) -> Result<Engine> {
+        if self.config.resolution < 2 {
+            return Err(FuzzyError::InvalidResolution { samples: self.config.resolution });
+        }
+        let mut input_index = HashMap::new();
+        for (i, v) in self.inputs.iter().enumerate() {
+            if input_index.insert(v.name().to_owned(), i).is_some() {
+                return Err(FuzzyError::DuplicateVariable { variable: v.name().to_owned() });
+            }
+        }
+        let mut output_index = HashMap::new();
+        for (i, v) in self.outputs.iter().enumerate() {
+            if input_index.contains_key(v.name())
+                || output_index.insert(v.name().to_owned(), i).is_some()
+            {
+                return Err(FuzzyError::DuplicateVariable { variable: v.name().to_owned() });
+            }
+        }
+        if self.rules.is_empty() {
+            return Err(FuzzyError::EmptyRuleBase);
+        }
+
+        let mut compiled = Vec::with_capacity(self.rules.len());
+        for rule in self.rules.iter() {
+            let mut clauses = Vec::with_capacity(rule.clauses().len());
+            for clause in rule.clauses() {
+                let input = *input_index.get(clause.variable()).ok_or_else(|| {
+                    FuzzyError::UnknownVariable { variable: clause.variable().to_owned() }
+                })?;
+                let term = self.inputs[input].term_index(clause.term()).ok_or_else(|| {
+                    FuzzyError::UnknownTerm {
+                        variable: clause.variable().to_owned(),
+                        term: clause.term().to_owned(),
+                    }
+                })?;
+                clauses.push(CompiledClause { input, term, negated: clause.negated() });
+            }
+            let mut consequents = Vec::with_capacity(rule.consequents().len());
+            for consequent in rule.consequents() {
+                let output = *output_index.get(consequent.variable()).ok_or_else(|| {
+                    FuzzyError::UnknownVariable { variable: consequent.variable().to_owned() }
+                })?;
+                let term =
+                    self.outputs[output].term_index(consequent.term()).ok_or_else(|| {
+                        FuzzyError::UnknownTerm {
+                            variable: consequent.variable().to_owned(),
+                            term: consequent.term().to_owned(),
+                        }
+                    })?;
+                consequents.push(CompiledConsequent { output, term });
+            }
+            compiled.push(CompiledRule {
+                clauses,
+                connective: rule.connective(),
+                consequents,
+                weight: rule.weight(),
+            });
+        }
+
+        let mut fallbacks = HashMap::new();
+        for (name, value) in self.fallbacks {
+            let idx = *output_index
+                .get(&name)
+                .ok_or(FuzzyError::UnknownVariable { variable: name })?;
+            fallbacks.insert(idx, value);
+        }
+
+        Ok(Engine {
+            inputs: self.inputs,
+            outputs: self.outputs,
+            input_index,
+            output_index,
+            rule_base: self.rules,
+            compiled,
+            fallbacks,
+            config: self.config,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::membership::MembershipFunction;
+
+    fn tri(c: f64, l: f64, r: f64) -> MembershipFunction {
+        MembershipFunction::triangular(c, l, r).unwrap()
+    }
+
+    fn tipper() -> Engine {
+        let service = Variable::builder("service", 0.0, 10.0)
+            .term("poor", tri(0.0, 0.0, 5.0))
+            .term("good", tri(5.0, 5.0, 5.0))
+            .term("excellent", tri(10.0, 5.0, 0.0))
+            .build()
+            .unwrap();
+        let food = Variable::builder("food", 0.0, 10.0)
+            .term("rancid", tri(0.0, 0.0, 5.0))
+            .term("delicious", tri(10.0, 5.0, 0.0))
+            .build()
+            .unwrap();
+        let tip = Variable::builder("tip", 0.0, 30.0)
+            .term("low", tri(5.0, 5.0, 5.0))
+            .term("medium", tri(15.0, 5.0, 5.0))
+            .term("high", tri(25.0, 5.0, 5.0))
+            .build()
+            .unwrap();
+        Engine::builder()
+            .input(service)
+            .input(food)
+            .output(tip)
+            .rule(Rule::when("service", "poor").or("food", "rancid").then("tip", "low").build().unwrap())
+            .rule(Rule::when("service", "good").then("tip", "medium").build().unwrap())
+            .rule(
+                Rule::when("service", "excellent")
+                    .or("food", "delicious")
+                    .then("tip", "high")
+                    .build()
+                    .unwrap(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn tipper_extremes() {
+        let engine = tipper();
+        let low = engine.evaluate_single(&[("service", 0.0), ("food", 0.0)]).unwrap();
+        let high = engine.evaluate_single(&[("service", 10.0), ("food", 10.0)]).unwrap();
+        assert!(low < 8.0, "terrible service should tip low, got {low}");
+        assert!(high > 22.0, "excellent service should tip high, got {high}");
+    }
+
+    #[test]
+    fn tipper_midpoint_is_medium() {
+        let engine = tipper();
+        let mid = engine.evaluate_single(&[("service", 5.0), ("food", 5.0)]).unwrap();
+        assert!((mid - 15.0).abs() < 2.0, "mid service should tip ~15, got {mid}");
+    }
+
+    #[test]
+    fn input_order_does_not_matter() {
+        let engine = tipper();
+        let a = engine.evaluate_single(&[("service", 7.0), ("food", 3.0)]).unwrap();
+        let b = engine.evaluate_single(&[("food", 3.0), ("service", 7.0)]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names_are_case_insensitive() {
+        let engine = tipper();
+        let a = engine.evaluate_single(&[("SERVICE", 7.0), ("Food", 3.0)]).unwrap();
+        let b = engine.evaluate_single(&[("service", 7.0), ("food", 3.0)]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn missing_input_is_an_error() {
+        let engine = tipper();
+        let err = engine.evaluate(&[("service", 5.0)]).unwrap_err();
+        assert_eq!(err, FuzzyError::MissingInput { variable: "food".into() });
+    }
+
+    #[test]
+    fn unknown_input_is_an_error() {
+        let engine = tipper();
+        let err = engine.evaluate(&[("service", 5.0), ("food", 5.0), ("mood", 5.0)]).unwrap_err();
+        assert_eq!(err, FuzzyError::UnknownVariable { variable: "mood".into() });
+    }
+
+    #[test]
+    fn non_finite_input_is_an_error() {
+        let engine = tipper();
+        let err = engine.evaluate(&[("service", f64::NAN), ("food", 5.0)]).unwrap_err();
+        assert!(matches!(err, FuzzyError::NonFiniteInput { .. }));
+    }
+
+    #[test]
+    fn out_of_universe_inputs_are_clamped() {
+        let engine = tipper();
+        let a = engine.evaluate_single(&[("service", 100.0), ("food", 10.0)]).unwrap();
+        let b = engine.evaluate_single(&[("service", 10.0), ("food", 10.0)]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn firing_strengths_are_exposed() {
+        let engine = tipper();
+        let outcome = engine.evaluate(&[("service", 10.0), ("food", 10.0)]).unwrap();
+        let firings = outcome.firing_strengths();
+        assert_eq!(firings.len(), 3);
+        assert_eq!(firings[0], 0.0);
+        assert_eq!(firings[2], 1.0);
+        assert_eq!(outcome.dominant_rule(), Some((2, 1.0)));
+    }
+
+    #[test]
+    fn surface_is_available_for_centroid() {
+        let engine = tipper();
+        let outcome = engine.evaluate(&[("service", 5.0), ("food", 5.0)]).unwrap();
+        let out = outcome.output("tip").unwrap();
+        assert!(out.surface().is_some());
+        assert!(out.surface().unwrap().height() > 0.0);
+    }
+
+    #[test]
+    fn weighted_average_skips_surface() {
+        let service = Variable::builder("service", 0.0, 10.0)
+            .term("poor", tri(0.0, 0.0, 10.0))
+            .term("excellent", tri(10.0, 10.0, 0.0))
+            .build()
+            .unwrap();
+        let tip = Variable::builder("tip", 0.0, 30.0)
+            .term("low", tri(5.0, 5.0, 5.0))
+            .term("high", tri(25.0, 5.0, 5.0))
+            .build()
+            .unwrap();
+        let engine = Engine::builder()
+            .input(service)
+            .output(tip)
+            .rule(Rule::when("service", "poor").then("tip", "low").build().unwrap())
+            .rule(Rule::when("service", "excellent").then("tip", "high").build().unwrap())
+            .defuzzifier(Defuzzifier::WeightedAverage)
+            .build()
+            .unwrap();
+        let outcome = engine.evaluate(&[("service", 5.0)]).unwrap();
+        let out = outcome.output("tip").unwrap();
+        assert!(out.surface().is_none());
+        assert!((out.crisp() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rule_weight_shifts_output() {
+        let make = |weight: f64| {
+            let x = Variable::builder("x", 0.0, 1.0)
+                .term("any", MembershipFunction::trapezoidal(0.0, 1.0, 0.0, 0.0).unwrap())
+                .build()
+                .unwrap();
+            let y = Variable::builder("y", 0.0, 10.0)
+                .term("low", tri(2.0, 2.0, 2.0))
+                .term("high", tri(8.0, 2.0, 2.0))
+                .build()
+                .unwrap();
+            Engine::builder()
+                .input(x)
+                .output(y)
+                .rule(Rule::when("x", "any").then("y", "low").build().unwrap())
+                .rule(Rule::when("x", "any").then("y", "high").weight(weight).build().unwrap())
+                .build()
+                .unwrap()
+        };
+        let balanced = make(1.0).evaluate_single(&[("x", 0.5)]).unwrap();
+        let suppressed = make(0.2).evaluate_single(&[("x", 0.5)]).unwrap();
+        assert!(suppressed < balanced, "{suppressed} !< {balanced}");
+    }
+
+    #[test]
+    fn no_rule_fired_without_fallback_errors() {
+        let x = Variable::builder("x", 0.0, 10.0)
+            .term("left", tri(0.0, 0.0, 2.0))
+            .build()
+            .unwrap();
+        let y = Variable::builder("y", 0.0, 1.0)
+            .term("t", tri(0.5, 0.5, 0.5))
+            .build()
+            .unwrap();
+        let engine = Engine::builder()
+            .input(x)
+            .output(y)
+            .rule(Rule::when("x", "left").then("y", "t").build().unwrap())
+            .build()
+            .unwrap();
+        let err = engine.evaluate(&[("x", 9.0)]).unwrap_err();
+        assert_eq!(err, FuzzyError::NoRuleFired { variable: "y".into() });
+    }
+
+    #[test]
+    fn fallback_replaces_no_rule_fired() {
+        let x = Variable::builder("x", 0.0, 10.0)
+            .term("left", tri(0.0, 0.0, 2.0))
+            .build()
+            .unwrap();
+        let y = Variable::builder("y", 0.0, 1.0)
+            .term("t", tri(0.5, 0.5, 0.5))
+            .build()
+            .unwrap();
+        let engine = Engine::builder()
+            .input(x)
+            .output(y)
+            .rule(Rule::when("x", "left").then("y", "t").build().unwrap())
+            .fallback("y", 0.25)
+            .build()
+            .unwrap();
+        assert_eq!(engine.evaluate(&[("x", 9.0)]).unwrap().crisp("y"), Some(0.25));
+    }
+
+    #[test]
+    fn build_rejects_unknown_rule_references() {
+        let x = Variable::builder("x", 0.0, 1.0).term("t", tri(0.5, 0.5, 0.5)).build().unwrap();
+        let y = Variable::builder("y", 0.0, 1.0).term("t", tri(0.5, 0.5, 0.5)).build().unwrap();
+        // Unknown variable in antecedent.
+        let err = Engine::builder()
+            .input(x.clone())
+            .output(y.clone())
+            .rule(Rule::when("z", "t").then("y", "t").build().unwrap())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, FuzzyError::UnknownVariable { .. }));
+        // Unknown term in consequent.
+        let err = Engine::builder()
+            .input(x)
+            .output(y)
+            .rule(Rule::when("x", "t").then("y", "missing").build().unwrap())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, FuzzyError::UnknownTerm { .. }));
+    }
+
+    #[test]
+    fn build_rejects_duplicate_and_empty() {
+        let x = Variable::builder("x", 0.0, 1.0).term("t", tri(0.5, 0.5, 0.5)).build().unwrap();
+        let err = Engine::builder().input(x.clone()).input(x.clone()).build().unwrap_err();
+        assert!(matches!(err, FuzzyError::DuplicateVariable { .. }));
+        let err = Engine::builder().input(x.clone()).output(x.clone()).build().unwrap_err();
+        assert!(matches!(err, FuzzyError::DuplicateVariable { .. }));
+        let err = Engine::builder().input(x.clone()).build().unwrap_err();
+        assert_eq!(err, FuzzyError::EmptyRuleBase);
+    }
+
+    #[test]
+    fn evaluate_single_rejects_multi_output() {
+        let x = Variable::builder("x", 0.0, 1.0).term("t", tri(0.5, 0.5, 0.5)).build().unwrap();
+        let y1 = Variable::builder("y1", 0.0, 1.0).term("t", tri(0.5, 0.5, 0.5)).build().unwrap();
+        let y2 = Variable::builder("y2", 0.0, 1.0).term("t", tri(0.5, 0.5, 0.5)).build().unwrap();
+        let engine = Engine::builder()
+            .input(x)
+            .output(y1)
+            .output(y2)
+            .rule(Rule::when("x", "t").then("y1", "t").then("y2", "t").build().unwrap())
+            .build()
+            .unwrap();
+        assert!(engine.evaluate_single(&[("x", 0.5)]).is_err());
+        let outcome = engine.evaluate(&[("x", 0.5)]).unwrap();
+        assert_eq!(outcome.outputs().len(), 2);
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+    }
+
+    #[test]
+    fn product_implication_gives_smoother_surface() {
+        let engine_min = tipper();
+        let mut config = *engine_min.config();
+        config.implication = Implication::Product;
+        // Rebuild with product implication.
+        let engine_prod = Engine::builder()
+            .input(engine_min.inputs()[0].clone())
+            .input(engine_min.inputs()[1].clone())
+            .output(engine_min.outputs()[0].clone())
+            .rules(engine_min.rule_base().clone())
+            .config(config)
+            .build()
+            .unwrap();
+        let a = engine_min.evaluate_single(&[("service", 6.5), ("food", 4.0)]).unwrap();
+        let b = engine_prod.evaluate_single(&[("service", 6.5), ("food", 4.0)]).unwrap();
+        // Same ballpark, different operator: both sane tips.
+        assert!((a - b).abs() < 5.0);
+        assert!(a > 5.0 && a < 25.0 && b > 5.0 && b < 25.0);
+    }
+}

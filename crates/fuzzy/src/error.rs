@@ -1,0 +1,183 @@
+//! Error types for the fuzzy-inference engine.
+
+use std::fmt;
+
+/// Errors produced while building or evaluating a fuzzy system.
+///
+/// Every public fallible operation in this crate returns this type. The
+/// variants carry enough context (names, indices, values) to diagnose a
+/// mis-built system without a debugger.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FuzzyError {
+    /// A membership-function parameter was invalid (e.g. a non-positive
+    /// width, or a trapezoid whose shoulders are out of order).
+    InvalidMembership {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A universe of discourse was empty or inverted (`min >= max`) or
+    /// contained a non-finite bound.
+    InvalidUniverse {
+        /// Lower bound supplied by the caller.
+        min: f64,
+        /// Upper bound supplied by the caller.
+        max: f64,
+    },
+    /// A variable was declared with no linguistic terms.
+    EmptyTermSet {
+        /// Name of the offending variable.
+        variable: String,
+    },
+    /// Two terms of the same variable share a name.
+    DuplicateTerm {
+        /// Name of the variable that owns the terms.
+        variable: String,
+        /// The duplicated term name.
+        term: String,
+    },
+    /// Two variables in the same engine share a name.
+    DuplicateVariable {
+        /// The duplicated variable name.
+        variable: String,
+    },
+    /// A rule referenced a variable that the engine does not know.
+    UnknownVariable {
+        /// The missing variable name.
+        variable: String,
+    },
+    /// A rule referenced a term that the named variable does not define.
+    UnknownTerm {
+        /// The variable whose term set was searched.
+        variable: String,
+        /// The missing term name.
+        term: String,
+    },
+    /// An input value was not supplied for a variable the rule base reads.
+    MissingInput {
+        /// The variable with no value.
+        variable: String,
+    },
+    /// An input value was non-finite (NaN or infinite).
+    NonFiniteInput {
+        /// The variable the value was supplied for.
+        variable: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// The rule base is empty, so inference cannot produce an output.
+    EmptyRuleBase,
+    /// No rule fired with non-zero strength and the defuzzifier has no
+    /// fallback, so the output is undefined.
+    NoRuleFired {
+        /// The output variable whose fuzzy set stayed empty.
+        variable: String,
+    },
+    /// A rule weight was outside `[0, 1]`.
+    InvalidWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// The textual rule DSL failed to parse.
+    Parse {
+        /// 1-based line number of the offending rule text.
+        line: usize,
+        /// Byte-offset column within the line (1-based, best effort).
+        column: usize,
+        /// Description of what was expected vs. found.
+        message: String,
+    },
+    /// The requested defuzzifier resolution was too small to integrate.
+    InvalidResolution {
+        /// The rejected sample count.
+        samples: usize,
+    },
+}
+
+impl fmt::Display for FuzzyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzyError::InvalidMembership { reason } => {
+                write!(f, "invalid membership function: {reason}")
+            }
+            FuzzyError::InvalidUniverse { min, max } => {
+                write!(f, "invalid universe of discourse [{min}, {max}]")
+            }
+            FuzzyError::EmptyTermSet { variable } => {
+                write!(f, "variable `{variable}` has no linguistic terms")
+            }
+            FuzzyError::DuplicateTerm { variable, term } => {
+                write!(f, "variable `{variable}` defines term `{term}` twice")
+            }
+            FuzzyError::DuplicateVariable { variable } => {
+                write!(f, "variable `{variable}` declared twice")
+            }
+            FuzzyError::UnknownVariable { variable } => {
+                write!(f, "rule references unknown variable `{variable}`")
+            }
+            FuzzyError::UnknownTerm { variable, term } => {
+                write!(f, "variable `{variable}` has no term named `{term}`")
+            }
+            FuzzyError::MissingInput { variable } => {
+                write!(f, "no input value supplied for variable `{variable}`")
+            }
+            FuzzyError::NonFiniteInput { variable, value } => {
+                write!(f, "non-finite input {value} for variable `{variable}`")
+            }
+            FuzzyError::EmptyRuleBase => write!(f, "rule base is empty"),
+            FuzzyError::NoRuleFired { variable } => {
+                write!(f, "no rule fired for output variable `{variable}`")
+            }
+            FuzzyError::InvalidWeight { weight } => {
+                write!(f, "rule weight {weight} outside [0, 1]")
+            }
+            FuzzyError::Parse { line, column, message } => {
+                write!(f, "rule parse error at {line}:{column}: {message}")
+            }
+            FuzzyError::InvalidResolution { samples } => {
+                write!(f, "defuzzifier resolution {samples} too small (need >= 2 samples)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FuzzyError {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, FuzzyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = FuzzyError::UnknownTerm { variable: "speed".into(), term: "warp".into() };
+        let msg = err.to_string();
+        assert!(msg.contains("speed"));
+        assert!(msg.contains("warp"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<FuzzyError>();
+    }
+
+    #[test]
+    fn parse_error_reports_position() {
+        let err = FuzzyError::Parse { line: 3, column: 14, message: "expected IS".into() };
+        assert_eq!(err.to_string(), "rule parse error at 3:14: expected IS");
+    }
+
+    #[test]
+    fn variants_compare_by_value() {
+        let a = FuzzyError::EmptyRuleBase;
+        let b = FuzzyError::EmptyRuleBase;
+        assert_eq!(a, b);
+        let c = FuzzyError::MissingInput { variable: "x".into() };
+        assert_ne!(a, c);
+    }
+}

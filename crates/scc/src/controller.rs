@@ -1,0 +1,321 @@
+//! The SCC admission controller: projected-demand estimation over the
+//! shadow cluster, with a survivability-style utilization threshold.
+
+use facs_cac::{
+    AdmissionController, CallId, CallRequest, CellId, CellSnapshot, Decision, ServiceClass,
+};
+use facs_cellsim::HexGrid;
+
+use crate::board::ShadowBoard;
+use crate::projection::handoff_probability;
+
+/// SCC tunables.
+///
+/// `threshold` is the survivability knob: the fraction of capacity the
+/// projected demand (own occupancy + incoming shadow influence) may reach
+/// before new calls are denied; `cluster_threshold` is the analogous
+/// budget for the tentative-cluster check in neighbor cells. Levine et
+/// al. tune the corresponding admission threshold against a target
+/// dropping probability; the defaults (0.75 / 0.80) are the calibration
+/// used for the Fig. 10 comparison (see EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SccConfig {
+    /// Projection horizon in seconds.
+    pub horizon_s: f64,
+    /// Utilization threshold in `(0, 1]` over projected demand in the
+    /// serving cell.
+    pub threshold: f64,
+    /// Utilization threshold for the tentative-cluster check in the
+    /// neighbor cells the call may hand off into.
+    pub cluster_threshold: f64,
+    /// Cell radius (km) used for exit-chord geometry.
+    pub cell_radius_km: f64,
+}
+
+impl Default for SccConfig {
+    fn default() -> Self {
+        Self {
+            horizon_s: 300.0,
+            threshold: 0.75,
+            cluster_threshold: 0.80,
+            cell_radius_km: 10.0,
+        }
+    }
+}
+
+/// Per-cell SCC controller. All controllers of one network share a
+/// [`ShadowBoard`]; build them together with [`SccNetwork`].
+#[derive(Debug)]
+pub struct SccController {
+    cell: CellId,
+    neighbors: Vec<CellId>,
+    board: ShadowBoard,
+    config: SccConfig,
+}
+
+impl SccController {
+    /// Creates a controller for `cell` with the given neighbor set and
+    /// shared board.
+    #[must_use]
+    pub fn new(
+        cell: CellId,
+        neighbors: Vec<CellId>,
+        board: ShadowBoard,
+        config: SccConfig,
+    ) -> Self {
+        Self { cell, neighbors, board, config }
+    }
+
+    /// The projected demand this cell currently sees: its own occupancy
+    /// plus the shadow influence of actives in neighboring cells.
+    #[must_use]
+    pub fn projected_demand_bu(&self, cell: &CellSnapshot) -> f64 {
+        f64::from(cell.occupied.get()) + self.board.influence_on(self.cell)
+    }
+
+    /// The contribution a call would post: handoff-probability-weighted
+    /// bandwidth spread uniformly over the neighbors.
+    fn contribution_for(&self, request: &CallRequest) -> Vec<(CellId, f64)> {
+        if self.neighbors.is_empty() {
+            return Vec::new();
+        }
+        let p = handoff_probability(
+            &request.mobility,
+            self.config.cell_radius_km,
+            self.config.horizon_s,
+        );
+        let share = p * f64::from(request.demand().get()) / self.neighbors.len() as f64;
+        if share <= 0.0 {
+            return Vec::new();
+        }
+        self.neighbors.iter().map(|&n| (n, share)).collect()
+    }
+}
+
+impl AdmissionController for SccController {
+    fn name(&self) -> &str {
+        "SCC"
+    }
+
+    fn decide(&mut self, request: &CallRequest, cell: &CellSnapshot) -> Decision {
+        let demand = f64::from(request.demand().get());
+        let capacity = f64::from(cell.capacity.get());
+        let budget = capacity * self.config.threshold;
+        let projected = self.projected_demand_bu(cell);
+        // Soft score: remaining budget after this call, as a fraction of
+        // the budget, mapped onto [-1, 1].
+        let headroom = (budget - projected - demand) / budget.max(f64::MIN_POSITIVE);
+        let mut admit = projected + demand <= budget && cell.can_fit(request.demand());
+        if admit {
+            // Tentative shadow cluster: every neighbor the call may hand
+            // off into must also absorb its projected share without
+            // crossing the cluster budget (using the occupancy the
+            // neighbor BSs broadcast — possibly slightly stale, exactly
+            // as in a real message-based deployment).
+            let cluster_budget = capacity * self.config.cluster_threshold;
+            for &(neighbor, share) in &self.contribution_for(request) {
+                let neighbor_projected = f64::from(self.board.occupied_of(neighbor))
+                    + self.board.influence_on(neighbor);
+                if neighbor_projected + share > cluster_budget {
+                    admit = false;
+                    break;
+                }
+            }
+        }
+        if admit {
+            Decision::accept(headroom.clamp(0.0, 1.0))
+        } else {
+            Decision::reject(headroom.clamp(-1.0, 0.0))
+        }
+    }
+
+    fn on_admitted(&mut self, request: &CallRequest, cell: &CellSnapshot) {
+        // Post (or repost, after a handoff) the call's shadow influence,
+        // and broadcast the new occupancy to the cluster.
+        self.board.post(request.id, self.contribution_for(request));
+        self.board.broadcast_occupied(self.cell, cell.occupied.get());
+    }
+
+    fn on_released(&mut self, call: CallId, _class: ServiceClass, cell: &CellSnapshot) {
+        self.board.retract(call);
+        self.board.broadcast_occupied(self.cell, cell.occupied.get());
+    }
+}
+
+/// Builds the per-cell SCC controllers of one network around a shared
+/// shadow board.
+///
+/// # Examples
+///
+/// ```
+/// use facs_cellsim::HexGrid;
+/// use facs_scc::{SccConfig, SccNetwork};
+///
+/// let grid = HexGrid::new(1, 10.0);
+/// let network = SccNetwork::new(SccConfig::default());
+/// let controllers = network.controllers(&grid);
+/// assert_eq!(controllers.len(), 7);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SccNetwork {
+    board: ShadowBoard,
+    config: SccConfig,
+}
+
+impl SccNetwork {
+    /// Creates a network factory with a fresh board.
+    #[must_use]
+    pub fn new(config: SccConfig) -> Self {
+        Self { board: ShadowBoard::new(), config }
+    }
+
+    /// The shared board (e.g. to inspect message counts after a run).
+    #[must_use]
+    pub fn board(&self) -> &ShadowBoard {
+        &self.board
+    }
+
+    /// Builds one controller per cell of `grid`, all sharing the board.
+    #[must_use]
+    pub fn controllers(&self, grid: &HexGrid) -> Vec<facs_cac::BoxedController> {
+        grid.cell_ids()
+            .map(|id| {
+                Box::new(SccController::new(
+                    id,
+                    grid.neighbors_of(id),
+                    self.board.clone(),
+                    self.config,
+                )) as facs_cac::BoxedController
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facs_cac::{BandwidthUnits, CallKind, MobilityInfo};
+
+    fn snapshot(occupied: u32) -> CellSnapshot {
+        CellSnapshot {
+            capacity: BandwidthUnits::new(40),
+            occupied: BandwidthUnits::new(occupied),
+            real_time_calls: 0,
+            non_real_time_calls: 0,
+        }
+    }
+
+    fn request(id: u64, class: ServiceClass, mobility: MobilityInfo) -> CallRequest {
+        CallRequest::new(CallId(id), class, CallKind::New, mobility)
+    }
+
+    fn single_cell_controller(threshold: f64) -> SccController {
+        SccController::new(
+            CellId(0),
+            Vec::new(),
+            ShadowBoard::new(),
+            SccConfig { threshold, ..SccConfig::default() },
+        )
+    }
+
+    #[test]
+    fn admits_below_threshold_budget() {
+        let mut scc = single_cell_controller(0.65); // budget 26 BU
+        let req = request(1, ServiceClass::Video, MobilityInfo::stationary());
+        assert!(scc.decide(&req, &snapshot(10)).admits()); // 10+10=20 <= 26
+        assert!(!scc.decide(&req, &snapshot(20)).admits()); // 20+10=30 > 26
+    }
+
+    #[test]
+    fn reserves_more_than_complete_sharing() {
+        // CS would admit a text call at occupancy 39; SCC's budget denies
+        // well before that.
+        let mut scc = single_cell_controller(0.65);
+        let req = request(1, ServiceClass::Text, MobilityInfo::stationary());
+        assert!(!scc.decide(&req, &snapshot(30)).admits());
+    }
+
+    #[test]
+    fn threshold_one_without_neighbors_equals_complete_sharing() {
+        let mut scc = single_cell_controller(1.0);
+        for occupied in 0..=40 {
+            for class in ServiceClass::ALL {
+                let req = request(1, class, MobilityInfo::stationary());
+                let cs = occupied + class.demand().get() <= 40;
+                assert_eq!(scc.decide(&req, &snapshot(occupied)).admits(), cs);
+            }
+        }
+    }
+
+    #[test]
+    fn incoming_influence_tightens_admission() {
+        let board = ShadowBoard::new();
+        let mut scc = SccController::new(
+            CellId(0),
+            vec![CellId(1)],
+            board.clone(),
+            SccConfig { threshold: 0.65, ..SccConfig::default() },
+        );
+        let req = request(7, ServiceClass::Video, MobilityInfo::stationary());
+        assert!(scc.decide(&req, &snapshot(10)).admits());
+        // A neighbor's actives now project 8 BU onto this cell.
+        board.post(CallId(99), vec![(CellId(0), 8.0)]);
+        assert!(!scc.decide(&req, &snapshot(10)).admits());
+    }
+
+    #[test]
+    fn admitted_calls_project_influence_onto_neighbors() {
+        let board = ShadowBoard::new();
+        let mut scc = SccController::new(
+            CellId(0),
+            vec![CellId(1), CellId(2)],
+            board.clone(),
+            SccConfig::default(),
+        );
+        // A fast user heading out of the cell: p is high.
+        let req = request(5, ServiceClass::Video, MobilityInfo::new(120.0, 180.0, 8.0));
+        scc.on_admitted(&req, &snapshot(10));
+        let a = board.influence_on(CellId(1));
+        let b = board.influence_on(CellId(2));
+        assert!(a > 0.0 && (a - b).abs() < 1e-12, "uniform spread: {a} vs {b}");
+        // 120 km/h over 300 s = 10 km; chord away at 8 km of a 10-km cell
+        // is 2 km: p = 1, spread 10 BU over 2 neighbors = 5 each.
+        assert!((a - 5.0).abs() < 1e-9);
+        scc.on_released(CallId(5), ServiceClass::Video, &snapshot(0));
+        assert_eq!(board.influence_on(CellId(1)), 0.0);
+    }
+
+    #[test]
+    fn stationary_calls_project_nothing() {
+        let board = ShadowBoard::new();
+        let mut scc =
+            SccController::new(CellId(0), vec![CellId(1)], board.clone(), SccConfig::default());
+        let req = request(6, ServiceClass::Voice, MobilityInfo::stationary());
+        scc.on_admitted(&req, &snapshot(5));
+        assert_eq!(board.influence_on(CellId(1)), 0.0);
+    }
+
+    #[test]
+    fn capacity_always_binds() {
+        let mut scc = single_cell_controller(1.0);
+        let req = request(1, ServiceClass::Video, MobilityInfo::stationary());
+        assert!(!scc.decide(&req, &snapshot(35)).admits());
+    }
+
+    #[test]
+    fn decision_scores_reflect_headroom() {
+        let mut scc = single_cell_controller(1.0);
+        let req = request(1, ServiceClass::Text, MobilityInfo::stationary());
+        let roomy = scc.decide(&req, &snapshot(0));
+        let tight = scc.decide(&req, &snapshot(38));
+        assert!(roomy.score() > tight.score());
+    }
+
+    #[test]
+    fn network_builds_one_controller_per_cell() {
+        let grid = HexGrid::new(2, 10.0);
+        let network = SccNetwork::new(SccConfig::default());
+        assert_eq!(network.controllers(&grid).len(), 19);
+        assert_eq!(network.board().message_count(), 0);
+    }
+}

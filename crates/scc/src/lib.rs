@@ -1,0 +1,59 @@
+//! # facs-scc — the Shadow Cluster Concept baseline
+//!
+//! A reimplementation of the admission-control scheme of Levine,
+//! Akyildiz and Naghshineh (*"A Resource Estimation and Call Admission
+//! Algorithm for Wireless Multimedia Networks Using the Shadow Cluster
+//! Concept"*, IEEE/ACM ToN 1997), the baseline the FACS paper compares
+//! against in its Fig. 10.
+//!
+//! Every active mobile projects probabilistic influence — its "shadow" —
+//! onto the cells along its likely path. Base stations exchange these
+//! projections (the [`board::ShadowBoard`], the paper's "virtual message
+//! system"), estimate future bandwidth demand, and deny new calls once
+//! projected demand would exceed a survivability threshold.
+//!
+//! ## Faithfulness notes (also in DESIGN.md)
+//!
+//! * Shadow strength derives from the same observable triple FACS uses
+//!   (speed, heading-vs-BS angle, distance) via exact exit-chord geometry
+//!   ([`projection`]); Levine et al. used per-cell transition matrices.
+//! * Influence is spread uniformly over neighbors rather than
+//!   directionally — with the hexagonal layout and the admission test
+//!   aggregating over the whole cluster, the directional refinement does
+//!   not change which calls are denied, only where the reservation sits.
+//! * Projection is single-horizon rather than multi-epoch; the
+//!   `threshold` knob absorbs the difference and is calibrated so the
+//!   Fig. 10 crossover lands near the paper's N ≈ 50.
+//!
+//! ## Example
+//!
+//! ```
+//! use facs_cac::{AdmissionController, BandwidthUnits, CallId, CallKind, CallRequest,
+//!               CellSnapshot, MobilityInfo, ServiceClass};
+//! use facs_cellsim::HexGrid;
+//! use facs_scc::{SccConfig, SccNetwork};
+//!
+//! let grid = HexGrid::new(1, 10.0);
+//! let network = SccNetwork::new(SccConfig::default());
+//! let mut controllers = network.controllers(&grid);
+//! let cell = CellSnapshot::empty(BandwidthUnits::new(40));
+//! let request = CallRequest::new(
+//!     CallId(1),
+//!     ServiceClass::Voice,
+//!     CallKind::New,
+//!     MobilityInfo::new(60.0, 0.0, 3.0),
+//! );
+//! assert!(controllers[0].decide(&request, &cell).admits());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod board;
+pub mod controller;
+pub mod projection;
+
+pub use board::ShadowBoard;
+pub use controller::{SccConfig, SccController, SccNetwork};
+pub use projection::{exit_chord_km, handoff_probability, residency_probability};

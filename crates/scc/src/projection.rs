@@ -1,0 +1,129 @@
+//! Shadow projection math: from a GPS observation to the probability that
+//! a mobile leaves its serving cell within the projection horizon.
+//!
+//! Levine et al. project every active mobile's position probabilistically
+//! into future epochs. With the observable triple the paper's FACS also
+//! uses — speed `S`, heading-vs-BS angle `A`, distance `D` — the exit
+//! geometry is closed-form: a mobile at distance `D` from the center of a
+//! cell of radius `R`, heading at angle `A` relative to the bearing
+//! *toward* the BS, exits the cell after travelling the chord length
+//!
+//! ```text
+//! chord(A, D) = D·cos(A) + sqrt(R² − D²·sin²(A))
+//! ```
+//!
+//! (heading straight at the BS: `D + R`; straight away: `R − D`).
+
+use facs_cac::MobilityInfo;
+
+/// Computes the distance (km) a mobile travels before exiting a cell of
+/// radius `cell_radius_km`, given its observation relative to that cell's
+/// BS. Observations outside the cell clamp to a minimal positive chord.
+#[must_use]
+pub fn exit_chord_km(mobility: &MobilityInfo, cell_radius_km: f64) -> f64 {
+    let r = cell_radius_km.max(f64::MIN_POSITIVE);
+    let d = mobility.distance_km.clamp(0.0, r);
+    let angle = mobility.angle_deg.to_radians();
+    let discriminant = (r * r - d * d * angle.sin().powi(2)).max(0.0);
+    let chord = d * angle.cos() + discriminant.sqrt();
+    chord.max(1e-6)
+}
+
+/// Probability that the mobile hands off out of the cell within
+/// `horizon_s` seconds, assuming it holds its current speed and heading:
+/// the fraction of the exit chord covered in the horizon, clamped to 1.
+#[must_use]
+pub fn handoff_probability(
+    mobility: &MobilityInfo,
+    cell_radius_km: f64,
+    horizon_s: f64,
+) -> f64 {
+    if !mobility.is_finite() {
+        return 0.0;
+    }
+    let chord = exit_chord_km(mobility, cell_radius_km);
+    let travel = mobility.speed_kmh.max(0.0) * horizon_s.max(0.0) / 3600.0;
+    (travel / chord).clamp(0.0, 1.0)
+}
+
+/// Probability the mobile is still in its serving cell at the horizon.
+#[must_use]
+pub fn residency_probability(
+    mobility: &MobilityInfo,
+    cell_radius_km: f64,
+    horizon_s: f64,
+) -> f64 {
+    1.0 - handoff_probability(mobility, cell_radius_km, horizon_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chord_toward_bs_is_d_plus_r() {
+        let m = MobilityInfo::new(30.0, 0.0, 4.0);
+        assert!((exit_chord_km(&m, 10.0) - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chord_away_from_bs_is_r_minus_d() {
+        let m = MobilityInfo::new(30.0, 180.0, 4.0);
+        assert!((exit_chord_km(&m, 10.0) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chord_perpendicular() {
+        // At D, heading perpendicular to the BS bearing: chord = sqrt(R²−D²).
+        let m = MobilityInfo::new(30.0, 90.0, 6.0);
+        assert!((exit_chord_km(&m, 10.0) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chord_at_center_is_r_any_heading() {
+        for a in [-180.0, -90.0, 0.0, 45.0, 135.0] {
+            let m = MobilityInfo::new(30.0, a, 0.0);
+            assert!((exit_chord_km(&m, 10.0) - 10.0).abs() < 1e-9, "angle {a}");
+        }
+    }
+
+    #[test]
+    fn handoff_probability_scales_with_speed_and_horizon() {
+        let slow = MobilityInfo::new(6.0, 180.0, 5.0); // 5 km chord
+        let fast = MobilityInfo::new(60.0, 180.0, 5.0);
+        let p_slow = handoff_probability(&slow, 10.0, 300.0);
+        let p_fast = handoff_probability(&fast, 10.0, 300.0);
+        // 6 km/h * 300 s = 0.5 km of 5 km chord = 0.1.
+        assert!((p_slow - 0.1).abs() < 1e-9);
+        // 60 km/h covers 5 km = the whole chord.
+        assert!((p_fast - 1.0).abs() < 1e-9);
+        assert_eq!(handoff_probability(&fast, 10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn probabilities_are_complementary_and_bounded() {
+        for speed in [0.0, 10.0, 60.0, 120.0] {
+            for angle in [-180.0, -45.0, 0.0, 90.0] {
+                for d in [0.0, 3.0, 9.9] {
+                    let m = MobilityInfo::new(speed, angle, d);
+                    let p = handoff_probability(&m, 10.0, 240.0);
+                    let q = residency_probability(&m, 10.0, 240.0);
+                    assert!((0.0..=1.0).contains(&p));
+                    assert!((p + q - 1.0).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_observation_projects_nothing() {
+        let m = MobilityInfo { speed_kmh: f64::NAN, angle_deg: 0.0, distance_km: 1.0 };
+        assert_eq!(handoff_probability(&m, 10.0, 300.0), 0.0);
+    }
+
+    #[test]
+    fn stationary_user_never_leaves() {
+        let m = MobilityInfo::new(0.0, 0.0, 5.0);
+        assert_eq!(handoff_probability(&m, 10.0, 1e6), 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests over the SCC projection and board invariants.
+
+use facs_cac::{CallId, CellId, MobilityInfo};
+use facs_scc::{exit_chord_km, handoff_probability, residency_probability, ShadowBoard};
+use proptest::prelude::*;
+
+proptest! {
+    /// Exit chords are positive and bounded by the diameter (2R) plus the
+    /// interior offset.
+    #[test]
+    fn chord_bounds(
+        speed in 0.0_f64..120.0,
+        angle in -180.0_f64..180.0,
+        d in 0.0_f64..10.0,
+        radius in 0.5_f64..20.0,
+    ) {
+        let m = MobilityInfo::new(speed, angle, d);
+        let chord = exit_chord_km(&m, radius);
+        prop_assert!(chord > 0.0);
+        prop_assert!(chord <= 2.0 * radius + 1e-9, "chord {chord} > diameter");
+    }
+
+    /// Heading straight at the BS maximizes the exit chord; heading away
+    /// minimizes it (for fixed distance).
+    #[test]
+    fn chord_extremes(d in 0.0_f64..9.9, radius in 1.0_f64..15.0) {
+        prop_assume!(d < radius);
+        let toward = exit_chord_km(&MobilityInfo::new(10.0, 0.0, d), radius);
+        let away = exit_chord_km(&MobilityInfo::new(10.0, 180.0, d), radius);
+        for angle in [-135.0, -90.0, -30.0, 45.0, 120.0] {
+            let chord = exit_chord_km(&MobilityInfo::new(10.0, angle, d), radius);
+            prop_assert!(chord <= toward + 1e-9);
+            prop_assert!(chord >= away - 1e-9);
+        }
+    }
+
+    /// Handoff and residency probabilities are complementary and inside
+    /// [0, 1]; handoff probability grows with speed and horizon.
+    #[test]
+    fn probability_laws(
+        speed in 0.0_f64..120.0,
+        angle in -180.0_f64..180.0,
+        d in 0.0_f64..10.0,
+        horizon in 0.0_f64..3600.0,
+    ) {
+        let m = MobilityInfo::new(speed, angle, d);
+        let p = handoff_probability(&m, 10.0, horizon);
+        let q = residency_probability(&m, 10.0, horizon);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((p + q - 1.0).abs() < 1e-12);
+        prop_assert!(handoff_probability(&m, 10.0, horizon * 2.0) >= p - 1e-12);
+        let faster = MobilityInfo::new(speed + 10.0, angle, d);
+        prop_assert!(handoff_probability(&faster, 10.0, horizon) >= p - 1e-12);
+    }
+
+    /// Board conservation: total influence equals the sum of live
+    /// contributions under any post/retract interleaving.
+    #[test]
+    fn board_conservation(
+        ops in prop::collection::vec((0u64..16, 0u32..4, 0.0_f64..5.0, any::<bool>()), 0..100),
+    ) {
+        let board = ShadowBoard::new();
+        let mut live: std::collections::HashMap<u64, Vec<(u32, f64)>> = Default::default();
+        for (call, cell, bu, retract) in ops {
+            if retract {
+                board.retract(CallId(call));
+                live.remove(&call);
+            } else {
+                let contribution = vec![(CellId(cell), bu), (CellId(cell + 1), bu / 2.0)];
+                board.post(CallId(call), contribution.clone());
+                live.insert(call, contribution.iter().map(|&(c, b)| (c.0, b)).collect());
+            }
+            // Check per-cell totals against the model.
+            for probe in 0..6u32 {
+                let expected: f64 = live
+                    .values()
+                    .flat_map(|c| c.iter())
+                    .filter(|&&(c, _)| c == probe)
+                    .map(|&(_, b)| b)
+                    .sum();
+                let actual = board.influence_on(CellId(probe));
+                prop_assert!((actual - expected).abs() < 1e-9,
+                    "cell {probe}: board {actual} vs model {expected}");
+            }
+            prop_assert_eq!(board.active_calls(), live.len());
+        }
+    }
+
+    /// Occupancy broadcasts are last-writer-wins per cell.
+    #[test]
+    fn occupancy_broadcasts(values in prop::collection::vec((0u32..7, 0u32..=40), 1..50)) {
+        let board = ShadowBoard::new();
+        let mut model: std::collections::HashMap<u32, u32> = Default::default();
+        for (cell, bu) in values {
+            board.broadcast_occupied(CellId(cell), bu);
+            model.insert(cell, bu);
+        }
+        for (cell, bu) in model {
+            prop_assert_eq!(board.occupied_of(CellId(cell)), bu);
+        }
+    }
+}

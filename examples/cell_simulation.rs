@@ -1,0 +1,37 @@
+//! Run a paper-style single-cell simulation (the Fig. 7 scenario at
+//! 30 km/h) and print the acceptance curve.
+//!
+//! ```sh
+//! cargo run --release --example cell_simulation
+//! ```
+
+use facs_suite::cac::BoxedController;
+use facs_suite::cellsim::prelude::*;
+use facs_suite::cellsim::HexGrid;
+use facs_suite::core::FacsController;
+
+fn main() {
+    let facs_builder = |grid: &HexGrid| -> Vec<BoxedController> {
+        grid.cell_ids()
+            .map(|_| Box::new(FacsController::new().expect("FACS builds")) as BoxedController)
+            .collect()
+    };
+
+    println!("Fig. 7 scenario, 30 km/h vehicles, paper traffic mix (60/30/10)");
+    println!("requests | accepted % | mean utilization");
+    println!("---------+------------+-----------------");
+    for n in paper_request_counts() {
+        let config = ScenarioConfig {
+            requests: n,
+            speed: SpeedSpec::Fixed(30.0),
+            replications: 3,
+            ..Default::default()
+        };
+        let metrics = config.aggregate(&facs_builder);
+        println!(
+            "{n:8} | {:10.1} | {:.3}",
+            metrics.acceptance_percentage(),
+            metrics.mean_utilization()
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Build a custom fuzzy controller with the `facs-fuzzy` engine and its
+//! textual rule DSL — here, a handoff-urgency controller that decides how
+//! aggressively a cell should prepare to hand a user over.
+//!
+//! ```sh
+//! cargo run --example custom_fuzzy_controller
+//! ```
+
+use facs_suite::fuzzy::{parse_rules, Engine, MembershipFunction, Variable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Inputs: signal strength (dBm, -110..-50) and user speed (km/h).
+    let signal = Variable::builder("signal", -110.0, -50.0)
+        .term("weak", MembershipFunction::trapezoidal(-110.0, -95.0, 0.0, 15.0)?)
+        .term("fair", MembershipFunction::triangular(-80.0, 15.0, 15.0)?)
+        .term("strong", MembershipFunction::trapezoidal(-65.0, -50.0, 15.0, 0.0)?)
+        .build()?;
+    let speed = Variable::builder("speed", 0.0, 120.0)
+        .term("slow", MembershipFunction::trapezoidal(0.0, 15.0, 0.0, 15.0)?)
+        .term("fast", MembershipFunction::trapezoidal(60.0, 120.0, 45.0, 0.0)?)
+        .build()?;
+    // Output: handoff urgency in [0, 1].
+    let urgency = Variable::builder("urgency", 0.0, 1.0).uniform_partition("u", 5).build()?;
+
+    // Rules in the textual DSL (could equally live in a config file).
+    let rules = parse_rules(
+        "RULE panic:   IF signal IS weak   AND speed IS fast THEN urgency IS u5\n\
+         RULE worried: IF signal IS weak   AND speed IS slow THEN urgency IS u4\n\
+         RULE watch:   IF signal IS fair   AND speed IS fast THEN urgency IS u3\n\
+         RULE calm:    IF signal IS fair   AND speed IS slow THEN urgency IS u2\n\
+         RULE idle:    IF signal IS strong                   THEN urgency IS u1\n",
+    )?;
+
+    let engine = Engine::builder().input(signal).input(speed).output(urgency).rules(rules).build()?;
+
+    println!("signal dBm | speed km/h | handoff urgency");
+    println!("-----------+------------+----------------");
+    for (dbm, kmh) in [(-100.0, 90.0), (-100.0, 5.0), (-80.0, 90.0), (-80.0, 5.0), (-55.0, 60.0)] {
+        let outcome = engine.evaluate(&[("signal", dbm), ("speed", kmh)])?;
+        let urgency = outcome.crisp("urgency").expect("urgency output exists");
+        let (rule, strength) = outcome.dominant_rule().expect("a rule fired");
+        println!(
+            "{dbm:10.0} | {kmh:10.0} | {urgency:.3}  (dominant rule #{rule}, strength {strength:.2})"
+        );
+    }
+    Ok(())
+}

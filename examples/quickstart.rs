@@ -1,0 +1,44 @@
+//! Quickstart: build the FACS controller and decide on a few calls.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use facs_suite::cac::{
+    BandwidthLedger, BandwidthUnits, CallId, CallKind, CallRequest, MobilityInfo, ServiceClass,
+};
+use facs_suite::core::FacsController;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A base station with the paper's 40 BU of capacity.
+    let mut ledger = BandwidthLedger::new(BandwidthUnits::new(40));
+    let facs = FacsController::new()?;
+
+    // Three users with very different mobility patterns ask for service.
+    let users = [
+        ("commuter driving at the BS", ServiceClass::Voice, MobilityInfo::new(60.0, 5.0, 3.0)),
+        ("pedestrian wandering far out", ServiceClass::Video, MobilityInfo::new(4.0, 140.0, 9.0)),
+        ("stationary laptop", ServiceClass::Text, MobilityInfo::new(0.0, 0.0, 1.0)),
+    ];
+
+    for (i, (label, class, mobility)) in users.into_iter().enumerate() {
+        let request = CallRequest::new(CallId(i as u64), class, CallKind::New, mobility);
+        let evaluation = facs.evaluate(&request, &ledger.snapshot());
+        println!(
+            "{label:32} class={class:5} cv={:.3} -> {}",
+            evaluation.correction_value, evaluation.decision
+        );
+        if evaluation.decision.admits() {
+            ledger.allocate(request.id, request.class)?;
+        }
+    }
+
+    println!(
+        "\ncell state: {} / {} occupied, {} real-time call(s), {} non-real-time",
+        ledger.occupied(),
+        ledger.capacity(),
+        ledger.real_time_calls(),
+        ledger.non_real_time_calls(),
+    );
+    Ok(())
+}

@@ -1,0 +1,164 @@
+//! The distributed actor runtime must agree decision-for-decision with an
+//! in-process controller loop over the same request sequence.
+
+use facs::FacsController;
+use facs_cac::{
+    AdmissionController, BandwidthLedger, BandwidthUnits, BoxedController, CallId, CallKind,
+    CallRequest, CellId, MobilityInfo, ServiceClass,
+};
+use facs_cellsim::{HexGrid, SimRng};
+use facs_distrib::Cluster;
+
+/// A deterministic pseudo-random request sequence with interleaved
+/// releases.
+fn request_script(len: usize, seed: u64) -> Vec<ScriptStep> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut live: Vec<u64> = Vec::new();
+    let mut steps = Vec::new();
+    for i in 0..len {
+        let release_some = !live.is_empty() && rng.chance(0.35);
+        if release_some {
+            let idx = rng.index(live.len());
+            steps.push(ScriptStep::Release(CallId(live.swap_remove(idx))));
+        } else {
+            let class = match rng.index(3) {
+                0 => ServiceClass::Text,
+                1 => ServiceClass::Voice,
+                _ => ServiceClass::Video,
+            };
+            let mobility = MobilityInfo::new(
+                rng.uniform_range(0.0, 120.0),
+                rng.uniform_range(-180.0, 180.0),
+                rng.uniform_range(0.0, 10.0),
+            );
+            let id = i as u64;
+            live.push(id);
+            steps.push(ScriptStep::Admit(CallRequest::new(
+                CallId(id),
+                class,
+                CallKind::New,
+                mobility,
+            )));
+        }
+    }
+    steps
+}
+
+#[derive(Debug, Clone)]
+enum ScriptStep {
+    Admit(CallRequest),
+    Release(CallId),
+}
+
+#[test]
+fn cluster_matches_in_process_controller() {
+    let steps = request_script(400, 31337);
+
+    // In-process reference: one FACS controller + ledger.
+    let mut controller = FacsController::new().unwrap();
+    let mut ledger = BandwidthLedger::new(BandwidthUnits::new(40));
+    let mut reference = Vec::new();
+    for step in &steps {
+        match step {
+            ScriptStep::Admit(request) => {
+                let decision = controller.decide(request, &ledger.snapshot());
+                let admitted =
+                    decision.admits() && ledger.allocate(request.id, request.class).is_ok();
+                if admitted {
+                    controller.on_admitted(request, &ledger.snapshot());
+                }
+                reference.push(Some(admitted));
+            }
+            ScriptStep::Release(call) => {
+                if let Ok(class) = ledger.release(*call) {
+                    controller.on_released(*call, class, &ledger.snapshot());
+                }
+                reference.push(None);
+            }
+        }
+    }
+
+    // Actor runtime, same script.
+    let grid = HexGrid::single_cell(10.0);
+    let cluster = Cluster::spawn(
+        &grid,
+        BandwidthUnits::new(40),
+        vec![Box::new(FacsController::new().unwrap()) as BoxedController],
+    );
+    for (i, step) in steps.iter().enumerate() {
+        match step {
+            ScriptStep::Admit(request) => {
+                let outcome = cluster.request_admission(CellId(0), *request).unwrap();
+                assert_eq!(
+                    Some(outcome.admitted),
+                    reference[i],
+                    "divergence at step {i}: {step:?}"
+                );
+            }
+            ScriptStep::Release(call) => {
+                cluster.release(CellId(0), *call).unwrap();
+            }
+        }
+    }
+    assert_eq!(cluster.occupancy(CellId(0)).unwrap(), ledger.occupied());
+    cluster.shutdown();
+}
+
+#[test]
+fn cluster_handoffs_preserve_global_bandwidth() {
+    let grid = HexGrid::new(1, 10.0);
+    let cluster = Cluster::spawn(
+        &grid,
+        BandwidthUnits::new(40),
+        grid.cell_ids()
+            .map(|_| Box::new(FacsController::new().unwrap()) as BoxedController)
+            .collect(),
+    );
+    // Admit voice calls at the center, hand each off around the ring.
+    let mobility = MobilityInfo::new(60.0, 0.0, 2.0);
+    let mut admitted = Vec::new();
+    for i in 0..4u64 {
+        let req = CallRequest::new(CallId(i), ServiceClass::Voice, CallKind::New, mobility);
+        if cluster.request_admission(CellId(0), req).unwrap().admitted {
+            admitted.push(i);
+        }
+    }
+    assert!(!admitted.is_empty());
+    for (k, &i) in admitted.iter().enumerate() {
+        let target = CellId(1 + (k as u32 % 6));
+        let req = CallRequest::new(CallId(i), ServiceClass::Voice, CallKind::Handoff, mobility);
+        let outcome = cluster.handoff(CellId(0), target, req).unwrap();
+        assert!(outcome.admitted, "ring cell {target} should absorb one voice call");
+    }
+    // All bandwidth accounted for: center empty, total equals calls * 5.
+    assert_eq!(cluster.occupancy(CellId(0)).unwrap(), BandwidthUnits::ZERO);
+    let total: u32 =
+        grid.cell_ids().map(|c| cluster.occupancy(c).unwrap().get()).sum();
+    assert_eq!(total as usize, admitted.len() * 5);
+    cluster.shutdown();
+}
+
+#[test]
+fn scc_cluster_shares_shadow_state_across_actors() {
+    use facs_scc::{SccConfig, SccNetwork};
+    let grid = HexGrid::new(1, 10.0);
+    let network = SccNetwork::new(SccConfig::default());
+    let cluster = Cluster::spawn(&grid, BandwidthUnits::new(40), network.controllers(&grid));
+    // A fast outbound user admitted at the center posts influence that
+    // the neighbor actors see through the shared board.
+    let req = CallRequest::new(
+        CallId(1),
+        ServiceClass::Video,
+        CallKind::New,
+        MobilityInfo::new(120.0, 180.0, 8.0),
+    );
+    assert!(cluster.request_admission(CellId(0), req).unwrap().admitted);
+    assert!(network.board().influence_on(CellId(1)) > 0.0);
+    assert!(network.board().message_count() > 0);
+    cluster.release(CellId(0), CallId(1)).unwrap();
+    // Release is fire-and-forget; a synchronous occupancy query to the
+    // same actor fences it (per-actor message order is FIFO).
+    assert_eq!(cluster.occupancy(CellId(0)).unwrap(), BandwidthUnits::ZERO);
+    assert_eq!(network.board().influence_on(CellId(1)), 0.0);
+    cluster.shutdown();
+}

@@ -1,0 +1,167 @@
+//! Integration tests asserting the qualitative shapes of the paper's
+//! evaluation figures (§4). Absolute numbers are recorded in
+//! EXPERIMENTS.md; these tests pin the *orderings and trends* so a
+//! regression in any crate shows up as a shape violation.
+
+use facs::FacsConfig;
+use facs_cac::BoxedController;
+use facs_cellsim::prelude::*;
+use facs_cellsim::HexGrid;
+use facs_scc::{SccConfig, SccNetwork};
+
+fn facs_builder() -> impl Fn(&HexGrid) -> Vec<BoxedController> {
+    |grid: &HexGrid| {
+        grid.cell_ids()
+            .map(|_| {
+                Box::new(facs::FacsController::with_config(FacsConfig::default()).unwrap())
+                    as BoxedController
+            })
+            .collect()
+    }
+}
+
+fn scenario(requests: usize) -> ScenarioConfig {
+    ScenarioConfig { requests, replications: 2, ..Default::default() }
+}
+
+/// Fig. 7: faster users are accepted more under load; every curve
+/// decreases with the number of requesting connections.
+#[test]
+fn fig7_speed_ordering_holds() {
+    let accept = |speed: f64, n: usize| {
+        ScenarioConfig { speed: SpeedSpec::Fixed(speed), ..scenario(n) }
+            .acceptance(&facs_builder())
+    };
+    // Light load: everyone gets in.
+    for speed in [4.0, 30.0, 60.0] {
+        assert!(accept(speed, 10) > 95.0, "light load at {speed} km/h");
+    }
+    // Heavy load: vehicles beat walkers by a wide margin.
+    let slow = accept(4.0, 100);
+    let walk = accept(10.0, 100);
+    let city = accept(30.0, 100);
+    let highway = accept(60.0, 100);
+    assert!(
+        city > slow + 5.0 && city > walk + 5.0,
+        "30 km/h ({city}) must clearly beat walking speeds ({slow}, {walk})"
+    );
+    assert!(highway >= city - 2.0, "60 km/h ({highway}) at least matches 30 km/h ({city})");
+    // Curves decrease with N.
+    for speed in [4.0, 30.0, 60.0] {
+        assert!(
+            accept(speed, 100) < accept(speed, 10) + 1e-9,
+            "acceptance must not rise with load at {speed} km/h"
+        );
+    }
+}
+
+/// Fig. 8: acceptance decreases monotonically (within tolerance) as the
+/// approach angle grows; angle 0 stays near-perfect at light load.
+#[test]
+fn fig8_angle_ordering_holds() {
+    let accept = |angle: f64, n: usize| {
+        ScenarioConfig { angle: AngleSpec::Fixed(angle), ..scenario(n) }
+            .acceptance(&facs_builder())
+    };
+    assert!(accept(0.0, 10) > 97.0, "head-on users at light load");
+    let at_100: Vec<f64> = [0.0, 30.0, 60.0, 90.0].iter().map(|&a| accept(a, 100)).collect();
+    // Monotone within a small tolerance for simulation noise.
+    for pair in at_100.windows(2) {
+        assert!(
+            pair[1] <= pair[0] + 3.0,
+            "acceptance should fall with angle: {at_100:?}"
+        );
+    }
+    assert!(
+        at_100[0] > at_100[3] + 8.0,
+        "0° vs 90° must separate clearly: {at_100:?}"
+    );
+}
+
+/// Fig. 9: farther users are accepted (slightly) less; the spread is
+/// visibly smaller than the speed/angle spreads — the paper's own
+/// observation.
+#[test]
+fn fig9_distance_effect_is_small_but_present() {
+    let accept = |d: f64, n: usize| {
+        ScenarioConfig { distance: DistanceSpec::Fixed(d), ..scenario(n) }
+            .acceptance(&facs_builder())
+    };
+    let near = accept(1.0, 100);
+    let far = accept(10.0, 100);
+    assert!(near >= far - 1.0, "near ({near}) should not lose to far ({far})");
+    let spread = near - far;
+    assert!(spread < 12.0, "distance spread ({spread}) must stay small");
+}
+
+/// Fig. 10: under heavy load FACS accepts fewer calls than SCC (it
+/// protects the QoS of ongoing calls) while the two stay close under
+/// light load.
+#[test]
+fn fig10_facs_vs_scc_relationship() {
+    let multi = |n: usize| ScenarioConfig {
+        requests: n * 7,
+        grid_radius: 1,
+        spawn: SpawnSpec::AnyCell,
+        replications: 2,
+        ..Default::default()
+    };
+    let scc_builder = |grid: &HexGrid| SccNetwork::new(SccConfig::default()).controllers(grid);
+    let facs_low = multi(10).acceptance(&facs_builder());
+    let scc_low = multi(10).acceptance(&scc_builder);
+    assert!((facs_low - scc_low).abs() < 5.0, "light load: close ({facs_low} vs {scc_low})");
+    let facs_high = multi(100).acceptance(&facs_builder());
+    let scc_high = multi(100).acceptance(&scc_builder);
+    assert!(
+        scc_high >= facs_high - 1.0,
+        "heavy load: SCC ({scc_high}) accepts at least as much as FACS ({facs_high})"
+    );
+}
+
+/// The QoS claim behind Fig. 10: FACS drops fewer handoffs than SCC under
+/// load — the cost of SCC's higher raw acceptance.
+#[test]
+fn facs_protects_ongoing_calls_better_than_scc() {
+    let config = ScenarioConfig {
+        requests: 700,
+        grid_radius: 1,
+        spawn: SpawnSpec::AnyCell,
+        mobility: MobilityChoice::Walker,
+        replications: 3,
+        ..Default::default()
+    };
+    let facs = config.aggregate(&facs_builder());
+    let scc =
+        config.aggregate(&|grid: &HexGrid| SccNetwork::new(SccConfig::default()).controllers(grid));
+    assert!(
+        facs.dropping_percentage() <= scc.dropping_percentage(),
+        "FACS dropping {}% must not exceed SCC dropping {}%",
+        facs.dropping_percentage(),
+        scc.dropping_percentage()
+    );
+}
+
+/// The paper's premise in §1: a good CAC balances blocking against
+/// dropping. Complete Sharing accepts the most calls but pays in drops
+/// relative to FACS under identical traffic.
+#[test]
+fn complete_sharing_accepts_more_but_protects_less() {
+    let config = ScenarioConfig {
+        requests: 700,
+        grid_radius: 1,
+        spawn: SpawnSpec::AnyCell,
+        mobility: MobilityChoice::Walker,
+        replications: 3,
+        ..Default::default()
+    };
+    let cs = config.aggregate(&|grid: &HexGrid| {
+        grid.cell_ids()
+            .map(|_| Box::new(facs_cac::policies::CompleteSharing::new()) as BoxedController)
+            .collect()
+    });
+    let facs = config.aggregate(&facs_builder());
+    assert!(
+        cs.acceptance_percentage() > facs.acceptance_percentage(),
+        "CS admits more raw calls"
+    );
+}

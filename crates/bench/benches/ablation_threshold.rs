@@ -15,9 +15,7 @@ fn bench_threshold(c: &mut Criterion) {
     for threshold in [0.0, 0.1, 0.25] {
         let build = facs_builder(FacsConfig { threshold, ..FacsConfig::default() });
         c.bench_function(&format!("scenario_threshold_{threshold:.2}"), |b| {
-            b.iter(|| {
-                ScenarioConfig { replications: 1, ..base_scenario(50) }.acceptance(&build)
-            })
+            b.iter(|| ScenarioConfig { replications: 1, ..base_scenario(50) }.acceptance(&build))
         });
     }
 }

@@ -14,8 +14,19 @@
 use facs_bench::*;
 
 const EXPERIMENTS: &[&str] = &[
-    "tab1", "tab2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "qos",
-    "ablation-defuzz", "ablation-tnorm", "ablation-threshold", "handoff",
+    "tab1",
+    "tab2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "qos",
+    "ablation-defuzz",
+    "ablation-tnorm",
+    "ablation-threshold",
+    "handoff",
 ];
 
 fn main() {

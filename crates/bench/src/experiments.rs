@@ -20,7 +20,6 @@ pub fn request_counts() -> Vec<usize> {
 }
 
 /// Builds one FACS controller per grid cell.
-#[must_use]
 pub fn facs_builder(config: FacsConfig) -> impl Fn(&HexGrid) -> Vec<BoxedController> {
     move |grid: &HexGrid| {
         grid.cell_ids()
@@ -33,7 +32,6 @@ pub fn facs_builder(config: FacsConfig) -> impl Fn(&HexGrid) -> Vec<BoxedControl
 }
 
 /// Builds one Complete Sharing controller per grid cell.
-#[must_use]
 pub fn cs_builder() -> impl Fn(&HexGrid) -> Vec<BoxedController> {
     |grid: &HexGrid| {
         grid.cell_ids().map(|_| Box::new(CompleteSharing::new()) as BoxedController).collect()
@@ -41,7 +39,6 @@ pub fn cs_builder() -> impl Fn(&HexGrid) -> Vec<BoxedController> {
 }
 
 /// Builds an SCC network per grid (fresh shadow board each run).
-#[must_use]
 pub fn scc_builder(config: SccConfig) -> impl Fn(&HexGrid) -> Vec<BoxedController> {
     move |grid: &HexGrid| SccNetwork::new(config).controllers(grid)
 }
@@ -215,8 +212,14 @@ pub fn qos_dropping(replications: u32) -> Vec<Series> {
     let mut cs = Series::new("CS drop%");
     for &n in &xs {
         let config = ScenarioConfig { replications, ..fig10_scenario(n) };
-        facs.push(n as f64, config.aggregate(&facs_builder(FacsConfig::default())).dropping_percentage());
-        scc.push(n as f64, config.aggregate(&scc_builder(SccConfig::default())).dropping_percentage());
+        facs.push(
+            n as f64,
+            config.aggregate(&facs_builder(FacsConfig::default())).dropping_percentage(),
+        );
+        scc.push(
+            n as f64,
+            config.aggregate(&scc_builder(SccConfig::default())).dropping_percentage(),
+        );
         cs.push(n as f64, config.aggregate(&cs_builder()).dropping_percentage());
     }
     vec![facs, scc, cs]
@@ -312,10 +315,8 @@ pub fn ascii_chart(series: &[Series], y_min: f64, y_max: f64) -> String {
     let mut out = String::new();
     const ROWS: usize = 20;
     let marks = ['*', 'o', '+', 'x', '#', '@'];
-    let x_max = series
-        .iter()
-        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
-        .fold(1.0_f64, f64::max);
+    let x_max =
+        series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).fold(1.0_f64, f64::max);
     let mut grid = vec![vec![' '; 64]; ROWS + 1];
     for (si, s) in series.iter().enumerate() {
         for &(x, y) in &s.points {

@@ -127,8 +127,7 @@ mod tests {
 
     #[test]
     fn boxed_controller_delegates() {
-        let mut boxed: BoxedController =
-            Box::new(CountingController { admitted: 0, released: 0 });
+        let mut boxed: BoxedController = Box::new(CountingController { admitted: 0, released: 0 });
         let cell = CellSnapshot::empty(BandwidthUnits::new(40));
         assert_eq!(boxed.name(), "counting");
         assert!(boxed.decide(&request(), &cell).admits());
@@ -138,9 +137,8 @@ mod tests {
 
     #[test]
     fn closures_are_factories() {
-        let factory = || -> BoxedController {
-            Box::new(CountingController { admitted: 0, released: 0 })
-        };
+        let factory =
+            || -> BoxedController { Box::new(CountingController { admitted: 0, released: 0 }) };
         let a = factory.build();
         let b = factory.build();
         assert_eq!(a.name(), "counting");

@@ -73,7 +73,7 @@ mod tests {
     fn admits_while_it_fits() {
         let mut cs = CompleteSharing::new();
         assert!(cs.decide(&req(ServiceClass::Video), &cell(30)).admits());
-        assert!(cs.decide(&req(ServiceClass::Video), &cell(31)).admits() == false);
+        assert!(!cs.decide(&req(ServiceClass::Video), &cell(31)).admits());
         assert!(cs.decide(&req(ServiceClass::Text), &cell(39)).admits());
         assert!(!cs.decide(&req(ServiceClass::Text), &cell(40)).admits());
     }

@@ -131,9 +131,8 @@ mod tests {
     fn error_diffusion_converges_to_probability() {
         let mut fg = FractionalGuardChannel::new(0.5, 1.0);
         // Utilization 0.75 => p = 0.5: exactly half of arrivals admitted.
-        let admitted = (0..1000)
-            .filter(|_| fg.decide(&req(CallKind::New), &cell(30)).admits())
-            .count();
+        let admitted =
+            (0..1000).filter(|_| fg.decide(&req(CallKind::New), &cell(30)).admits()).count();
         assert_eq!(admitted, 500);
     }
 

@@ -20,7 +20,8 @@ pub enum ServiceClass {
 
 impl ServiceClass {
     /// All classes, in demand order.
-    pub const ALL: [ServiceClass; 3] = [ServiceClass::Text, ServiceClass::Voice, ServiceClass::Video];
+    pub const ALL: [ServiceClass; 3] =
+        [ServiceClass::Text, ServiceClass::Voice, ServiceClass::Video];
 
     /// Bandwidth demanded by one call of this class.
     #[must_use]

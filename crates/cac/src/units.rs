@@ -173,8 +173,7 @@ mod tests {
 
     #[test]
     fn sums() {
-        let total: BandwidthUnits =
-            [1u32, 5, 10].into_iter().map(BandwidthUnits::new).sum();
+        let total: BandwidthUnits = [1u32, 5, 10].into_iter().map(BandwidthUnits::new).sum();
         assert_eq!(total.get(), 16);
     }
 }

@@ -145,7 +145,8 @@ mod tests {
         q.schedule(t(3.0), Event::MovementTick);
         q.schedule(t(1.0), Event::Arrival { user: UserId(1) });
         q.schedule(t(2.0), Event::Arrival { user: UserId(2) });
-        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|(tm, _)| tm.as_secs_f64()).collect();
+        let order: Vec<f64> =
+            std::iter::from_fn(|| q.pop()).map(|(tm, _)| tm.as_secs_f64()).collect();
         assert_eq!(order, vec![1.0, 2.0, 3.0]);
     }
 

@@ -131,8 +131,7 @@ impl HexGrid {
         for ring in 1..=radius as i32 {
             // Walk the ring starting from (ring, 0) (standard ring walk).
             let mut coord = HexCoord::new(ring, 0);
-            const DIRS: [(i32, i32); 6] =
-                [(0, -1), (-1, 0), (-1, 1), (0, 1), (1, 0), (1, -1)];
+            const DIRS: [(i32, i32); 6] = [(0, -1), (-1, 0), (-1, 1), (0, 1), (1, 0), (1, -1)];
             for (dq, dr) in DIRS {
                 for _ in 0..ring {
                     coords.push(coord);
@@ -140,8 +139,7 @@ impl HexGrid {
                 }
             }
         }
-        let by_coord =
-            coords.iter().enumerate().map(|(i, &c)| (c, CellId(i as u32))).collect();
+        let by_coord = coords.iter().enumerate().map(|(i, &c)| (c, CellId(i as u32))).collect();
         Self { radius, cell_radius_km, coords, by_coord }
     }
 
@@ -281,10 +279,7 @@ mod tests {
         let g = HexGrid::new(2, 1.0);
         for id in g.cell_ids() {
             for n in g.neighbors_of(id) {
-                assert!(
-                    g.neighbors_of(n).contains(&id),
-                    "{id} -> {n} not symmetric"
-                );
+                assert!(g.neighbors_of(n).contains(&id), "{id} -> {n} not symmetric");
             }
         }
     }
@@ -324,7 +319,9 @@ mod tests {
         // A point clearly inside the east neighbor.
         let east = g
             .cell_ids()
-            .find(|&id| id != CellId(0) && g.center_of(id).y.abs() < 1e-9 && g.center_of(id).x > 0.0)
+            .find(|&id| {
+                id != CellId(0) && g.center_of(id).y.abs() < 1e-9 && g.center_of(id).x > 0.0
+            })
             .expect("east neighbor exists");
         let p = Point::new(g.center_of(east).x - 0.1, 0.0);
         assert_eq!(g.locate(p), east);

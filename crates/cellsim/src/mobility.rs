@@ -156,23 +156,14 @@ impl RandomWaypoint {
             "bad region radius {region_radius_km}"
         );
         assert!(pause_s.is_finite() && pause_s >= 0.0, "bad pause {pause_s}");
-        Self {
-            region_center,
-            region_radius_km,
-            pause_s,
-            destination: None,
-            pause_left_s: 0.0,
-        }
+        Self { region_center, region_radius_km, pause_s, destination: None, pause_left_s: 0.0 }
     }
 
     fn pick_destination(&mut self, rng: &mut SimRng) -> Point {
         // Uniform in the disc via rejection-free polar sampling.
         let theta = rng.uniform_range(0.0, std::f64::consts::TAU);
         let r = self.region_radius_km * rng.uniform().sqrt();
-        Point::new(
-            self.region_center.x + r * theta.cos(),
-            self.region_center.y + r * theta.sin(),
-        )
+        Point::new(self.region_center.x + r * theta.cos(), self.region_center.y + r * theta.sin())
     }
 }
 
@@ -226,12 +217,7 @@ impl GaussMarkov {
     ///
     /// Panics if `alpha` is outside `[0, 1]` or sigmas are negative.
     #[must_use]
-    pub fn new(
-        alpha: f64,
-        mean_speed_kmh: f64,
-        speed_sigma: f64,
-        heading_sigma_deg: f64,
-    ) -> Self {
+    pub fn new(alpha: f64, mean_speed_kmh: f64, speed_sigma: f64, heading_sigma_deg: f64) -> Self {
         assert!((0.0..=1.0).contains(&alpha), "alpha {alpha} outside [0,1]");
         assert!(speed_sigma >= 0.0 && heading_sigma_deg >= 0.0, "negative sigma");
         Self {

@@ -9,7 +9,9 @@ use facs_cac::{
 use crate::events::{Event, EventQueue, UserId};
 use crate::geometry::{HexGrid, Point};
 use crate::metrics::Metrics;
-use crate::mobility::{GaussMarkov, MobileState, MobilityModel, RandomWaypoint, StraightLine, Walker};
+use crate::mobility::{
+    GaussMarkov, MobileState, MobilityModel, RandomWaypoint, StraightLine, Walker,
+};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
@@ -190,7 +192,8 @@ impl Simulation {
                 holding_s: spec.holding_s,
                 call: None,
             });
-            self.queue.schedule(SimTime::from_secs_f64(spec.arrival_s), Event::Arrival { user: id });
+            self.queue
+                .schedule(SimTime::from_secs_f64(spec.arrival_s), Event::Arrival { user: id });
             self.pending_arrivals += 1;
         }
         self.queue
@@ -538,11 +541,7 @@ mod tests {
             fn name(&self) -> &str {
                 "deny"
             }
-            fn decide(
-                &mut self,
-                _r: &CallRequest,
-                _c: &facs_cac::CellSnapshot,
-            ) -> Decision {
+            fn decide(&mut self, _r: &CallRequest, _c: &facs_cac::CellSnapshot) -> Decision {
                 Decision::binary(false)
             }
         }

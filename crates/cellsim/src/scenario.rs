@@ -11,9 +11,9 @@ use facs_cac::{BandwidthUnits, BoxedController};
 use crate::geometry::HexGrid;
 use crate::metrics::{Metrics, Series};
 use crate::mobility::{MobileState, Walker};
-use crate::stats::Summary;
 use crate::network::{MobilityKind, Simulation, SimulationConfig, UserSpec};
 use crate::rng::SimRng;
+use crate::stats::Summary;
 use crate::traffic::{HoldingTimes, PoissonArrivals, TrafficMix};
 
 /// How user speed is drawn.
@@ -225,11 +225,7 @@ impl ScenarioConfig {
 
     /// Runs the scenario once with the given per-grid controller builder
     /// and returns the metrics.
-    pub fn run_once(
-        &self,
-        seed: u64,
-        build: &dyn Fn(&HexGrid) -> Vec<BoxedController>,
-    ) -> Metrics {
+    pub fn run_once(&self, seed: u64, build: &dyn Fn(&HexGrid) -> Vec<BoxedController>) -> Metrics {
         let grid = self.grid();
         let controllers = build(&grid);
         let config = SimulationConfig {
@@ -254,10 +250,7 @@ impl ScenarioConfig {
 
     /// Runs all replications and returns the acceptance percentage with
     /// a 95 % confidence interval across replications.
-    pub fn acceptance_summary(
-        &self,
-        build: &dyn Fn(&HexGrid) -> Vec<BoxedController>,
-    ) -> Summary {
+    pub fn acceptance_summary(&self, build: &dyn Fn(&HexGrid) -> Vec<BoxedController>) -> Summary {
         let sample: Vec<f64> = (0..self.replications.max(1))
             .map(|rep| {
                 self.run_once(self.seed + u64::from(rep) * 7919, build).acceptance_percentage()
@@ -442,9 +435,7 @@ mod summary_tests {
     fn acceptance_summary_reports_interval() {
         let config = ScenarioConfig { requests: 60, replications: 3, ..Default::default() };
         let summary = config.acceptance_summary(&|grid: &HexGrid| {
-            grid.cell_ids()
-                .map(|_| Box::new(CompleteSharing::new()) as BoxedController)
-                .collect()
+            grid.cell_ids().map(|_| Box::new(CompleteSharing::new()) as BoxedController).collect()
         });
         assert_eq!(summary.n, 3);
         assert!(summary.mean > 0.0 && summary.mean <= 100.0);

@@ -1,6 +1,5 @@
 //! Property-based tests over the simulator substrate invariants.
 
-use facs_cac::CellId;
 use facs_cellsim::erlang::erlang_b;
 use facs_cellsim::events::{Event, EventQueue, UserId};
 use facs_cellsim::geometry::{HexCoord, HexGrid, Point};

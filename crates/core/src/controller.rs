@@ -1,8 +1,6 @@
 //! The FACS admission controller: FLC1 → FLC2 cascade (paper Fig. 4).
 
-use facs_cac::{
-    AdmissionController, CallKind, CallRequest, CellSnapshot, Decision, MobilityInfo,
-};
+use facs_cac::{AdmissionController, CallKind, CallRequest, CellSnapshot, Decision, MobilityInfo};
 use facs_fuzzy::{FuzzyError, InferenceConfig};
 
 use crate::flc1::Flc1;
@@ -287,16 +285,12 @@ mod tests {
 
     #[test]
     fn threshold_is_configurable() {
-        let strict = FacsController::with_config(FacsConfig {
-            threshold: 0.6,
-            ..FacsConfig::default()
-        })
-        .unwrap();
-        let lax = FacsController::with_config(FacsConfig {
-            threshold: -0.6,
-            ..FacsConfig::default()
-        })
-        .unwrap();
+        let strict =
+            FacsController::with_config(FacsConfig { threshold: 0.6, ..FacsConfig::default() })
+                .unwrap();
+        let lax =
+            FacsController::with_config(FacsConfig { threshold: -0.6, ..FacsConfig::default() })
+                .unwrap();
         let r = req(ServiceClass::Video, CallKind::New, MobilityInfo::new(30.0, 40.0, 4.0));
         let mid_cell = cell(14);
         let eval_strict = strict.evaluate(&r, &mid_cell);
@@ -308,11 +302,9 @@ mod tests {
 
     #[test]
     fn handoff_bias_prioritizes_handoffs() {
-        let biased = FacsController::with_config(FacsConfig {
-            handoff_bias: 0.4,
-            ..FacsConfig::default()
-        })
-        .unwrap();
+        let biased =
+            FacsController::with_config(FacsConfig { handoff_bias: 0.4, ..FacsConfig::default() })
+                .unwrap();
         let mobility = MobilityInfo::new(5.0, 100.0, 6.0);
         let new_call = req(ServiceClass::Voice, CallKind::New, mobility);
         let handoff = req(ServiceClass::Voice, CallKind::Handoff, mobility);
@@ -355,11 +347,9 @@ mod tests {
     #[test]
     fn capacity_scaling_for_bigger_cells() {
         // An 80-BU cell half full should look like Cs = 20 (Middle).
-        let big = FacsController::with_config(FacsConfig {
-            capacity_bu: 80,
-            ..FacsConfig::default()
-        })
-        .unwrap();
+        let big =
+            FacsController::with_config(FacsConfig { capacity_bu: 80, ..FacsConfig::default() })
+                .unwrap();
         let big_cell = CellSnapshot {
             capacity: BandwidthUnits::new(80),
             occupied: BandwidthUnits::new(40),

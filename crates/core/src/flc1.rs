@@ -10,9 +10,7 @@
 //! and exposed as named constants so EXPERIMENTS.md can cite them.
 
 use facs_cac::MobilityInfo;
-use facs_fuzzy::{
-    Engine, FuzzyError, InferenceConfig, MembershipFunction, Rule, Variable,
-};
+use facs_fuzzy::{Engine, FuzzyError, InferenceConfig, MembershipFunction, Rule, Variable};
 
 use crate::tables::FRB1;
 
@@ -71,14 +69,10 @@ fn cv_variable() -> Result<Variable, FuzzyError> {
         .term("cv1", MembershipFunction::trapezoidal(-1.0, 0.0, 0.0, step)?);
     for i in 2..=8 {
         let center = step * (i as f64 - 1.0);
-        builder = builder.term(
-            format!("cv{i}"),
-            MembershipFunction::triangular(center, step, step)?,
-        );
+        builder =
+            builder.term(format!("cv{i}"), MembershipFunction::triangular(center, step, step)?);
     }
-    builder
-        .term("cv9", MembershipFunction::trapezoidal(1.0, 2.0, step, 0.0)?)
-        .build()
+    builder.term("cv9", MembershipFunction::trapezoidal(1.0, 2.0, step, 0.0)?).build()
 }
 
 /// The compiled FLC1.

@@ -149,10 +149,8 @@ mod tests {
         // correction) — users heading straight at a nearby BS are the
         // safest admissions.
         for speed in ["sl", "m", "fa"] {
-            let row = FRB1
-                .iter()
-                .find(|&&(s, a, d, _)| s == speed && a == "st" && d == "n")
-                .unwrap();
+            let row =
+                FRB1.iter().find(|&&(s, a, d, _)| s == speed && a == "st" && d == "n").unwrap();
             assert_eq!(row.3, "cv9", "speed {speed}");
         }
     }
@@ -163,10 +161,8 @@ mod tests {
         // only good-correction users are accepted.
         for request in ["t", "vo", "vi"] {
             for (cv, expect) in [("b", "nrna"), ("n", "nrna"), ("g", "a")] {
-                let row = FRB2
-                    .iter()
-                    .find(|&&(c, r, s, _)| c == cv && r == request && s == "m")
-                    .unwrap();
+                let row =
+                    FRB2.iter().find(|&&(c, r, s, _)| c == cv && r == request && s == "m").unwrap();
                 assert_eq!(row.3, expect, "cv={cv} request={request}");
             }
         }

@@ -278,7 +278,8 @@ mod tests {
     fn admission_allocates_and_release_frees() {
         let grid = HexGrid::single_cell(10.0);
         let cluster = Cluster::spawn(&grid, BandwidthUnits::new(40), cs_controllers(1));
-        let outcome = cluster.request_admission(CellId(0), request(1, ServiceClass::Video)).unwrap();
+        let outcome =
+            cluster.request_admission(CellId(0), request(1, ServiceClass::Video)).unwrap();
         assert!(outcome.admitted);
         assert_eq!(outcome.occupied_after.get(), 10);
         cluster.release(CellId(0), CallId(1)).unwrap();
@@ -292,7 +293,10 @@ mod tests {
         let cluster = Cluster::spawn(&grid, BandwidthUnits::new(40), cs_controllers(1));
         let mut admitted = 0;
         for i in 0..6 {
-            if cluster.request_admission(CellId(0), request(i, ServiceClass::Video)).unwrap().admitted
+            if cluster
+                .request_admission(CellId(0), request(i, ServiceClass::Video))
+                .unwrap()
+                .admitted
             {
                 admitted += 1;
             }
@@ -305,14 +309,20 @@ mod tests {
     fn handoff_moves_allocation() {
         let grid = HexGrid::new(1, 10.0);
         let cluster = Cluster::spawn(&grid, BandwidthUnits::new(40), cs_controllers(7));
-        assert!(cluster.request_admission(CellId(0), request(1, ServiceClass::Voice)).unwrap().admitted);
+        assert!(
+            cluster.request_admission(CellId(0), request(1, ServiceClass::Voice)).unwrap().admitted
+        );
         let outcome = cluster
-            .handoff(CellId(0), CellId(1), CallRequest::new(
-                CallId(1),
-                ServiceClass::Voice,
-                CallKind::Handoff,
-                MobilityInfo::new(30.0, 0.0, 2.0),
-            ))
+            .handoff(
+                CellId(0),
+                CellId(1),
+                CallRequest::new(
+                    CallId(1),
+                    ServiceClass::Voice,
+                    CallKind::Handoff,
+                    MobilityInfo::new(30.0, 0.0, 2.0),
+                ),
+            )
             .unwrap();
         assert!(outcome.admitted);
         assert_eq!(cluster.occupancy(CellId(0)).unwrap(), BandwidthUnits::ZERO);
@@ -348,11 +358,8 @@ mod tests {
     #[test]
     fn concurrent_admissions_conserve_capacity() {
         let grid = HexGrid::single_cell(10.0);
-        let cluster = std::sync::Arc::new(Cluster::spawn(
-            &grid,
-            BandwidthUnits::new(40),
-            cs_controllers(1),
-        ));
+        let cluster =
+            std::sync::Arc::new(Cluster::spawn(&grid, BandwidthUnits::new(40), cs_controllers(1)));
         let mut joins = Vec::new();
         for t in 0..8 {
             let cluster = std::sync::Arc::clone(&cluster);

@@ -17,10 +17,11 @@ pub const DEFAULT_RESOLUTION: usize = 501;
 ///
 /// `Centroid` is the paper-faithful default; the others exist both for
 /// general use and for the ablation study in the benchmark suite.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum Defuzzifier {
     /// Center of gravity of the aggregated set (the Mamdani classic).
+    #[default]
     Centroid,
     /// Vertical line splitting the aggregated area in half.
     Bisector,
@@ -34,12 +35,6 @@ pub enum Defuzzifier {
     /// weighted by firing strength. Skips building the aggregated surface
     /// entirely — the fastest option, at some fidelity cost.
     WeightedAverage,
-}
-
-impl Default for Defuzzifier {
-    fn default() -> Self {
-        Defuzzifier::Centroid
-    }
 }
 
 impl Defuzzifier {
@@ -121,14 +116,20 @@ mod tests {
 
     #[test]
     fn maxima_strategies_on_plateau() {
-        let set = SampledSet::from_fn(0.0, 1.0, 1001, |x| {
-            if (0.2..=0.4).contains(&x) {
-                0.7
-            } else {
-                0.0
-            }
-        })
-        .unwrap();
+        let set =
+            SampledSet::from_fn(
+                0.0,
+                1.0,
+                1001,
+                |x| {
+                    if (0.2..=0.4).contains(&x) {
+                        0.7
+                    } else {
+                        0.0
+                    }
+                },
+            )
+            .unwrap();
         let som = Defuzzifier::SmallestOfMaxima.crisp(&set).unwrap();
         let lom = Defuzzifier::LargestOfMaxima.crisp(&set).unwrap();
         let mom = Defuzzifier::MeanOfMaxima.crisp(&set).unwrap();

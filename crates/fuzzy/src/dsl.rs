@@ -105,7 +105,8 @@ impl<'a> Tokenizer<'a> {
             self.consumed += 1;
             return Ok(Some((Token::Colon, column)));
         }
-        let is_word_char = |c: char| c.is_alphanumeric() || c == '_' || c == '.' || c == '-' || c == '+';
+        let is_word_char =
+            |c: char| c.is_alphanumeric() || c == '_' || c == '.' || c == '-' || c == '+';
         if !is_word_char(first) {
             return Err(self.error(format!("unexpected character `{first}`")));
         }
@@ -114,8 +115,7 @@ impl<'a> Tokenizer<'a> {
         self.rest = &self.rest[end..];
         self.consumed += end;
         // Numbers: anything that parses as f64 and starts with digit/sign/dot.
-        let starts_numeric =
-            first.is_ascii_digit() || first == '-' || first == '+' || first == '.';
+        let starts_numeric = first.is_ascii_digit() || first == '-' || first == '+' || first == '.';
         if starts_numeric {
             return match word.parse::<f64>() {
                 Ok(n) => Ok(Some((Token::Number(n), column))),
@@ -165,9 +165,13 @@ impl Parser {
             Some(other) => {
                 let found = describe(other);
                 let column = self.tokens[self.pos - 1].1;
-                Err(self.error_at(column, format!("expected `{}`, found {found}", keyword.to_uppercase())))
+                Err(self.error_at(
+                    column,
+                    format!("expected `{}`, found {found}", keyword.to_uppercase()),
+                ))
             }
-            None => Err(self.error_here(format!("expected `{}`, found end of line", keyword.to_uppercase()))),
+            None => Err(self
+                .error_here(format!("expected `{}`, found end of line", keyword.to_uppercase()))),
         }
     }
 
@@ -219,11 +223,8 @@ fn parse_rule_line(line: &str, line_no: usize) -> Result<Rule> {
 
     // First clause.
     let (variable, term, negated) = parse_clause(&mut parser)?;
-    let mut builder: RuleBuilder = if negated {
-        Rule::when_not(variable, term)
-    } else {
-        Rule::when(variable, term)
-    };
+    let mut builder: RuleBuilder =
+        if negated { Rule::when_not(variable, term) } else { Rule::when(variable, term) };
     if let Some(l) = label {
         builder = builder.label(l);
     }

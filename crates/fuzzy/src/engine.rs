@@ -575,13 +575,12 @@ impl EngineBuilder {
                 let output = *output_index.get(consequent.variable()).ok_or_else(|| {
                     FuzzyError::UnknownVariable { variable: consequent.variable().to_owned() }
                 })?;
-                let term =
-                    self.outputs[output].term_index(consequent.term()).ok_or_else(|| {
-                        FuzzyError::UnknownTerm {
-                            variable: consequent.variable().to_owned(),
-                            term: consequent.term().to_owned(),
-                        }
-                    })?;
+                let term = self.outputs[output].term_index(consequent.term()).ok_or_else(|| {
+                    FuzzyError::UnknownTerm {
+                        variable: consequent.variable().to_owned(),
+                        term: consequent.term().to_owned(),
+                    }
+                })?;
                 consequents.push(CompiledConsequent { output, term });
             }
             compiled.push(CompiledRule {
@@ -594,9 +593,8 @@ impl EngineBuilder {
 
         let mut fallbacks = HashMap::new();
         for (name, value) in self.fallbacks {
-            let idx = *output_index
-                .get(&name)
-                .ok_or(FuzzyError::UnknownVariable { variable: name })?;
+            let idx =
+                *output_index.get(&name).ok_or(FuzzyError::UnknownVariable { variable: name })?;
             fallbacks.insert(idx, value);
         }
 
@@ -644,7 +642,13 @@ mod tests {
             .input(service)
             .input(food)
             .output(tip)
-            .rule(Rule::when("service", "poor").or("food", "rancid").then("tip", "low").build().unwrap())
+            .rule(
+                Rule::when("service", "poor")
+                    .or("food", "rancid")
+                    .then("tip", "low")
+                    .build()
+                    .unwrap(),
+            )
             .rule(Rule::when("service", "good").then("tip", "medium").build().unwrap())
             .rule(
                 Rule::when("service", "excellent")
@@ -791,14 +795,8 @@ mod tests {
 
     #[test]
     fn no_rule_fired_without_fallback_errors() {
-        let x = Variable::builder("x", 0.0, 10.0)
-            .term("left", tri(0.0, 0.0, 2.0))
-            .build()
-            .unwrap();
-        let y = Variable::builder("y", 0.0, 1.0)
-            .term("t", tri(0.5, 0.5, 0.5))
-            .build()
-            .unwrap();
+        let x = Variable::builder("x", 0.0, 10.0).term("left", tri(0.0, 0.0, 2.0)).build().unwrap();
+        let y = Variable::builder("y", 0.0, 1.0).term("t", tri(0.5, 0.5, 0.5)).build().unwrap();
         let engine = Engine::builder()
             .input(x)
             .output(y)
@@ -811,14 +809,8 @@ mod tests {
 
     #[test]
     fn fallback_replaces_no_rule_fired() {
-        let x = Variable::builder("x", 0.0, 10.0)
-            .term("left", tri(0.0, 0.0, 2.0))
-            .build()
-            .unwrap();
-        let y = Variable::builder("y", 0.0, 1.0)
-            .term("t", tri(0.5, 0.5, 0.5))
-            .build()
-            .unwrap();
+        let x = Variable::builder("x", 0.0, 10.0).term("left", tri(0.0, 0.0, 2.0)).build().unwrap();
+        let y = Variable::builder("y", 0.0, 1.0).term("t", tri(0.5, 0.5, 0.5)).build().unwrap();
         let engine = Engine::builder()
             .input(x)
             .output(y)

@@ -147,7 +147,9 @@ impl MembershipFunction {
         ensure_finite(&[left_top, right_top, left_width, right_width])?;
         if right_top < left_top {
             return Err(FuzzyError::InvalidMembership {
-                reason: format!("trapezoid top edges out of order (x0={left_top} > x1={right_top})"),
+                reason: format!(
+                    "trapezoid top edges out of order (x0={left_top} > x1={right_top})"
+                ),
             });
         }
         if left_width < 0.0 || right_width < 0.0 {
@@ -598,10 +600,7 @@ mod tests {
 
     #[test]
     fn representative_matches_peak_region() {
-        assert_eq!(
-            MembershipFunction::triangular(4.0, 1.0, 1.0).unwrap().representative(),
-            4.0
-        );
+        assert_eq!(MembershipFunction::triangular(4.0, 1.0, 1.0).unwrap().representative(), 4.0);
         assert_eq!(
             MembershipFunction::trapezoidal(2.0, 6.0, 1.0, 1.0).unwrap().representative(),
             4.0

@@ -151,9 +151,7 @@ mod tests {
 
     #[test]
     fn snorm_axioms_hold() {
-        for norm in
-            [SNorm::Maximum, SNorm::ProbabilisticSum, SNorm::BoundedSum, SNorm::Drastic]
-        {
+        for norm in [SNorm::Maximum, SNorm::ProbabilisticSum, SNorm::BoundedSum, SNorm::Drastic] {
             for &(a, b) in CASES {
                 let ab = norm.apply(a, b);
                 assert_eq!(ab, norm.apply(b, a), "{norm:?} commutativity");

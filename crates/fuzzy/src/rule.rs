@@ -425,7 +425,8 @@ mod tests {
 
     #[test]
     fn builder_produces_paper_rule_shape() {
-        let rule = Rule::when("S", "Sl").and("A", "St").and("D", "N").then("Cv", "Cv9").build().unwrap();
+        let rule =
+            Rule::when("S", "Sl").and("A", "St").and("D", "N").then("Cv", "Cv9").build().unwrap();
         assert_eq!(rule.clauses().len(), 3);
         assert_eq!(rule.connective(), Connective::And);
         assert_eq!(rule.consequents()[0].variable(), "cv");
@@ -474,8 +475,7 @@ mod tests {
 
     #[test]
     fn multiple_consequents() {
-        let rule =
-            Rule::when("a", "x").then("o1", "t1").then("o2", "t2").build().unwrap();
+        let rule = Rule::when("a", "x").then("o1", "t1").then("o2", "t2").build().unwrap();
         assert_eq!(rule.consequents().len(), 2);
     }
 
@@ -483,7 +483,11 @@ mod tests {
     fn rulebase_collects_and_iterates() {
         let base: RuleBase = (0..5)
             .map(|i| {
-                Rule::when("a", "x").then("o", format!("t{i}")).label(format!("r{i}")).build().unwrap()
+                Rule::when("a", "x")
+                    .then("o", format!("t{i}"))
+                    .label(format!("r{i}"))
+                    .build()
+                    .unwrap()
             })
             .collect();
         assert_eq!(base.len(), 5);

@@ -225,10 +225,7 @@ impl SampledSet {
             return None;
         }
         let tol = 1e-9;
-        self.values
-            .iter()
-            .position(|&v| (v - h).abs() <= tol)
-            .map(|i| self.x_at(i))
+        self.values.iter().position(|&v| (v - h).abs() <= tol).map(|i| self.x_at(i))
     }
 
     /// Largest coordinate attaining the maximum membership, or `None` when
@@ -240,10 +237,7 @@ impl SampledSet {
             return None;
         }
         let tol = 1e-9;
-        self.values
-            .iter()
-            .rposition(|&v| (v - h).abs() <= tol)
-            .map(|i| self.x_at(i))
+        self.values.iter().rposition(|&v| (v - h).abs() <= tol).map(|i| self.x_at(i))
     }
 }
 
@@ -314,14 +308,20 @@ mod tests {
     #[test]
     fn plateau_maxima_statistics() {
         // Flat top between 0.4 and 0.6.
-        let s = SampledSet::from_fn(0.0, 1.0, 1001, |x| {
-            if (0.4..=0.6).contains(&x) {
-                1.0
-            } else {
-                0.0
-            }
-        })
-        .unwrap();
+        let s =
+            SampledSet::from_fn(
+                0.0,
+                1.0,
+                1001,
+                |x| {
+                    if (0.4..=0.6).contains(&x) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                },
+            )
+            .unwrap();
         assert!((s.smallest_of_maxima().unwrap() - 0.4).abs() < 1e-3);
         assert!((s.largest_of_maxima().unwrap() - 0.6).abs() < 1e-3);
         assert!((s.mean_of_maxima().unwrap() - 0.5).abs() < 1e-3);
@@ -329,7 +329,8 @@ mod tests {
 
     #[test]
     fn merge_with_max_unions() {
-        let mut a = SampledSet::from_fn(0.0, 1.0, 101, |x| if x < 0.5 { 0.8 } else { 0.0 }).unwrap();
+        let mut a =
+            SampledSet::from_fn(0.0, 1.0, 101, |x| if x < 0.5 { 0.8 } else { 0.0 }).unwrap();
         let b = SampledSet::from_fn(0.0, 1.0, 101, |x| if x >= 0.5 { 0.6 } else { 0.0 }).unwrap();
         a.merge_with(&b, f64::max);
         assert_eq!(a.values()[0], 0.8);
@@ -353,7 +354,8 @@ mod tests {
 
     #[test]
     fn from_fn_sanitizes_non_finite() {
-        let s = SampledSet::from_fn(0.0, 1.0, 11, |x| if x == 0.0 { f64::NAN } else { 0.5 }).unwrap();
+        let s =
+            SampledSet::from_fn(0.0, 1.0, 11, |x| if x == 0.0 { f64::NAN } else { 0.5 }).unwrap();
         assert_eq!(s.values()[0], 0.0);
     }
 

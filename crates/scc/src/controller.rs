@@ -34,12 +34,7 @@ pub struct SccConfig {
 
 impl Default for SccConfig {
     fn default() -> Self {
-        Self {
-            horizon_s: 300.0,
-            threshold: 0.75,
-            cluster_threshold: 0.80,
-            cell_radius_km: 10.0,
-        }
+        Self { horizon_s: 300.0, threshold: 0.75, cluster_threshold: 0.80, cell_radius_km: 10.0 }
     }
 }
 
@@ -114,8 +109,8 @@ impl AdmissionController for SccController {
             // as in a real message-based deployment).
             let cluster_budget = capacity * self.config.cluster_threshold;
             for &(neighbor, share) in &self.contribution_for(request) {
-                let neighbor_projected = f64::from(self.board.occupied_of(neighbor))
-                    + self.board.influence_on(neighbor);
+                let neighbor_projected =
+                    f64::from(self.board.occupied_of(neighbor)) + self.board.influence_on(neighbor);
                 if neighbor_projected + share > cluster_budget {
                     admit = false;
                     break;

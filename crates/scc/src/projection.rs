@@ -33,11 +33,7 @@ pub fn exit_chord_km(mobility: &MobilityInfo, cell_radius_km: f64) -> f64 {
 /// `horizon_s` seconds, assuming it holds its current speed and heading:
 /// the fraction of the exit chord covered in the horizon, clamped to 1.
 #[must_use]
-pub fn handoff_probability(
-    mobility: &MobilityInfo,
-    cell_radius_km: f64,
-    horizon_s: f64,
-) -> f64 {
+pub fn handoff_probability(mobility: &MobilityInfo, cell_radius_km: f64, horizon_s: f64) -> f64 {
     if !mobility.is_finite() {
         return 0.0;
     }
@@ -48,11 +44,7 @@ pub fn handoff_probability(
 
 /// Probability the mobile is still in its serving cell at the horizon.
 #[must_use]
-pub fn residency_probability(
-    mobility: &MobilityInfo,
-    cell_radius_km: f64,
-    horizon_s: f64,
-) -> f64 {
+pub fn residency_probability(mobility: &MobilityInfo, cell_radius_km: f64, horizon_s: f64) -> f64 {
     1.0 - handoff_probability(mobility, cell_radius_km, horizon_s)
 }
 

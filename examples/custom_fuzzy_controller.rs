@@ -31,7 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          RULE idle:    IF signal IS strong                   THEN urgency IS u1\n",
     )?;
 
-    let engine = Engine::builder().input(signal).input(speed).output(urgency).rules(rules).build()?;
+    let engine =
+        Engine::builder().input(signal).input(speed).output(urgency).rules(rules).build()?;
 
     println!("signal dBm | speed km/h | handoff urgency");
     println!("-----------+------------+----------------");

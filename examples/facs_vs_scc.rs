@@ -18,8 +18,7 @@ fn main() {
             .map(|_| Box::new(FacsController::new().expect("FACS builds")) as BoxedController)
             .collect()
     };
-    let scc_builder =
-        |grid: &HexGrid| SccNetwork::new(SccConfig::default()).controllers(grid);
+    let scc_builder = |grid: &HexGrid| SccNetwork::new(SccConfig::default()).controllers(grid);
 
     println!("7-cell cluster, walker mobility, paper traffic mix");
     println!("req/cell |  FACS acc% | SCC acc%  | FACS drop% | SCC drop%");

@@ -1,0 +1,199 @@
+//! Offline stand-in for `criterion` 0.5: enough API for the workspace's
+//! `harness = false` benches to compile and produce useful timings.
+//!
+//! Each `bench_function` warms up briefly, then measures batches until
+//! the configured measurement time elapses and reports the mean
+//! nanoseconds per iteration to stderr. There is no statistical
+//! analysis, outlier rejection, or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, forwarding to [`std::hint::black_box`].
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver handed to every target function.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measurement samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long to warm up before measuring.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement-time budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some((iters, nanos)) => {
+                let per_iter = nanos / iters.max(1) as f64;
+                eprintln!("{id:<40} time: {} ({iters} iterations)", format_nanos(per_iter));
+            }
+            None => eprintln!("{id:<40} (no measurement: bencher was not driven)"),
+        }
+        self
+    }
+}
+
+fn format_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times a closure over repeated iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    /// `(total_iterations, total_nanos)` once driven.
+    report: Option<(u64, f64)>,
+}
+
+impl Bencher {
+    /// Measures `routine`, keeping its return value alive through a
+    /// black box so the optimizer cannot delete the work.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run until the warm-up budget elapses, counting
+        // iterations to size the measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+
+        // Size each sample so the whole measurement fits the budget.
+        let budget_nanos = self.measurement_time.as_nanos() as f64;
+        let total_iters = (budget_nanos / per_iter.max(1.0)).ceil() as u64;
+        let batch = (total_iters / self.sample_size as u64).clamp(1, 10_000_000);
+
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+            if start.elapsed().as_nanos() as f64 > budget_nanos {
+                break;
+            }
+        }
+        self.report = Some((iters, start.elapsed().as_nanos() as f64));
+    }
+}
+
+/// Declares a group of benchmark targets, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench` (and possibly filters) to
+            // harness = false binaries; this stand-in runs everything.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_iterations() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| std::hint::black_box(2 + 2)));
+        c.bench_function("side_effects_run", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(format_nanos(10.0).contains("ns"));
+        assert!(format_nanos(10_000.0).contains("µs"));
+        assert!(format_nanos(10_000_000.0).contains("ms"));
+        assert!(format_nanos(10_000_000_000.0).contains("s/iter"));
+    }
+}

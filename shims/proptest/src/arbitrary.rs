@@ -1,0 +1,90 @@
+//! The [`Arbitrary`] trait and [`any`], for types with a canonical
+//! "whole domain" strategy.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types that can generate themselves from random bits.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws one arbitrary value.
+    fn generate(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn generate(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn generate(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn generate(rng: &mut TestRng) -> Self {
+        crate::num::f64::ANY.new_value(rng)
+    }
+}
+
+impl Arbitrary for char {
+    fn generate(rng: &mut TestRng) -> Self {
+        // Mostly ASCII, occasionally any scalar value.
+        if rng.one_in(8) {
+            char::from_u32((rng.next_u64() % 0x11_0000) as u32).unwrap_or('\u{fffd}')
+        } else {
+            (b' ' + (rng.next_u64() % 95) as u8) as char
+        }
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<A>(PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn new_value(&self, rng: &mut TestRng) -> A {
+        A::generate(rng)
+    }
+}
+
+/// Generates any value of `A`, mirroring `proptest::arbitrary::any`.
+#[must_use]
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_any_hits_both_values() {
+        let mut rng = TestRng::from_seed(1);
+        let strategy = any::<bool>();
+        let draws: Vec<bool> = (0..64).map(|_| strategy.new_value(&mut rng)).collect();
+        assert!(draws.contains(&true) && draws.contains(&false));
+    }
+
+    #[test]
+    fn char_is_valid() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..1_000 {
+            let c = any::<char>().new_value(&mut rng);
+            let _ = c.len_utf8();
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::fmt::Debug;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length specification for collection strategies; built from a plain
+/// length or a (half-open or inclusive) range of lengths.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        Self { min: len, max: len }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(range: core::ops::Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty size range");
+        Self { min: range.start, max: range.end - 1 }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(range: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty size range");
+        Self { min: *range.start(), max: *range.end() }
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length
+/// falls in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Debug,
+{
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let span = self.size.max - self.size.min + 1;
+        let len = self.size.min + rng.index(span.max(1)).min(span - 1);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_cover_the_requested_range() {
+        let mut rng = TestRng::from_seed(1);
+        let strategy = vec(0u32..5, 2..6);
+        let mut lens = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let v = strategy.new_value(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 5));
+            lens.insert(v.len());
+        }
+        assert_eq!(lens.len(), 4, "all lengths 2..=5 seen: {lens:?}");
+    }
+
+    #[test]
+    fn fixed_size_works() {
+        let mut rng = TestRng::from_seed(2);
+        let strategy = vec(0u32..5, 4usize);
+        assert_eq!(strategy.new_value(&mut rng).len(), 4);
+    }
+}

@@ -1,0 +1,92 @@
+//! Numeric strategies with class control (`prop::num::f64::ANY`, ...).
+
+pub mod f64 {
+    //! Strategies over `f64` values by floating-point class.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for any `f64`: finite values of every magnitude plus
+    /// zeros, infinities, and (quiet) NaN.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyF64;
+
+    /// Generates any `f64`, special values included.
+    pub const ANY: AnyF64 = AnyF64;
+
+    impl Strategy for AnyF64 {
+        type Value = core::primitive::f64;
+
+        fn new_value(&self, rng: &mut TestRng) -> core::primitive::f64 {
+            match rng.next_u64() % 16 {
+                0 => {
+                    // Special values, each reachable.
+                    match rng.next_u64() % 5 {
+                        0 => core::primitive::f64::NAN,
+                        1 => core::primitive::f64::INFINITY,
+                        2 => core::primitive::f64::NEG_INFINITY,
+                        3 => 0.0,
+                        _ => -0.0,
+                    }
+                }
+                // Uniform over bit patterns (wild exponents, subnormals),
+                // with NaN payloads collapsed to the canonical quiet NaN.
+                1 => {
+                    let raw = core::primitive::f64::from_bits(rng.next_u64());
+                    if raw.is_nan() {
+                        core::primitive::f64::NAN
+                    } else {
+                        raw
+                    }
+                }
+                _ => NORMAL.new_value(rng),
+            }
+        }
+    }
+
+    /// Strategy for normal (finite, non-zero, non-subnormal) `f64`s of
+    /// either sign.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NormalF64;
+
+    /// Generates normal `f64`s.
+    pub const NORMAL: NormalF64 = NormalF64;
+
+    impl Strategy for NormalF64 {
+        type Value = core::primitive::f64;
+
+        fn new_value(&self, rng: &mut TestRng) -> core::primitive::f64 {
+            // sign * mantissa in [1, 2) * 2^exponent, exponent spread
+            // wide enough to exercise magnitude-dependent code paths.
+            let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+            let mantissa = 1.0 + rng.next_f64();
+            let exponent = (rng.next_u64() % 601) as i32 - 300;
+            let value = sign * mantissa * core::primitive::f64::powi(2.0, exponent);
+            debug_assert!(value.is_normal());
+            value
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn normal_is_always_normal() {
+            let mut rng = TestRng::from_seed(1);
+            for _ in 0..10_000 {
+                assert!(NORMAL.new_value(&mut rng).is_normal());
+            }
+        }
+
+        #[test]
+        fn any_reaches_special_values() {
+            let mut rng = TestRng::from_seed(2);
+            let draws: Vec<core::primitive::f64> =
+                (0..5_000).map(|_| ANY.new_value(&mut rng)).collect();
+            assert!(draws.iter().any(|v| v.is_nan()));
+            assert!(draws.iter().any(|v| v.is_infinite()));
+            assert!(draws.iter().any(|v| v.is_finite()));
+        }
+    }
+}

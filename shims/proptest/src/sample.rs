@@ -1,0 +1,46 @@
+//! Sampling strategies over explicit value lists (`prop::sample::select`).
+
+use std::fmt::Debug;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Picks uniformly from a fixed list of values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+#[must_use]
+pub fn select<T: Clone + Debug>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select() needs at least one value");
+    Select { values }
+}
+
+/// The strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.values[rng.index(self.values.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_option_is_reachable() {
+        let mut rng = TestRng::from_seed(1);
+        let strategy = select(vec!['a', 'b', 'c']);
+        let draws: Vec<char> = (0..100).map(|_| strategy.new_value(&mut rng)).collect();
+        for c in ['a', 'b', 'c'] {
+            assert!(draws.contains(&c), "{c} never drawn");
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! The [`Strategy`] trait, its combinators, and implementations for
+//! primitive ranges and tuples.
+
+use std::fmt::Debug;
+use std::sync::Arc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type. Unlike the real crate
+/// there is no value tree / shrinking: a strategy simply draws a value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map }
+    }
+
+    /// Generates with `self`, then generates from the strategy `make`
+    /// builds out of that value.
+    fn prop_flat_map<O, F>(self, make: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        O: Strategy,
+        F: Fn(Self::Value) -> O,
+    {
+        FlatMap { source: self, make }
+    }
+
+    /// Retries generation until `accept` holds (up to an internal cap;
+    /// panics if the filter rejects everything).
+    fn prop_filter<F>(self, whence: &'static str, accept: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { source: self, whence, accept }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Send + Sync + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.new_value(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    make: F,
+}
+
+impl<S, O, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    O: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> O::Value {
+        (self.make)(self.source.new_value(rng)).new_value(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    accept: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let value = self.source.new_value(rng);
+            if (self.accept)(&value) {
+                return value;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive values: {}", self.whence);
+    }
+}
+
+/// Generates a fixed value every time, like `proptest::strategy::Just`.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+trait DynStrategy<V>: Send + Sync {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy + Send + Sync> DynStrategy<S::Value> for S {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<V>(Arc<dyn DynStrategy<V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<V> Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy { .. }")
+    }
+}
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        self.0.dyn_new_value(rng)
+    }
+}
+
+/// Uniform choice between several strategies of one value type; the
+/// target of [`prop_oneof!`](crate::prop_oneof).
+#[derive(Debug, Clone)]
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: Debug> Union<V> {
+    /// Builds a union over `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let pick = rng.index(self.options.len());
+        self.options[pick].new_value(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                // Bias toward the endpoints now and then: boundary
+                // values find off-by-one bugs that uniform draws miss.
+                if rng.one_in(16) {
+                    return if rng.one_in(2) { self.start } else { self.end - 1 };
+                }
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                if rng.one_in(16) {
+                    return if rng.one_in(2) { start } else { end };
+                }
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        if rng.one_in(16) {
+            return self.start;
+        }
+        let draw = self.start + (self.end - self.start) * rng.next_f64();
+        // Guard against the half-open bound collapsing under rounding.
+        if draw < self.end {
+            draw
+        } else {
+            self.start
+        }
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty strategy range");
+        if rng.one_in(16) {
+            return if rng.one_in(2) { start } else { end };
+        }
+        start + (end - start) * rng.next_f64()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident/$idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..10_000 {
+            let v = (3u32..17).new_value(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (-5i32..=5).new_value(&mut rng);
+            assert!((-5..=5).contains(&w));
+            let f = (2.0f64..3.0).new_value(&mut rng);
+            assert!((2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn endpoints_do_get_generated() {
+        let mut rng = TestRng::from_seed(2);
+        let values: Vec<u32> = (0..2_000).map(|_| (0u32..10).new_value(&mut rng)).collect();
+        assert!(values.contains(&0));
+        assert!(values.contains(&9));
+    }
+
+    #[test]
+    fn map_filter_and_union_compose() {
+        let mut rng = TestRng::from_seed(3);
+        let even = (0u32..100).prop_map(|v| v * 2);
+        let odd = (0u32..100).prop_map(|v| v * 2 + 1).boxed();
+        let either = Union::new(vec![even.boxed(), odd]);
+        let mut seen_even = false;
+        let mut seen_odd = false;
+        for _ in 0..200 {
+            match either.new_value(&mut rng) % 2 {
+                0 => seen_even = true,
+                _ => seen_odd = true,
+            }
+        }
+        assert!(seen_even && seen_odd);
+        let only_big = (0u32..100).prop_filter("big", |v| *v >= 50);
+        for _ in 0..100 {
+            assert!(only_big.new_value(&mut rng) >= 50);
+        }
+    }
+
+    #[test]
+    fn tuples_and_just_generate() {
+        let mut rng = TestRng::from_seed(4);
+        let (a, b, c) = (0u32..10, 0.0f64..1.0, Just("x")).new_value(&mut rng);
+        assert!(a < 10);
+        assert!((0.0..1.0).contains(&b));
+        assert_eq!(c, "x");
+    }
+}

@@ -1,0 +1,171 @@
+//! String strategies: `&str` regex patterns generate matching strings,
+//! mirroring proptest's `impl Strategy for &str`.
+//!
+//! Supported pattern subset (enough for identifier-shaped generators):
+//! literal characters, `[...]` classes with ranges, escaped literals,
+//! and the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (unbounded
+//! quantifiers are capped at 8 repetitions).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = match chars.next() {
+                        Some(']') => break,
+                        Some('\\') => chars.next().expect("dangling escape in class"),
+                        Some(ch) => ch,
+                        None => panic!("unterminated [class] in pattern {pattern:?}"),
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.peek() {
+                            Some(']') | None => {
+                                // Trailing '-' is a literal.
+                                ranges.push((lo, lo));
+                                ranges.push(('-', '-'));
+                            }
+                            Some(_) => {
+                                let hi = chars.next().unwrap();
+                                assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                                ranges.push((lo, hi));
+                            }
+                        }
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty [class] in pattern {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(chars.next().expect("dangling escape")),
+            '.' => Atom::Class(vec![(' ', '~')]),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for ch in chars.by_ref() {
+                    if ch == '}' {
+                        break;
+                    }
+                    spec.push(ch);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad {m,n} quantifier"),
+                        n.trim().parse().expect("bad {m,n} quantifier"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad {n} quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn generate(pieces: &[Piece], rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in pieces {
+        let count = piece.min + rng.index(piece.max - piece.min + 1);
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.index(ranges.len())];
+                    let span = hi as u32 - lo as u32 + 1;
+                    let pick = lo as u32 + (rng.next_u64() % u64::from(span)) as u32;
+                    out.push(char::from_u32(pick).unwrap_or(lo));
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        generate(&parse_pattern(self), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifier_pattern_matches_shape() {
+        let mut rng = TestRng::from_seed(1);
+        let strategy = "[a-z][a-z0-9]{0,6}";
+        for _ in 0..500 {
+            let s = strategy.new_value(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "bad length: {s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_escapes_and_quantifiers() {
+        let mut rng = TestRng::from_seed(2);
+        assert_eq!("abc".new_value(&mut rng), "abc");
+        assert_eq!(r"a\[b".new_value(&mut rng), "a[b");
+        let s = "x{3}".new_value(&mut rng);
+        assert_eq!(s, "xxx");
+        for _ in 0..50 {
+            let s = "a?b+".new_value(&mut rng);
+            assert!(s.trim_start_matches('a').chars().all(|c| c == 'b'));
+            assert!(s.contains('b'));
+        }
+    }
+
+    #[test]
+    fn class_with_trailing_dash() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..100 {
+            let s = "[a-]".new_value(&mut rng);
+            assert!(s == "a" || s == "-", "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The minimal runner machinery behind the [`proptest!`](crate::proptest)
+//! macro: a deterministic RNG and the case-level error type.
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`; it does not count
+    /// toward the run.
+    Reject(String),
+    /// A `prop_assert*!` failed; the property is falsified.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// Builds a failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+        }
+    }
+}
+
+/// Per-case result, as produced by the generated closure body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Number of cases to run per property: `PROPTEST_CASES` or 64.
+#[must_use]
+pub fn cases_from_env() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// A deterministic SplitMix64 generator seeding each property from its
+/// own name, so runs are reproducible and properties are independent.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a raw value.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Seeds from the property name (FNV-1a), optionally perturbed by
+    /// `PROPTEST_SEED` for exploring different case sets.
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0100_0000_01b3);
+        }
+        let extra =
+            std::env::var("PROPTEST_SEED").ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+        Self::from_seed(hash ^ extra)
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `[0, n)`; `n` must be positive.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Bernoulli draw: true once per `denominator` on average.
+    pub fn one_in(&mut self, denominator: u64) -> bool {
+        self.next_u64() % denominator == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_seeding_is_stable_and_distinct() {
+        let mut a = TestRng::for_test("alpha");
+        let mut b = TestRng::for_test("alpha");
+        let mut c = TestRng::for_test("beta");
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

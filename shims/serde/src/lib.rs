@@ -1,0 +1,11 @@
+//! Offline stand-in for `serde`: the two marker traits plus the
+//! derive-macro re-exports, mirroring how the real crate surfaces them
+//! under the `derive` feature.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

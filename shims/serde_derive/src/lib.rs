@@ -1,0 +1,21 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types to
+//! keep them serialization-ready, but nothing serializes yet (there is
+//! no `serde_json` here), so empty expansions are sufficient. The
+//! `serde` helper attribute is declared so `#[serde(...)]` field/struct
+//! attributes would not be rejected.
+
+use proc_macro::TokenStream;
+
+/// Derives nothing; accepts the same input as serde's `Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives nothing; accepts the same input as serde's `Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

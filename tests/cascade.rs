@@ -40,13 +40,9 @@ fn controller_equals_manual_cascade() {
         let eval = facs.evaluate(&request, &snapshot(occupied));
 
         let cv = flc1.correction_value(&mobility).unwrap();
-        let score =
-            flc2.decision_score(cv, class.request_level(), f64::from(occupied)).unwrap();
+        let score = flc2.decision_score(cv, class.request_level(), f64::from(occupied)).unwrap();
         let score = (score * 1e12).round() / 1e12;
-        assert!(
-            (eval.correction_value - cv).abs() < 1e-12,
-            "cv mismatch at iteration {i}"
-        );
+        assert!((eval.correction_value - cv).abs() < 1e-12, "cv mismatch at iteration {i}");
         assert!((eval.score - score).abs() < 1e-12, "score mismatch at iteration {i}");
     }
 }
@@ -72,8 +68,7 @@ fn dsl_round_trip_rebuilds_frb1() {
     // Serialize FLC1's rule base through the textual DSL and rebuild an
     // identical engine — config-file workflows stay trustworthy.
     let flc1 = Flc1::new().unwrap();
-    let text: String =
-        flc1.engine().rule_base().iter().map(|r| format!("{r}\n")).collect();
+    let text: String = flc1.engine().rule_base().iter().map(|r| format!("{r}\n")).collect();
     let rules = facs_fuzzy::parse_rules(&text).unwrap();
     assert_eq!(rules.len(), 42);
     let rebuilt = facs_fuzzy::Engine::builder()
@@ -90,12 +85,8 @@ fn dsl_round_trip_rebuilds_frb1() {
         let a = rng.uniform_range(-180.0, 180.0);
         let d = rng.uniform_range(0.0, 10.0);
         let original = flc1.correction_value(&MobilityInfo::new(s, a, d)).unwrap();
-        let round_tripped =
-            rebuilt.evaluate_single(&[("s", s), ("a", a), ("d", d)]).unwrap();
-        assert!(
-            (original - round_tripped).abs() < 1e-12,
-            "divergence at ({s}, {a}, {d})"
-        );
+        let round_tripped = rebuilt.evaluate_single(&[("s", s), ("a", a), ("d", d)]).unwrap();
+        assert!((original - round_tripped).abs() < 1e-12, "divergence at ({s}, {a}, {d})");
     }
 }
 

@@ -20,7 +20,9 @@ fn config() -> ScenarioConfig {
     }
 }
 
-fn builders() -> Vec<(&'static str, Box<dyn Fn(&HexGrid) -> Vec<BoxedController>>)> {
+type ControllerBuilder = Box<dyn Fn(&HexGrid) -> Vec<BoxedController>>;
+
+fn builders() -> Vec<(&'static str, ControllerBuilder)> {
     vec![
         (
             "facs",
@@ -30,10 +32,7 @@ fn builders() -> Vec<(&'static str, Box<dyn Fn(&HexGrid) -> Vec<BoxedController>
                     .collect()
             }),
         ),
-        (
-            "scc",
-            Box::new(|grid: &HexGrid| SccNetwork::new(SccConfig::default()).controllers(grid)),
-        ),
+        ("scc", Box::new(|grid: &HexGrid| SccNetwork::new(SccConfig::default()).controllers(grid))),
         (
             "cs",
             Box::new(|grid: &HexGrid| {
@@ -46,9 +45,7 @@ fn builders() -> Vec<(&'static str, Box<dyn Fn(&HexGrid) -> Vec<BoxedController>
             "guard",
             Box::new(|grid: &HexGrid| {
                 grid.cell_ids()
-                    .map(|_| {
-                        Box::new(GuardChannel::new(BandwidthUnits::new(8))) as BoxedController
-                    })
+                    .map(|_| Box::new(GuardChannel::new(BandwidthUnits::new(8))) as BoxedController)
                     .collect()
             }),
         ),

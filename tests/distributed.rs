@@ -132,8 +132,7 @@ fn cluster_handoffs_preserve_global_bandwidth() {
     }
     // All bandwidth accounted for: center empty, total equals calls * 5.
     assert_eq!(cluster.occupancy(CellId(0)).unwrap(), BandwidthUnits::ZERO);
-    let total: u32 =
-        grid.cell_ids().map(|c| cluster.occupancy(c).unwrap().get()).sum();
+    let total: u32 = grid.cell_ids().map(|c| cluster.occupancy(c).unwrap().get()).sum();
     assert_eq!(total as usize, admitted.len() * 5);
     cluster.shutdown();
 }

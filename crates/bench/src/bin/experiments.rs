@@ -27,6 +27,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation-tnorm",
     "ablation-threshold",
     "handoff",
+    "backend",
 ];
 
 fn main() {
@@ -142,6 +143,23 @@ fn main() {
         let series = handoff_extension(reps);
         for s in &series {
             print!("{}", s.to_csv());
+        }
+        println!();
+    }
+
+    if run("backend") {
+        ran_any = true;
+        const GRID_STEPS: usize = 13;
+        println!("== backend: exact vs compiled decision agreement ==");
+        println!("lattice,grid_steps,points,agree%,max_score_divergence");
+        for points_per_axis in [17usize, 33, 65] {
+            let a = backend_agreement(points_per_axis, GRID_STEPS);
+            println!(
+                "{points_per_axis},{GRID_STEPS},{},{:.3},{:.5}",
+                a.points,
+                a.agreement_percentage(),
+                a.max_score_divergence
+            );
         }
         println!();
     }

@@ -7,10 +7,12 @@
 
 use facs::{FacsConfig, FacsController, Flc1, Flc2, FRB1, FRB2};
 use facs_cac::policies::CompleteSharing;
-use facs_cac::BoxedController;
+use facs_cac::{
+    BoxedController, CallId, CallKind, CallRequest, CellSnapshot, MobilityInfo, ServiceClass,
+};
 use facs_cellsim::prelude::*;
 use facs_cellsim::HexGrid;
-use facs_fuzzy::{Defuzzifier, InferenceConfig, TNorm};
+use facs_fuzzy::{BackendKind, Defuzzifier, InferenceConfig, TNorm};
 use facs_scc::{SccConfig, SccNetwork};
 
 /// x-axis of figures 7–10: number of requesting connections.
@@ -20,14 +22,16 @@ pub fn request_counts() -> Vec<usize> {
 }
 
 /// Builds one FACS controller per grid cell.
-pub fn facs_builder(config: FacsConfig) -> impl Fn(&HexGrid) -> Vec<BoxedController> {
+///
+/// One prototype controller is built here (rule compilation — and, for
+/// [`BackendKind::Compiled`], surface precomputation — happen once) and
+/// each cell gets a clone; compiled surfaces are shared by reference
+/// across clones, so multi-cell grids and parallel replications pay a
+/// single compile per sweep.
+pub fn facs_builder(config: FacsConfig) -> impl Fn(&HexGrid) -> Vec<BoxedController> + Sync {
+    let prototype = FacsController::with_config(config).expect("FACS builds");
     move |grid: &HexGrid| {
-        grid.cell_ids()
-            .map(|_| {
-                Box::new(FacsController::with_config(config).expect("FACS builds"))
-                    as BoxedController
-            })
-            .collect()
+        grid.cell_ids().map(|_| Box::new(prototype.clone()) as BoxedController).collect()
     }
 }
 
@@ -307,6 +311,84 @@ pub fn handoff_extension(replications: u32) -> Vec<Series> {
         out.push(drop);
     }
     out
+}
+
+/// Result of sweeping exact-vs-compiled FACS decisions over a dense
+/// input grid (see [`backend_agreement`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendAgreement {
+    /// Grid points compared.
+    pub points: usize,
+    /// Points where both backends made the same accept/reject decision.
+    pub agreeing: usize,
+    /// Largest absolute divergence of the soft A/R score.
+    pub max_score_divergence: f64,
+}
+
+impl BackendAgreement {
+    /// Percentage of grid points with identical binary decisions.
+    #[must_use]
+    pub fn agreement_percentage(&self) -> f64 {
+        100.0 * self.agreeing as f64 / self.points.max(1) as f64
+    }
+}
+
+/// Compares the exact and compiled FACS backends decision-for-decision
+/// over a dense grid of the figure 7–10 input space: `grid_steps` evenly
+/// spaced speeds (0–120), angles (−180…180), distances (0–10 km) and
+/// occupancies (0–40 BU), crossed with all three service classes.
+///
+/// EXPERIMENTS.md records the measured numbers; the equivalence property
+/// tests enforce the ≥ 99 % agreement bound in CI.
+#[must_use]
+pub fn backend_agreement(points_per_axis: usize, grid_steps: usize) -> BackendAgreement {
+    let exact = FacsController::new().expect("FACS builds");
+    let compiled = FacsController::with_config(FacsConfig {
+        backend: BackendKind::Compiled { points_per_axis },
+        ..FacsConfig::default()
+    })
+    .expect("compiled FACS builds");
+    let threshold = exact.config().threshold;
+    let steps = grid_steps.max(2);
+    let axis = |min: f64, max: f64, i: usize| min + (max - min) * i as f64 / (steps - 1) as f64;
+    let mut result = BackendAgreement { points: 0, agreeing: 0, max_score_divergence: 0.0 };
+    for class in [ServiceClass::Text, ServiceClass::Voice, ServiceClass::Video] {
+        for si in 0..steps {
+            for ai in 0..steps {
+                for di in 0..steps {
+                    for oi in 0..steps {
+                        let request = CallRequest::new(
+                            CallId(0),
+                            class,
+                            CallKind::New,
+                            MobilityInfo::new(
+                                axis(0.0, 120.0, si),
+                                axis(-180.0, 180.0, ai),
+                                axis(0.0, 10.0, di),
+                            ),
+                        );
+                        let cell = CellSnapshot {
+                            capacity: facs_cac::BandwidthUnits::new(40),
+                            occupied: facs_cac::BandwidthUnits::new(
+                                axis(0.0, 40.0, oi).round() as u32
+                            ),
+                            real_time_calls: 0,
+                            non_real_time_calls: 0,
+                        };
+                        let e = exact.evaluate(&request, &cell);
+                        let c = compiled.evaluate(&request, &cell);
+                        result.points += 1;
+                        if (e.score > threshold) == (c.score > threshold) {
+                            result.agreeing += 1;
+                        }
+                        result.max_score_divergence =
+                            result.max_score_divergence.max((e.score - c.score).abs());
+                    }
+                }
+            }
+        }
+    }
+    result
 }
 
 /// Renders series as a crude ASCII chart for terminal inspection.

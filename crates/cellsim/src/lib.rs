@@ -65,8 +65,8 @@ pub use mobility::{GaussMarkov, MobileState, MobilityModel, RandomWaypoint, Stra
 pub use network::{MobilityKind, Simulation, SimulationConfig, UserSpec};
 pub use rng::SimRng;
 pub use scenario::{
-    acceptance_curve, offered_load_fraction, paper_request_counts, AngleSpec, DistanceSpec,
-    MobilityChoice, ScenarioConfig, SpawnSpec, SpeedSpec,
+    acceptance_curve, offered_load_fraction, paper_request_counts, AngleSpec, ControllerBuilder,
+    DistanceSpec, MobilityChoice, ScenarioConfig, SpawnSpec, SpeedSpec,
 };
 pub use stats::Summary;
 pub use time::{SimDuration, SimTime};
@@ -80,8 +80,8 @@ pub mod prelude {
     pub use crate::network::{MobilityKind, Simulation, SimulationConfig, UserSpec};
     pub use crate::rng::SimRng;
     pub use crate::scenario::{
-        acceptance_curve, paper_request_counts, AngleSpec, DistanceSpec, MobilityChoice,
-        ScenarioConfig, SpawnSpec, SpeedSpec,
+        acceptance_curve, paper_request_counts, AngleSpec, ControllerBuilder, DistanceSpec,
+        MobilityChoice, ScenarioConfig, SpawnSpec, SpeedSpec,
     };
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::traffic::{HoldingTimes, PoissonArrivals, TrafficMix};

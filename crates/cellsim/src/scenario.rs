@@ -5,6 +5,20 @@
 //! The paper's §4 parameters are the defaults: speed 0–120 km/h,
 //! direction −180…180°, distance 0–10 km, traffic mix 60/30/10 %
 //! text/voice/video, request sizes 1/5/10 BU, 40 BU per base station.
+//!
+//! ## Parallel sweeps
+//!
+//! Replications are seed-isolated (see
+//! [`ScenarioConfig::replication_seeds`]), so
+//! [`ScenarioConfig::acceptance`], [`ScenarioConfig::acceptance_summary`]
+//! and [`ScenarioConfig::aggregate`] fan the replications out over scoped
+//! threads, and [`acceptance_curve`] flattens its whole
+//! `(x-axis point, replication)` cross-product into one parallel work
+//! list. Concurrency is capped at the machine's core count, and
+//! per-replication results are folded back **in replication order**:
+//! every float is combined in the same order the old sequential loops
+//! used, so results are bit-identical to a sequential run; only
+//! wall-clock time changes.
 
 use facs_cac::{BandwidthUnits, BoxedController};
 
@@ -15,6 +29,13 @@ use crate::network::{MobilityKind, Simulation, SimulationConfig, UserSpec};
 use crate::rng::SimRng;
 use crate::stats::Summary;
 use crate::traffic::{HoldingTimes, PoissonArrivals, TrafficMix};
+
+/// A per-grid controller factory, as passed to the scenario runners.
+///
+/// The `Sync` bound lets the parallel replication/sweep runners invoke
+/// one builder from several worker threads at once; plain closures that
+/// capture only shared data (or nothing) satisfy it automatically.
+pub type ControllerBuilder = dyn Fn(&HexGrid) -> Vec<BoxedController> + Sync;
 
 /// How user speed is drawn.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -225,7 +246,7 @@ impl ScenarioConfig {
 
     /// Runs the scenario once with the given per-grid controller builder
     /// and returns the metrics.
-    pub fn run_once(&self, seed: u64, build: &dyn Fn(&HexGrid) -> Vec<BoxedController>) -> Metrics {
+    pub fn run_once(&self, seed: u64, build: &ControllerBuilder) -> Metrics {
         let grid = self.grid();
         let controllers = build(&grid);
         let config = SimulationConfig {
@@ -238,51 +259,140 @@ impl ScenarioConfig {
         sim.run(self.generate_workload(seed))
     }
 
-    /// Runs all replications and returns the mean acceptance percentage.
-    pub fn acceptance(&self, build: &dyn Fn(&HexGrid) -> Vec<BoxedController>) -> f64 {
-        let mut total = 0.0;
-        for rep in 0..self.replications.max(1) {
-            let metrics = self.run_once(self.seed + u64::from(rep) * 7919, build);
-            total += metrics.acceptance_percentage();
-        }
-        total / f64::from(self.replications.max(1))
+    /// The per-replication RNG seeds, in replication order.
+    ///
+    /// Replication `rep` runs on `seed + rep * 7919` (a prime stride, so
+    /// neighbouring replications never share low-order seed structure).
+    /// This is the single source of truth for both the sequential fold
+    /// order and the parallel runners — anything that iterates
+    /// replications derives its seeds here.
+    pub fn replication_seeds(&self) -> impl ExactSizeIterator<Item = u64> {
+        let base = self.seed;
+        (0..self.replications.max(1)).map(move |rep| base + u64::from(rep) * 7919)
     }
 
-    /// Runs all replications and returns the acceptance percentage with
-    /// a 95 % confidence interval across replications.
-    pub fn acceptance_summary(&self, build: &dyn Fn(&HexGrid) -> Vec<BoxedController>) -> Summary {
-        let sample: Vec<f64> = (0..self.replications.max(1))
-            .map(|rep| {
-                self.run_once(self.seed + u64::from(rep) * 7919, build).acceptance_percentage()
-            })
-            .collect();
+    /// Runs every replication (in parallel when there is more than one)
+    /// and returns the per-replication metrics **in replication order**.
+    fn run_replications(&self, build: &ControllerBuilder) -> Vec<Metrics> {
+        let seeds: Vec<u64> = self.replication_seeds().collect();
+        parallel_map_in_order(&seeds, |&seed| self.run_once(seed, build))
+    }
+
+    /// Runs all replications (in parallel) and returns the mean
+    /// acceptance percentage. Bit-identical to folding
+    /// [`ScenarioConfig::run_once`] over [`ScenarioConfig::replication_seeds`]
+    /// sequentially.
+    pub fn acceptance(&self, build: &ControllerBuilder) -> f64 {
+        let per_rep = self.run_replications(build);
+        let mut total = 0.0;
+        for metrics in &per_rep {
+            total += metrics.acceptance_percentage();
+        }
+        total / per_rep.len() as f64
+    }
+
+    /// Runs all replications (in parallel) and returns the acceptance
+    /// percentage with a 95 % confidence interval across replications.
+    pub fn acceptance_summary(&self, build: &ControllerBuilder) -> Summary {
+        let sample: Vec<f64> =
+            self.run_replications(build).iter().map(Metrics::acceptance_percentage).collect();
         Summary::of(&sample)
     }
 
-    /// Runs all replications and returns aggregated full metrics
-    /// (counters summed, percentages recomputed from the sums).
-    pub fn aggregate(&self, build: &dyn Fn(&HexGrid) -> Vec<BoxedController>) -> Metrics {
+    /// Runs all replications (in parallel) and returns aggregated full
+    /// metrics (counters summed in replication order, percentages
+    /// recomputed from the sums).
+    pub fn aggregate(&self, build: &ControllerBuilder) -> Metrics {
         let mut sum = Metrics::new();
-        for rep in 0..self.replications.max(1) {
-            let m = self.run_once(self.seed + u64::from(rep) * 7919, build);
+        for m in self.run_replications(build) {
             sum.merge(&m);
         }
         sum
     }
 }
 
+/// Worker cap for the parallel runners: one thread per available core
+/// (1 when the count cannot be determined, which degrades to the
+/// sequential path).
+fn max_workers() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// The shared parallel runner: applies `f` to every job on up to
+/// [`max_workers`] scoped threads and returns the results **in job
+/// order**.
+///
+/// Workers pull job indices from a shared atomic counter (no wave
+/// barriers — a slow job never idles the other cores) and tag each
+/// result with its index; results are then placed back in index order,
+/// so the caller's fold sees exactly the sequence a sequential
+/// `jobs.iter().map(f)` would produce. With one worker (or one job) it
+/// degrades to that sequential map.
+fn parallel_map_in_order<T: Sync, R: Send>(jobs: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let workers = max_workers().min(jobs.len());
+    if workers <= 1 {
+        return jobs.iter().map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, R)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        out.push((i, f(job)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    })
+    .expect("parallel scope failed");
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(jobs.len()).collect();
+    for (i, result) in per_worker.into_iter().flatten() {
+        slots[i] = Some(result);
+    }
+    slots.into_iter().map(|slot| slot.expect("every job ran exactly once")).collect()
+}
+
 /// Sweeps the paper's x-axis (number of requesting connections) and
 /// produces one figure series.
+///
+/// Every `(x-axis point, replication)` pair is flattened into one work
+/// list and run on a single level of parallelism capped at the
+/// machine's core count — no nested fan-out. Per-point results are then
+/// folded in replication order, so the output is bit-identical to
+/// calling [`ScenarioConfig::acceptance`] per point sequentially.
 pub fn acceptance_curve(
     label: &str,
     request_counts: &[usize],
-    configure: impl Fn(usize) -> ScenarioConfig,
-    build: &dyn Fn(&HexGrid) -> Vec<BoxedController>,
+    configure: impl Fn(usize) -> ScenarioConfig + Sync,
+    build: &ControllerBuilder,
 ) -> Series {
+    let configs: Vec<ScenarioConfig> = request_counts.iter().map(|&n| configure(n)).collect();
+    let jobs: Vec<(usize, u64)> = configs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, config)| config.replication_seeds().map(move |seed| (i, seed)))
+        .collect();
+    let accepts = parallel_map_in_order(&jobs, |&(i, seed)| {
+        configs[i].run_once(seed, build).acceptance_percentage()
+    });
+    // Fold per point in replication order — the same float-op order as
+    // the sequential `acceptance` fold.
     let mut series = Series::new(label);
-    for &n in request_counts {
-        let config = configure(n);
-        series.push(n as f64, config.acceptance(build));
+    let mut cursor = 0usize;
+    for (&n, config) in request_counts.iter().zip(&configs) {
+        let reps = config.replication_seeds().len();
+        let mut total = 0.0;
+        for &accept in &accepts[cursor..cursor + reps] {
+            total += accept;
+        }
+        cursor += reps;
+        series.push(n as f64, total / reps as f64);
     }
     series
 }
@@ -423,6 +533,48 @@ mod tests {
     #[test]
     fn paper_counts() {
         assert_eq!(paper_request_counts(), vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+    }
+
+    #[test]
+    fn replication_seeds_use_the_prime_stride() {
+        let config = ScenarioConfig { seed: 100, replications: 4, ..Default::default() };
+        let seeds: Vec<u64> = config.replication_seeds().collect();
+        assert_eq!(seeds, vec![100, 100 + 7919, 100 + 2 * 7919, 100 + 3 * 7919]);
+        // replications = 0 still yields one run, like the old `.max(1)`.
+        let config = ScenarioConfig { seed: 5, replications: 0, ..Default::default() };
+        assert_eq!(config.replication_seeds().collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    fn parallel_runners_match_sequential_folds_bit_for_bit() {
+        let config = ScenarioConfig { requests: 40, replications: 4, ..Default::default() };
+        let build = cs_builder();
+
+        // Sequential references, folded exactly like the old loops.
+        let mut seq_total = 0.0;
+        let mut seq_sample = Vec::new();
+        let mut seq_sum = Metrics::new();
+        for seed in config.replication_seeds() {
+            let m = config.run_once(seed, &build);
+            seq_total += m.acceptance_percentage();
+            seq_sample.push(m.acceptance_percentage());
+            seq_sum.merge(&m);
+        }
+
+        assert_eq!(config.acceptance(&build), seq_total / 4.0);
+        let summary = config.acceptance_summary(&build);
+        assert_eq!(summary, Summary::of(&seq_sample));
+        assert_eq!(config.aggregate(&build), seq_sum);
+    }
+
+    #[test]
+    fn parallel_curve_matches_pointwise_acceptance() {
+        let configure = |n| ScenarioConfig { requests: n, replications: 2, ..Default::default() };
+        let series = acceptance_curve("cs", &[10, 30, 50], configure, &cs_builder());
+        for (&n, &(x, y)) in [10usize, 30, 50].iter().zip(&series.points) {
+            assert_eq!(x, n as f64);
+            assert_eq!(y, configure(n).acceptance(&cs_builder()), "divergence at n={n}");
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! The FACS admission controller: FLC1 → FLC2 cascade (paper Fig. 4).
 
 use facs_cac::{AdmissionController, CallKind, CallRequest, CellSnapshot, Decision, MobilityInfo};
-use facs_fuzzy::{FuzzyError, InferenceConfig};
+use facs_fuzzy::{BackendKind, FuzzyError, InferenceConfig};
 
 use crate::flc1::Flc1;
 use crate::flc2::Flc2;
@@ -29,6 +29,11 @@ pub struct FacsConfig {
     pub capacity_bu: u32,
     /// Inference operators shared by both FLCs.
     pub inference: InferenceConfig,
+    /// Inference backend shared by both FLCs: exact Mamdani per decision
+    /// (default, bit-exact) or compiled decision surfaces (orders of
+    /// magnitude faster per decision; EXPERIMENTS.md bounds the
+    /// divergence).
+    pub backend: BackendKind,
 }
 
 impl Default for FacsConfig {
@@ -39,7 +44,18 @@ impl Default for FacsConfig {
             cell_radius_km: 10.0,
             capacity_bu: 40,
             inference: InferenceConfig::default(),
+            backend: BackendKind::Exact,
         }
+    }
+}
+
+impl FacsConfig {
+    /// The default configuration on compiled decision surfaces — the
+    /// production-serving profile (same rule bases, ~interpolated
+    /// scores).
+    #[must_use]
+    pub fn compiled() -> Self {
+        Self { backend: BackendKind::compiled(), ..Self::default() }
     }
 }
 
@@ -109,8 +125,8 @@ impl FacsController {
     /// invalid resolution in `config.inference`).
     pub fn with_config(config: FacsConfig) -> Result<Self, FuzzyError> {
         Ok(Self {
-            flc1: Flc1::with_config(config.inference)?,
-            flc2: Flc2::with_config(config.inference)?,
+            flc1: Flc1::with_backend(config.inference, config.backend)?,
+            flc2: Flc2::with_backend(config.inference, config.backend)?,
             config,
         })
     }
@@ -386,5 +402,36 @@ mod tests {
     fn controller_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<FacsController>();
+    }
+
+    #[test]
+    fn compiled_backend_agrees_on_clear_cut_decisions() {
+        let compiled = FacsController::with_config(FacsConfig::compiled()).unwrap();
+        assert!(compiled.config().backend.is_compiled());
+        let good = req(ServiceClass::Voice, CallKind::New, MobilityInfo::new(60.0, 0.0, 2.0));
+        let vid = req(ServiceClass::Video, CallKind::New, MobilityInfo::new(60.0, 0.0, 1.0));
+        assert!(compiled.evaluate(&good, &cell(0)).decision.admits());
+        assert!(!compiled.evaluate(&vid, &cell(39)).decision.admits());
+    }
+
+    #[test]
+    fn compiled_backend_handles_corrupted_gps_identically() {
+        let compiled = FacsController::with_config(FacsConfig::compiled()).unwrap();
+        let r = req(
+            ServiceClass::Text,
+            CallKind::New,
+            MobilityInfo { speed_kmh: f64::INFINITY, angle_deg: 0.0, distance_km: 1.0 },
+        );
+        let eval = compiled.evaluate(&r, &cell(0));
+        assert!(!eval.decision.admits());
+        assert_eq!(eval.score, -1.0);
+    }
+
+    #[test]
+    fn cloned_compiled_controllers_share_surfaces() {
+        let a = FacsController::with_config(FacsConfig::compiled()).unwrap();
+        let b = a.clone();
+        assert!(a.flc1().surface().unwrap().shares_samples(b.flc1().surface().unwrap()));
+        assert!(a.flc2().surface().unwrap().shares_samples(b.flc2().surface().unwrap()));
     }
 }

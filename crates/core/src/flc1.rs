@@ -9,8 +9,13 @@
 //! All membership break-points are read off the printed axes of Fig. 5
 //! and exposed as named constants so EXPERIMENTS.md can cite them.
 
+use std::sync::OnceLock;
+
 use facs_cac::MobilityInfo;
-use facs_fuzzy::{Engine, FuzzyError, InferenceConfig, MembershipFunction, Rule, Variable};
+use facs_fuzzy::{
+    BackendKind, CompiledSurface, Engine, FuzzyError, InferenceBackend, InferenceConfig,
+    MembershipFunction, Rule, Variable,
+};
 
 use crate::tables::FRB1;
 
@@ -97,11 +102,12 @@ fn cv_variable() -> Result<Variable, FuzzyError> {
 #[derive(Debug, Clone)]
 pub struct Flc1 {
     engine: Engine,
+    surface: Option<CompiledSurface>,
 }
 
 impl Flc1 {
     /// Builds FLC1 with the paper's default inference configuration
-    /// (min/max Mamdani, centroid defuzzification).
+    /// (min/max Mamdani, centroid defuzzification) on the exact backend.
     ///
     /// # Errors
     ///
@@ -113,13 +119,30 @@ impl Flc1 {
     }
 
     /// Builds FLC1 with a custom inference configuration (used by the
-    /// ablation benches).
+    /// ablation benches) on the exact backend.
     ///
     /// # Errors
     ///
     /// Propagates [`FuzzyError`] on invalid configuration (e.g. a
     /// resolution below 2).
     pub fn with_config(config: InferenceConfig) -> Result<Self, FuzzyError> {
+        Self::with_backend(config, BackendKind::Exact)
+    }
+
+    /// Builds FLC1 with an explicit inference backend: exact Mamdani per
+    /// query, or a compiled decision surface interpolated at query time.
+    ///
+    /// Compiling the surface costs one exact inference per lattice node
+    /// (`points_per_axis`³ for the 3 FLC1 inputs), paid here once; the
+    /// default-configuration surface is additionally cached per process,
+    /// so stamping out one controller per cell or thread recompiles
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FuzzyError`] on invalid configuration or lattice
+    /// resolution.
+    pub fn with_backend(config: InferenceConfig, backend: BackendKind) -> Result<Self, FuzzyError> {
         let rules: Result<Vec<Rule>, FuzzyError> = FRB1
             .iter()
             .enumerate()
@@ -140,7 +163,35 @@ impl Flc1 {
             .rules(rules?)
             .config(config)
             .build()?;
-        Ok(Self { engine })
+        let surface = match backend {
+            BackendKind::Exact => None,
+            BackendKind::Compiled { points_per_axis } => {
+                static DEFAULT_SURFACE: OnceLock<CompiledSurface> = OnceLock::new();
+                Some(crate::surface_cache::default_cached_surface(
+                    &DEFAULT_SURFACE,
+                    &engine,
+                    config,
+                    points_per_axis,
+                )?)
+            }
+        };
+        Ok(Self { engine, surface })
+    }
+
+    /// The active backend selector.
+    #[must_use]
+    pub fn backend(&self) -> BackendKind {
+        match &self.surface {
+            None => BackendKind::Exact,
+            Some(s) => BackendKind::Compiled { points_per_axis: s.points_per_axis() },
+        }
+    }
+
+    /// The compiled decision surface, when the compiled backend is
+    /// active.
+    #[must_use]
+    pub fn surface(&self) -> Option<&CompiledSurface> {
+        self.surface.as_ref()
     }
 
     /// Computes the correction value for a mobility observation.
@@ -153,15 +204,17 @@ impl Flc1 {
     /// [`FuzzyError::NonFiniteInput`] if the observation contains NaN or
     /// infinities.
     pub fn correction_value(&self, mobility: &MobilityInfo) -> Result<f64, FuzzyError> {
-        self.engine.evaluate_single(&[
-            ("s", mobility.speed_kmh),
-            ("a", mobility.angle_deg),
-            ("d", mobility.distance_km),
-        ])
+        let readings = [mobility.speed_kmh, mobility.angle_deg, mobility.distance_km];
+        match &self.surface {
+            None => self.engine.evaluate_crisp(&readings),
+            Some(surface) => surface.evaluate_crisp(&readings),
+        }
     }
 
     /// The underlying fuzzy engine, exposed for inspection (rule firing
-    /// strengths, membership sampling for the Fig. 5 reproduction).
+    /// strengths, membership sampling for the Fig. 5 reproduction). With
+    /// the compiled backend this is the engine the surface was compiled
+    /// from.
     #[must_use]
     pub fn engine(&self) -> &Engine {
         &self.engine
@@ -185,6 +238,45 @@ mod tests {
     #[test]
     fn rule_count_matches_table_1() {
         assert_eq!(flc1().engine().rule_base().len(), 42);
+    }
+
+    #[test]
+    fn default_backend_is_exact() {
+        assert_eq!(flc1().backend(), BackendKind::Exact);
+        assert!(flc1().surface().is_none());
+    }
+
+    #[test]
+    fn compiled_backend_tracks_exact_closely() {
+        let exact = flc1();
+        let compiled =
+            Flc1::with_backend(InferenceConfig::default(), BackendKind::compiled()).unwrap();
+        assert!(compiled.backend().is_compiled());
+        assert_eq!(compiled.surface().unwrap().dims(), 3);
+        let mut worst = 0.0f64;
+        for s in [0.0, 7.0, 30.0, 55.0, 90.0, 120.0] {
+            for a in [-180.0, -100.0, -20.0, 0.0, 33.0, 95.0, 180.0] {
+                for d in [0.0, 1.5, 4.2, 7.7, 10.0] {
+                    let m = MobilityInfo::new(s, a, d);
+                    let e = exact.correction_value(&m).unwrap();
+                    let c = compiled.correction_value(&m).unwrap();
+                    worst = worst.max((e - c).abs());
+                }
+            }
+        }
+        // Dense sweeps put the global worst case at ≈ 0.122 (a localized
+        // ridge near the Middle speed peak — see EXPERIMENTS.md).
+        assert!(worst < 0.13, "compiled FLC1 diverged by {worst}");
+    }
+
+    #[test]
+    fn default_compiled_surface_is_cached_per_process() {
+        let a = Flc1::with_backend(InferenceConfig::default(), BackendKind::compiled()).unwrap();
+        let b = Flc1::with_backend(InferenceConfig::default(), BackendKind::compiled()).unwrap();
+        // Same sample block behind both controllers: one compile total.
+        assert!(a.surface().unwrap().shares_samples(b.surface().unwrap()));
+        let m = MobilityInfo::new(42.0, 17.0, 3.3);
+        assert_eq!(a.correction_value(&m).unwrap(), b.correction_value(&m).unwrap());
     }
 
     #[test]

@@ -6,7 +6,12 @@
 //! the soft accept/reject score **A/R** in `[-1, 1]` over the five terms
 //! {R, WR, NRNA, WA, A} (Fig. 6), driven by the 27-rule FRB2 (Table 2).
 
-use facs_fuzzy::{Engine, FuzzyError, InferenceConfig, MembershipFunction, Rule, Variable};
+use std::sync::OnceLock;
+
+use facs_fuzzy::{
+    BackendKind, CompiledSurface, Engine, FuzzyError, InferenceBackend, InferenceConfig,
+    MembershipFunction, Rule, Variable,
+};
 
 use crate::tables::FRB2;
 
@@ -74,10 +79,12 @@ fn decision_variable() -> Result<Variable, FuzzyError> {
 #[derive(Debug, Clone)]
 pub struct Flc2 {
     engine: Engine,
+    surface: Option<CompiledSurface>,
 }
 
 impl Flc2 {
-    /// Builds FLC2 with the paper's default inference configuration.
+    /// Builds FLC2 with the paper's default inference configuration on
+    /// the exact backend.
     ///
     /// # Errors
     ///
@@ -86,12 +93,25 @@ impl Flc2 {
         Self::with_config(InferenceConfig::default())
     }
 
-    /// Builds FLC2 with a custom inference configuration.
+    /// Builds FLC2 with a custom inference configuration on the exact
+    /// backend.
     ///
     /// # Errors
     ///
     /// Propagates [`FuzzyError`] on invalid configuration.
     pub fn with_config(config: InferenceConfig) -> Result<Self, FuzzyError> {
+        Self::with_backend(config, BackendKind::Exact)
+    }
+
+    /// Builds FLC2 with an explicit inference backend (see
+    /// [`Flc1::with_backend`](crate::Flc1::with_backend) — the same
+    /// compile-once / cached-default-surface rules apply).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FuzzyError`] on invalid configuration or lattice
+    /// resolution.
+    pub fn with_backend(config: InferenceConfig, backend: BackendKind) -> Result<Self, FuzzyError> {
         let rules: Result<Vec<Rule>, FuzzyError> = FRB2
             .iter()
             .enumerate()
@@ -112,7 +132,35 @@ impl Flc2 {
             .rules(rules?)
             .config(config)
             .build()?;
-        Ok(Self { engine })
+        let surface = match backend {
+            BackendKind::Exact => None,
+            BackendKind::Compiled { points_per_axis } => {
+                static DEFAULT_SURFACE: OnceLock<CompiledSurface> = OnceLock::new();
+                Some(crate::surface_cache::default_cached_surface(
+                    &DEFAULT_SURFACE,
+                    &engine,
+                    config,
+                    points_per_axis,
+                )?)
+            }
+        };
+        Ok(Self { engine, surface })
+    }
+
+    /// The active backend selector.
+    #[must_use]
+    pub fn backend(&self) -> BackendKind {
+        match &self.surface {
+            None => BackendKind::Exact,
+            Some(s) => BackendKind::Compiled { points_per_axis: s.points_per_axis() },
+        }
+    }
+
+    /// The compiled decision surface, when the compiled backend is
+    /// active.
+    #[must_use]
+    pub fn surface(&self) -> Option<&CompiledSurface> {
+        self.surface.as_ref()
     }
 
     /// Computes the soft decision score in `[-1, 1]`.
@@ -132,10 +180,15 @@ impl Flc2 {
         request_bu: f64,
         counter_bu: f64,
     ) -> Result<f64, FuzzyError> {
-        self.engine.evaluate_single(&[("cv", cv), ("r", request_bu), ("cs", counter_bu)])
+        let readings = [cv, request_bu, counter_bu];
+        match &self.surface {
+            None => self.engine.evaluate_crisp(&readings),
+            Some(surface) => surface.evaluate_crisp(&readings),
+        }
     }
 
-    /// The underlying fuzzy engine, exposed for inspection.
+    /// The underlying fuzzy engine, exposed for inspection. With the
+    /// compiled backend this is the engine the surface was compiled from.
     #[must_use]
     pub fn engine(&self) -> &Engine {
         &self.engine
@@ -157,6 +210,27 @@ mod tests {
     #[test]
     fn rule_count_matches_table_2() {
         assert_eq!(flc2().engine().rule_base().len(), 27);
+    }
+
+    #[test]
+    fn compiled_backend_tracks_exact_closely() {
+        let exact = flc2();
+        let compiled =
+            Flc2::with_backend(InferenceConfig::default(), BackendKind::compiled()).unwrap();
+        assert!(compiled.backend().is_compiled());
+        let mut worst = 0.0f64;
+        for cv in [0.0, 0.13, 0.4, 0.62, 0.88, 1.0] {
+            for r in [0.0, 1.0, 3.7, 5.0, 8.2, 10.0] {
+                for cs in [0.0, 6.0, 17.5, 25.0, 33.0, 40.0] {
+                    let e = exact.decision_score(cv, r, cs).unwrap();
+                    let c = compiled.decision_score(cv, r, cs).unwrap();
+                    worst = worst.max((e - c).abs());
+                }
+            }
+        }
+        // Dense sweeps measure a global worst case of ≈ 0.064
+        // (EXPERIMENTS.md).
+        assert!(worst < 0.08, "compiled FLC2 diverged by {worst}");
     }
 
     #[test]

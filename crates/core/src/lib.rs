@@ -48,6 +48,7 @@
 pub mod controller;
 pub mod flc1;
 pub mod flc2;
+mod surface_cache;
 pub mod tables;
 
 pub use controller::{FacsConfig, FacsController, FacsEvaluation};

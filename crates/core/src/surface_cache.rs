@@ -1,0 +1,30 @@
+//! Process-wide caching for default-configuration compiled surfaces,
+//! shared by FLC1 and FLC2.
+
+use std::sync::OnceLock;
+
+use facs_fuzzy::{CompiledSurface, Engine, FuzzyError, InferenceConfig, DEFAULT_LATTICE_POINTS};
+
+/// Compiles `engine`'s decision surface, or fetches the process-wide
+/// cached copy from `cache`.
+///
+/// Only the default inference configuration at the default lattice
+/// resolution is cached — that is the combination every cell of a
+/// cluster and every replication of a sweep shares; anything else
+/// compiles fresh. Two threads racing the empty cache may both compile,
+/// but `OnceLock` guarantees they end up sharing one surface.
+pub(crate) fn default_cached_surface(
+    cache: &'static OnceLock<CompiledSurface>,
+    engine: &Engine,
+    config: InferenceConfig,
+    points_per_axis: usize,
+) -> Result<CompiledSurface, FuzzyError> {
+    if config != InferenceConfig::default() || points_per_axis != DEFAULT_LATTICE_POINTS {
+        return CompiledSurface::compile(engine, points_per_axis);
+    }
+    if let Some(cached) = cache.get() {
+        return Ok(cached.clone());
+    }
+    let surface = CompiledSurface::compile(engine, points_per_axis)?;
+    Ok(cache.get_or_init(|| surface).clone())
+}

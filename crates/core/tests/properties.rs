@@ -1,14 +1,53 @@
-//! Property-based tests over the FACS cascade invariants.
+//! Property-based tests over the FACS cascade invariants, including
+//! exact-vs-compiled backend equivalence.
+
+use std::sync::OnceLock;
 
 use facs::{FacsConfig, FacsController, Flc1, Flc2};
 use facs_cac::{
     BandwidthUnits, CallId, CallKind, CallRequest, CellSnapshot, MobilityInfo, ServiceClass,
 };
+use facs_fuzzy::{BackendKind, InferenceConfig};
 use proptest::prelude::*;
 
 fn arb_class() -> impl Strategy<Value = ServiceClass> {
     prop::sample::select(vec![ServiceClass::Text, ServiceClass::Voice, ServiceClass::Video])
 }
+
+/// Compiled controllers are built once per process (surface compilation
+/// is the expensive step) and shared across property cases.
+fn compiled_flc1() -> &'static Flc1 {
+    static FLC1: OnceLock<Flc1> = OnceLock::new();
+    FLC1.get_or_init(|| {
+        Flc1::with_backend(InferenceConfig::default(), BackendKind::compiled()).unwrap()
+    })
+}
+
+fn compiled_flc2() -> &'static Flc2 {
+    static FLC2: OnceLock<Flc2> = OnceLock::new();
+    FLC2.get_or_init(|| {
+        Flc2::with_backend(InferenceConfig::default(), BackendKind::compiled()).unwrap()
+    })
+}
+
+fn exact_flc1() -> &'static Flc1 {
+    static FLC1: OnceLock<Flc1> = OnceLock::new();
+    FLC1.get_or_init(|| Flc1::new().unwrap())
+}
+
+fn exact_flc2() -> &'static Flc2 {
+    static FLC2: OnceLock<Flc2> = OnceLock::new();
+    FLC2.get_or_init(|| Flc2::new().unwrap())
+}
+
+/// Tolerances for compiled-vs-exact crisp outputs at the default
+/// 33-point lattice, from the dense sweeps recorded in EXPERIMENTS.md:
+/// worst measured |ΔCv| is 0.122 (a localized ridge near the Middle
+/// speed term's peak), worst |Δscore| is 0.064 for FLC2 alone and 0.033
+/// through the full cascade. The bounds add headroom for the random
+/// off-grid points proptest explores.
+const FLC1_TOLERANCE: f64 = 0.15;
+const FLC2_TOLERANCE: f64 = 0.10;
 
 fn snapshot(occupied: u32) -> CellSnapshot {
     CellSnapshot {
@@ -144,4 +183,86 @@ proptest! {
         let s_handoff = facs.evaluate(&handoff, &cell).score;
         prop_assert!(s_handoff + 1e-9 >= s_new);
     }
+
+    /// The compiled FLC1 surface tracks exact Mamdani inference within
+    /// [`FLC1_TOLERANCE`] anywhere in (and beyond) the input universes.
+    #[test]
+    fn compiled_flc1_matches_exact(
+        speed in -10.0_f64..150.0,
+        angle in -200.0_f64..200.0,
+        distance in -1.0_f64..12.0,
+    ) {
+        let m = MobilityInfo::new(speed, angle, distance);
+        let exact = exact_flc1().correction_value(&m).unwrap();
+        let compiled = compiled_flc1().correction_value(&m).unwrap();
+        prop_assert!(
+            (exact - compiled).abs() < FLC1_TOLERANCE,
+            "cv diverged at ({speed}, {angle}, {distance}): {exact} vs {compiled}"
+        );
+    }
+
+    /// The compiled FLC2 surface tracks exact inference within
+    /// [`FLC2_TOLERANCE`].
+    #[test]
+    fn compiled_flc2_matches_exact(
+        cv in -0.2_f64..1.2,
+        request in 0.0_f64..12.0,
+        counter in -2.0_f64..45.0,
+    ) {
+        let exact = exact_flc2().decision_score(cv, request, counter).unwrap();
+        let compiled = compiled_flc2().decision_score(cv, request, counter).unwrap();
+        prop_assert!(
+            (exact - compiled).abs() < FLC2_TOLERANCE,
+            "score diverged at ({cv}, {request}, {counter}): {exact} vs {compiled}"
+        );
+    }
+}
+
+/// Exact and compiled cascades make the same accept/reject decision on
+/// ≥ 99 % of a dense grid over the figure 7–10 input space, and their
+/// soft scores never drift past a small bound. (EXPERIMENTS.md records
+/// the measured agreement at several lattice resolutions; the
+/// `backend` experiment regenerates it.)
+#[test]
+fn backend_decision_agreement_on_dense_grid() {
+    let exact = FacsController::new().unwrap();
+    let compiled = FacsController::with_config(FacsConfig::compiled()).unwrap();
+    let threshold = exact.config().threshold;
+    const STEPS: usize = 7;
+    let axis = |min: f64, max: f64, i: usize| min + (max - min) * i as f64 / (STEPS - 1) as f64;
+    let mut points = 0u32;
+    let mut agreeing = 0u32;
+    let mut max_divergence = 0.0f64;
+    for class in [ServiceClass::Text, ServiceClass::Voice, ServiceClass::Video] {
+        for si in 0..STEPS {
+            for ai in 0..STEPS {
+                for di in 0..STEPS {
+                    for oi in 0..STEPS {
+                        let request = CallRequest::new(
+                            CallId(0),
+                            class,
+                            CallKind::New,
+                            MobilityInfo::new(
+                                axis(0.0, 120.0, si),
+                                axis(-180.0, 180.0, ai),
+                                axis(0.0, 10.0, di),
+                            ),
+                        );
+                        let cell = snapshot(axis(0.0, 40.0, oi).round() as u32);
+                        let e = exact.evaluate(&request, &cell);
+                        let c = compiled.evaluate(&request, &cell);
+                        points += 1;
+                        if (e.score > threshold) == (c.score > threshold) {
+                            agreeing += 1;
+                        }
+                        max_divergence = max_divergence.max((e.score - c.score).abs());
+                    }
+                }
+            }
+        }
+    }
+    let agreement = 100.0 * f64::from(agreeing) / f64::from(points);
+    assert!(agreement >= 99.0, "decision agreement {agreement:.3}% < 99% ({points} points)");
+    // Dense 21-step sweeps measure 0.033 worst-case (EXPERIMENTS.md).
+    assert!(max_divergence < 0.06, "score divergence {max_divergence} too large");
 }

@@ -13,11 +13,13 @@ use std::fmt;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, unbounded, Sender};
+use facs::{FacsConfig, FacsController};
 use facs_cac::{
     AdmissionController, BandwidthLedger, BandwidthUnits, BoxedController, CallId, CallRequest,
     CellId,
 };
 use facs_cellsim::HexGrid;
+use facs_fuzzy::FuzzyError;
 
 use crate::messages::{AdmissionOutcome, BsMessage};
 
@@ -156,6 +158,31 @@ impl Cluster {
             handles.push(handle);
         }
         Self { senders, handles }
+    }
+
+    /// Spawns a FACS cluster: one actor per cell, each running its own
+    /// clone of a single prototype [`FacsController`] built from
+    /// `config`.
+    ///
+    /// This is the backend-aware entry point: with
+    /// [`FacsConfig::compiled`] the decision surfaces compile **once**
+    /// here and every actor shares the same sample blocks (surfaces
+    /// clone by reference), so a 100-cell cluster pays one compilation,
+    /// not one hundred.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FuzzyError`] if the prototype controller fails to
+    /// build (e.g. an invalid inference resolution in `config`).
+    pub fn spawn_facs(
+        grid: &HexGrid,
+        capacity: BandwidthUnits,
+        config: FacsConfig,
+    ) -> Result<Self, FuzzyError> {
+        let prototype = FacsController::with_config(config)?;
+        let controllers =
+            grid.cell_ids().map(|_| Box::new(prototype.clone()) as BoxedController).collect();
+        Ok(Self::spawn(grid, capacity, controllers))
     }
 
     fn sender(&self, cell: CellId) -> Result<&Sender<BsMessage>, ClusterError> {
@@ -346,6 +373,34 @@ mod tests {
         cluster.release(CellId(0), CallId(404)).unwrap();
         assert_eq!(cluster.occupancy(CellId(0)).unwrap(), BandwidthUnits::ZERO);
         cluster.shutdown();
+    }
+
+    #[test]
+    fn spawn_facs_serves_both_backends() {
+        let grid = HexGrid::new(1, 10.0);
+        // A coarse 9-point lattice keeps the debug-mode compile cheap;
+        // accuracy at the default resolution is covered in facs-core.
+        let compiled = FacsConfig {
+            backend: facs_fuzzy::BackendKind::Compiled { points_per_axis: 9 },
+            ..FacsConfig::default()
+        };
+        for config in [FacsConfig::default(), compiled] {
+            let cluster = Cluster::spawn_facs(&grid, BandwidthUnits::new(40), config).unwrap();
+            assert_eq!(cluster.len(), 7);
+            let outcome = cluster
+                .request_admission(
+                    CellId(0),
+                    CallRequest::new(
+                        CallId(1),
+                        ServiceClass::Voice,
+                        CallKind::New,
+                        MobilityInfo::new(60.0, 0.0, 2.0),
+                    ),
+                )
+                .unwrap();
+            assert!(outcome.admitted, "backend {} denied a clear admit", config.backend);
+            cluster.shutdown();
+        }
     }
 
     #[test]

@@ -1,0 +1,519 @@
+//! Pluggable inference backends: how a compiled controller answers
+//! queries.
+//!
+//! The [`InferenceBackend`] trait abstracts over the two ways this
+//! workspace evaluates a single-output fuzzy controller:
+//!
+//! * **Exact Mamdani** — [`Engine`] itself: fuzzify, fire the rule base,
+//!   aggregate, defuzzify on every query. O(rules × resolution) per
+//!   call, bit-exact by definition.
+//! * **Compiled decision surface** — [`CompiledSurface`]: the engine's
+//!   defuzzified output precomputed over a dense input lattice at build
+//!   time, queried by multilinear interpolation. A handful of array
+//!   reads per call, independent of rule count and defuzzifier
+//!   resolution.
+//!
+//! A controller with `d` inputs and `n` lattice points per axis stores
+//! `n^d` crisp values; the FACS controllers each have 3 inputs, so the
+//! default 33-point lattice is ~36 k doubles (≈280 KiB) — resident in L2
+//! cache. Compilation runs the exact engine once per lattice point, so
+//! it costs as much as `n^d` exact inferences, paid once per controller
+//! build (and the surface is cheap to clone: samples live behind an
+//! [`Arc`]).
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::Engine;
+use crate::error::{FuzzyError, Result};
+
+/// Default lattice points per input axis for compiled surfaces.
+///
+/// 33 points over each FACS input universe keeps the worst-case
+/// interpolation error of the admission score well inside the band that
+/// separates accept from reject at the default 0.1 threshold (the
+/// equivalence property tests and EXPERIMENTS.md quantify this), while
+/// the full 3-input lattice stays cache-resident.
+pub const DEFAULT_LATTICE_POINTS: usize = 33;
+
+/// The most input dimensions a [`CompiledSurface`] supports (its
+/// interpolation buffers are stack-allocated arrays of this size).
+pub const MAX_SURFACE_DIMS: usize = 8;
+
+/// A strategy for evaluating a single-output fuzzy controller from
+/// positional readings.
+///
+/// Implemented by [`Engine`] (exact Mamdani inference) and
+/// [`CompiledSurface`] (precomputed lattice + interpolation), so callers
+/// can hold either behind one interface and switch per [`BackendKind`].
+pub trait InferenceBackend {
+    /// Evaluates the controller's single output for readings given in
+    /// input-declaration order (each clamped into its universe).
+    ///
+    /// # Errors
+    ///
+    /// [`FuzzyError::NonFiniteInput`] on NaN/infinite readings, plus
+    /// arity errors when `readings` does not match the input count.
+    fn evaluate_crisp(&self, readings: &[f64]) -> Result<f64>;
+
+    /// Short static name for logs and benches.
+    fn backend_name(&self) -> &'static str;
+}
+
+impl InferenceBackend for Engine {
+    fn evaluate_crisp(&self, readings: &[f64]) -> Result<f64> {
+        Engine::evaluate_crisp(self, readings)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "exact-mamdani"
+    }
+}
+
+/// Which [`InferenceBackend`] a controller should use — the cheap,
+/// copyable selector that configuration types carry (the surface itself
+/// is built when the controller is).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// Exact Mamdani inference on every query (paper-faithful default).
+    #[default]
+    Exact,
+    /// Precomputed decision surface, interpolated at query time.
+    Compiled {
+        /// Lattice points per input axis (≥ 2).
+        points_per_axis: usize,
+    },
+}
+
+impl BackendKind {
+    /// The compiled backend at the default lattice resolution
+    /// ([`DEFAULT_LATTICE_POINTS`] points per axis).
+    #[must_use]
+    pub fn compiled() -> Self {
+        BackendKind::Compiled { points_per_axis: DEFAULT_LATTICE_POINTS }
+    }
+
+    /// `true` for the [`BackendKind::Compiled`] variant.
+    #[must_use]
+    pub fn is_compiled(self) -> bool {
+        matches!(self, BackendKind::Compiled { .. })
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendKind::Exact => write!(f, "exact"),
+            BackendKind::Compiled { points_per_axis } => {
+                write!(f, "compiled({points_per_axis})")
+            }
+        }
+    }
+}
+
+/// One input axis of a compiled surface.
+#[derive(Debug, Clone)]
+struct Axis {
+    name: String,
+    min: f64,
+    max: f64,
+    points: usize,
+}
+
+/// A compiled decision surface: the defuzzified output of an [`Engine`]
+/// precomputed over a dense input lattice, answered by multilinear
+/// interpolation.
+///
+/// Values at lattice nodes are bit-exact against the source engine;
+/// between nodes the surface is the piecewise-multilinear interpolant,
+/// so accuracy is governed by `points_per_axis`. Cloning is cheap (the
+/// sample block is shared behind an [`Arc`]), which lets one compiled
+/// controller be stamped out per cell or per thread without recompiling.
+///
+/// # Examples
+///
+/// ```
+/// use facs_fuzzy::{
+///     CompiledSurface, Engine, InferenceBackend, MembershipFunction, Rule, Variable,
+/// };
+///
+/// # fn main() -> Result<(), facs_fuzzy::FuzzyError> {
+/// let x = Variable::builder("x", 0.0, 10.0)
+///     .term("lo", MembershipFunction::triangular(0.0, 0.0, 10.0)?)
+///     .term("hi", MembershipFunction::triangular(10.0, 10.0, 0.0)?)
+///     .build()?;
+/// let y = Variable::builder("y", 0.0, 1.0)
+///     .term("lo", MembershipFunction::triangular(0.0, 0.0, 1.0)?)
+///     .term("hi", MembershipFunction::triangular(1.0, 1.0, 0.0)?)
+///     .build()?;
+/// let engine = Engine::builder()
+///     .input(x)
+///     .output(y)
+///     .rule(Rule::when("x", "lo").then("y", "lo").build()?)
+///     .rule(Rule::when("x", "hi").then("y", "hi").build()?)
+///     .build()?;
+/// let surface = CompiledSurface::compile(&engine, 65)?;
+/// let exact = engine.evaluate_crisp(&[7.3])?;
+/// let fast = surface.evaluate_crisp(&[7.3])?;
+/// assert!((exact - fast).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledSurface {
+    axes: Vec<Axis>,
+    /// Row-major strides per axis (last axis contiguous).
+    strides: Vec<usize>,
+    values: Arc<[f64]>,
+}
+
+impl CompiledSurface {
+    /// Precomputes `engine`'s defuzzified output over a dense lattice of
+    /// `points_per_axis` points per input axis.
+    ///
+    /// # Errors
+    ///
+    /// * [`FuzzyError::InvalidResolution`] — fewer than 2 points per
+    ///   axis, or a lattice too large to allocate (> 2^26 nodes);
+    /// * [`FuzzyError::InvalidMembership`] — the engine has more than one
+    ///   output, no inputs, or more than [`MAX_SURFACE_DIMS`] inputs;
+    /// * any evaluation error from the engine at a lattice node (e.g.
+    ///   [`FuzzyError::NoRuleFired`] where the rule base has a hole and
+    ///   no fallback is configured).
+    pub fn compile(engine: &Engine, points_per_axis: usize) -> Result<Self> {
+        if points_per_axis < 2 {
+            return Err(FuzzyError::InvalidResolution { samples: points_per_axis });
+        }
+        if engine.outputs().len() != 1 {
+            return Err(FuzzyError::InvalidMembership {
+                reason: format!(
+                    "compiled surfaces require exactly one output (engine has {})",
+                    engine.outputs().len()
+                ),
+            });
+        }
+        let dims = engine.inputs().len();
+        if dims == 0 || dims > MAX_SURFACE_DIMS {
+            return Err(FuzzyError::InvalidMembership {
+                reason: format!(
+                    "compiled surfaces support 1..={MAX_SURFACE_DIMS} inputs (engine has {dims})"
+                ),
+            });
+        }
+        let axes: Vec<Axis> = engine
+            .inputs()
+            .iter()
+            .map(|v| Axis {
+                name: v.name().to_owned(),
+                min: v.min(),
+                max: v.max(),
+                points: points_per_axis,
+            })
+            .collect();
+        let mut total = 1usize;
+        for _ in 0..dims {
+            total = total
+                .checked_mul(points_per_axis)
+                .filter(|&t| t <= 1 << 26)
+                .ok_or(FuzzyError::InvalidResolution { samples: points_per_axis })?;
+        }
+        let mut strides = vec![1usize; dims];
+        for d in (0..dims.saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * points_per_axis;
+        }
+
+        let mut values = Vec::with_capacity(total);
+        let mut index = vec![0usize; dims];
+        let mut coords = vec![0.0f64; dims];
+        loop {
+            for (d, axis) in axes.iter().enumerate() {
+                let t = index[d] as f64 / (axis.points - 1) as f64;
+                coords[d] = axis.min + (axis.max - axis.min) * t;
+            }
+            values.push(engine.evaluate_crisp(&coords)?);
+            // Odometer increment, last axis fastest (row-major order).
+            let mut d = dims;
+            loop {
+                if d == 0 {
+                    break;
+                }
+                d -= 1;
+                index[d] += 1;
+                if index[d] < points_per_axis {
+                    break;
+                }
+                index[d] = 0;
+            }
+            if index.iter().all(|&i| i == 0) {
+                break;
+            }
+        }
+        debug_assert_eq!(values.len(), total);
+        Ok(Self { axes, strides, values: values.into() })
+    }
+
+    /// Input dimensionality of the surface.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Lattice points per input axis.
+    #[must_use]
+    pub fn points_per_axis(&self) -> usize {
+        self.axes[0].points
+    }
+
+    /// Total number of precomputed lattice nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `false` always — a compiled surface holds at least `2^dims` nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Approximate resident size of the sample block in bytes.
+    #[must_use]
+    pub fn sample_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f64>()
+    }
+
+    /// `true` when `self` and `other` share one sample block (clones of
+    /// the same compilation — no memory was duplicated).
+    #[must_use]
+    pub fn shares_samples(&self, other: &CompiledSurface) -> bool {
+        Arc::ptr_eq(&self.values, &other.values)
+    }
+}
+
+impl InferenceBackend for CompiledSurface {
+    /// Multilinear interpolation over the precomputed lattice: locates
+    /// the enclosing cell per axis, then blends its `2^dims` corner
+    /// values. Readings are clamped into each axis universe, mirroring
+    /// the exact engine.
+    fn evaluate_crisp(&self, readings: &[f64]) -> Result<f64> {
+        let dims = self.axes.len();
+        if readings.len() < dims {
+            return Err(FuzzyError::MissingInput {
+                variable: self.axes[readings.len()].name.clone(),
+            });
+        }
+        if readings.len() > dims {
+            return Err(FuzzyError::UnknownVariable {
+                variable: format!("positional input #{dims}"),
+            });
+        }
+        let mut frac = [0.0f64; MAX_SURFACE_DIMS];
+        let mut base = 0usize;
+        for (d, axis) in self.axes.iter().enumerate() {
+            let value = readings[d];
+            if !value.is_finite() {
+                return Err(FuzzyError::NonFiniteInput { variable: axis.name.clone(), value });
+            }
+            let x = value.clamp(axis.min, axis.max);
+            let t = (x - axis.min) / (axis.max - axis.min) * (axis.points - 1) as f64;
+            let cell = (t.floor() as usize).min(axis.points - 2);
+            frac[d] = (t - cell as f64).clamp(0.0, 1.0);
+            base += cell * self.strides[d];
+        }
+        let mut acc = 0.0;
+        for corner in 0..(1usize << dims) {
+            let mut weight = 1.0;
+            let mut offset = 0usize;
+            for (d, &stride) in self.strides.iter().enumerate() {
+                if corner & (1 << d) != 0 {
+                    weight *= frac[d];
+                    offset += stride;
+                } else {
+                    weight *= 1.0 - frac[d];
+                }
+            }
+            if weight > 0.0 {
+                acc += weight * self.values[base + offset];
+            }
+        }
+        Ok(acc)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "compiled-surface"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::membership::MembershipFunction;
+    use crate::rule::Rule;
+    use crate::variable::Variable;
+
+    fn ramp_engine() -> Engine {
+        let x = Variable::builder("x", 0.0, 10.0)
+            .term("lo", MembershipFunction::triangular(0.0, 0.0, 10.0).unwrap())
+            .term("hi", MembershipFunction::triangular(10.0, 10.0, 0.0).unwrap())
+            .build()
+            .unwrap();
+        let y = Variable::builder("y", 0.0, 1.0)
+            .term("lo", MembershipFunction::triangular(0.0, 0.0, 1.0).unwrap())
+            .term("hi", MembershipFunction::triangular(1.0, 1.0, 0.0).unwrap())
+            .build()
+            .unwrap();
+        Engine::builder()
+            .input(x)
+            .output(y)
+            .rule(Rule::when("x", "lo").then("y", "lo").build().unwrap())
+            .rule(Rule::when("x", "hi").then("y", "hi").build().unwrap())
+            .build()
+            .unwrap()
+    }
+
+    fn two_input_engine() -> Engine {
+        let a = Variable::builder("a", 0.0, 1.0)
+            .term("lo", MembershipFunction::triangular(0.0, 0.0, 1.0).unwrap())
+            .term("hi", MembershipFunction::triangular(1.0, 1.0, 0.0).unwrap())
+            .build()
+            .unwrap();
+        let b = Variable::builder("b", -1.0, 1.0)
+            .term("lo", MembershipFunction::triangular(-1.0, 0.0, 2.0).unwrap())
+            .term("hi", MembershipFunction::triangular(1.0, 2.0, 0.0).unwrap())
+            .build()
+            .unwrap();
+        let out = Variable::builder("out", 0.0, 100.0)
+            .term("small", MembershipFunction::triangular(0.0, 0.0, 50.0).unwrap())
+            .term("large", MembershipFunction::triangular(100.0, 50.0, 0.0).unwrap())
+            .build()
+            .unwrap();
+        Engine::builder()
+            .input(a)
+            .input(b)
+            .output(out)
+            .rule(Rule::when("a", "lo").and("b", "lo").then("out", "small").build().unwrap())
+            .rule(Rule::when("a", "hi").or("b", "hi").then("out", "large").build().unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lattice_nodes_are_bit_exact() {
+        let engine = ramp_engine();
+        let surface = CompiledSurface::compile(&engine, 17).unwrap();
+        for i in 0..17 {
+            let x = 10.0 * f64::from(i) / 16.0;
+            assert_eq!(
+                surface.evaluate_crisp(&[x]).unwrap(),
+                engine.evaluate_crisp(&[x]).unwrap(),
+                "node {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn off_node_queries_are_close_to_exact() {
+        let engine = two_input_engine();
+        let surface = CompiledSurface::compile(&engine, 33).unwrap();
+        let mut worst = 0.0f64;
+        for i in 0..=20 {
+            for j in 0..=20 {
+                let a = f64::from(i) / 20.0 + 0.013;
+                let b = -1.0 + 2.0 * f64::from(j) / 20.0 + 0.007;
+                let exact = engine.evaluate_crisp(&[a, b]).unwrap();
+                let fast = surface.evaluate_crisp(&[a, b]).unwrap();
+                worst = worst.max((exact - fast).abs());
+            }
+        }
+        assert!(worst < 2.0, "max divergence {worst} over a 100-unit universe");
+    }
+
+    #[test]
+    fn out_of_universe_readings_are_clamped() {
+        let engine = ramp_engine();
+        let surface = CompiledSurface::compile(&engine, 9).unwrap();
+        assert_eq!(
+            surface.evaluate_crisp(&[-5.0]).unwrap(),
+            surface.evaluate_crisp(&[0.0]).unwrap()
+        );
+        assert_eq!(
+            surface.evaluate_crisp(&[99.0]).unwrap(),
+            surface.evaluate_crisp(&[10.0]).unwrap()
+        );
+    }
+
+    #[test]
+    fn arity_and_finiteness_errors_match_the_exact_backend() {
+        let engine = two_input_engine();
+        let surface = CompiledSurface::compile(&engine, 5).unwrap();
+        assert!(matches!(surface.evaluate_crisp(&[0.5]), Err(FuzzyError::MissingInput { .. })));
+        assert!(matches!(
+            surface.evaluate_crisp(&[0.5, 0.5, 0.5]),
+            Err(FuzzyError::UnknownVariable { .. })
+        ));
+        assert!(matches!(
+            surface.evaluate_crisp(&[f64::NAN, 0.5]),
+            Err(FuzzyError::NonFiniteInput { .. })
+        ));
+        assert!(matches!(engine.evaluate_crisp(&[0.5]), Err(FuzzyError::MissingInput { .. })));
+        assert!(matches!(
+            engine.evaluate_crisp(&[0.5, 0.5, 0.5]),
+            Err(FuzzyError::UnknownVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn compile_rejects_degenerate_lattices() {
+        let engine = ramp_engine();
+        assert!(matches!(
+            CompiledSurface::compile(&engine, 1),
+            Err(FuzzyError::InvalidResolution { .. })
+        ));
+    }
+
+    #[test]
+    fn surface_metadata_is_consistent() {
+        let surface = CompiledSurface::compile(&two_input_engine(), 9).unwrap();
+        assert_eq!(surface.dims(), 2);
+        assert_eq!(surface.points_per_axis(), 9);
+        assert_eq!(surface.len(), 81);
+        assert!(!surface.is_empty());
+        assert_eq!(surface.sample_bytes(), 81 * 8);
+        assert_eq!(surface.backend_name(), "compiled-surface");
+    }
+
+    #[test]
+    fn clones_share_the_sample_block() {
+        let surface = CompiledSurface::compile(&ramp_engine(), 33).unwrap();
+        let clone = surface.clone();
+        assert!(Arc::ptr_eq(&surface.values, &clone.values));
+    }
+
+    #[test]
+    fn backend_kind_selector() {
+        assert_eq!(BackendKind::default(), BackendKind::Exact);
+        assert!(!BackendKind::Exact.is_compiled());
+        let compiled = BackendKind::compiled();
+        assert!(compiled.is_compiled());
+        assert_eq!(compiled, BackendKind::Compiled { points_per_axis: DEFAULT_LATTICE_POINTS });
+        assert_eq!(compiled.to_string(), "compiled(33)");
+        assert_eq!(BackendKind::Exact.to_string(), "exact");
+    }
+
+    #[test]
+    fn surface_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompiledSurface>();
+    }
+
+    #[test]
+    fn engine_implements_the_backend_trait() {
+        let engine = ramp_engine();
+        let backend: &dyn InferenceBackend = &engine;
+        assert_eq!(backend.backend_name(), "exact-mamdani");
+        let direct = engine.evaluate_crisp(&[3.0]).unwrap();
+        assert_eq!(backend.evaluate_crisp(&[3.0]).unwrap(), direct);
+    }
+}

@@ -1,6 +1,7 @@
 //! The Mamdani inference engine: fuzzifier, inference, rule base, and
 //! defuzzifier composed behind one API (the FLC structure of paper Fig. 2).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
@@ -66,6 +67,72 @@ struct CompiledClause {
 struct CompiledConsequent {
     output: usize,
     term: usize,
+}
+
+/// Reusable evaluation buffers, one set per thread.
+///
+/// Inference needs several short-lived vectors (clamped readings, term
+/// memberships, rule firings, the aggregation surface). Allocating them
+/// per call dominated the exact backend's profile, so they live in a
+/// thread-local pool instead: `Engine::evaluate*` stays `&self` (the
+/// engine remains `Send + Sync` and shareable across threads) while the
+/// steady-state hot path allocates nothing.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Clamped input readings, in declaration order.
+    readings: Vec<f64>,
+    /// Which inputs have been supplied (name-based entry point only).
+    filled: Vec<bool>,
+    /// Flattened `memberships[term_offsets[input] + term]`.
+    memberships: Vec<f64>,
+    /// Firing strength per rule (crisp-only path; the outcome path
+    /// allocates because the firings escape into the returned value).
+    firings: Vec<f64>,
+    /// `(strength, representative)` pairs for weighted-average defuzz.
+    activations: Vec<(f64, f64)>,
+    /// Aggregation surfaces reused by the crisp-only path, one per
+    /// distinct (universe, resolution) shape seen on this thread — so
+    /// engines with different output universes (e.g. the FLC1 → FLC2
+    /// cascade) each keep their own buffer instead of evicting each
+    /// other's.
+    surfaces: Vec<SampledSet>,
+}
+
+/// Upper bound on distinct scratch surfaces kept per thread; beyond it
+/// the oldest slot is recycled (threads normally alternate between a
+/// handful of engines, so this is never hit in practice).
+const MAX_SCRATCH_SURFACES: usize = 8;
+
+impl Scratch {
+    /// A zeroed surface of the requested shape from `surfaces`, reusing
+    /// a cached buffer when one matches. (Takes the field rather than
+    /// `&mut self` so callers can hold other scratch fields at the same
+    /// time.)
+    fn surface_for_in<'a>(
+        surfaces: &'a mut Vec<SampledSet>,
+        var: &Variable,
+        resolution: usize,
+    ) -> Result<&'a mut SampledSet> {
+        if let Some(i) = surfaces
+            .iter()
+            .position(|s| s.len() == resolution && s.min() == var.min() && s.max() == var.max())
+        {
+            let surface = &mut surfaces[i];
+            surface.zero();
+            return Ok(surface);
+        }
+        let fresh = SampledSet::empty(var.min(), var.max(), resolution)?;
+        if surfaces.len() >= MAX_SCRATCH_SURFACES {
+            surfaces[0] = fresh;
+            return Ok(&mut surfaces[0]);
+        }
+        surfaces.push(fresh);
+        Ok(surfaces.last_mut().expect("just pushed"))
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
 }
 
 /// One crisp output plus its supporting evidence.
@@ -186,6 +253,10 @@ pub struct Engine {
     compiled: Vec<CompiledRule>,
     fallbacks: HashMap<usize, f64>,
     config: InferenceConfig,
+    /// `term_offsets[i]` is where input `i`'s term memberships start in
+    /// the flattened scratch membership buffer; the final entry is the
+    /// total term count.
+    term_offsets: Vec<usize>,
 }
 
 impl Engine {
@@ -245,11 +316,87 @@ impl Engine {
     /// * [`FuzzyError::NoRuleFired`] — an output received no rule mass and
     ///   has no fallback configured.
     pub fn evaluate(&self, values: &[(&str, f64)]) -> Result<Outcome> {
-        let readings = self.gather_inputs(values)?;
-        let memberships = self.fuzzify(&readings);
-        let firings = self.fire_rules(&memberships);
-        let outputs = self.infer_outputs(&firings)?;
-        Ok(Outcome { outputs, firings })
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            self.gather_inputs_into(values, scratch)?;
+            self.fuzzify_into(scratch);
+            // The firings escape into the returned `Outcome`, so this one
+            // vector is allocated per call by design.
+            let mut firings = vec![0.0; self.compiled.len()];
+            self.fire_rules_into(&scratch.memberships, &mut firings);
+            let outputs = self.infer_outputs(&firings, &mut scratch.activations)?;
+            Ok(Outcome { outputs, firings })
+        })
+    }
+
+    /// Runs one inference pass over positional readings and returns the
+    /// single output's crisp value.
+    ///
+    /// `readings` pairs with the input variables **in declaration order**
+    /// and each value is clamped into its variable's universe. This is
+    /// the allocation-free hot path behind the admission cascade and the
+    /// compiled-surface builder: all intermediate buffers (including the
+    /// aggregation surface) come from a per-thread scratch pool, so the
+    /// steady state performs no heap allocation. Results are bit-identical
+    /// to [`Engine::evaluate`] + [`Outcome::crisp`].
+    ///
+    /// # Errors
+    ///
+    /// * [`FuzzyError::MissingInput`] — fewer readings than inputs;
+    /// * [`FuzzyError::UnknownVariable`] — more readings than inputs;
+    /// * [`FuzzyError::NonFiniteInput`] — a reading is NaN or infinite;
+    /// * [`FuzzyError::NoRuleFired`] — no rule mass and no fallback;
+    /// * [`FuzzyError::InvalidMembership`] — the engine has more than one
+    ///   output (use [`Engine::evaluate`] there).
+    pub fn evaluate_crisp(&self, readings: &[f64]) -> Result<f64> {
+        if self.outputs.len() != 1 {
+            return Err(FuzzyError::InvalidMembership {
+                reason: format!(
+                    "evaluate_crisp requires exactly one output (engine has {})",
+                    self.outputs.len()
+                ),
+            });
+        }
+        if readings.len() < self.inputs.len() {
+            return Err(FuzzyError::MissingInput {
+                variable: self.inputs[readings.len()].name().to_owned(),
+            });
+        }
+        if readings.len() > self.inputs.len() {
+            return Err(FuzzyError::UnknownVariable {
+                variable: format!("positional input #{}", self.inputs.len()),
+            });
+        }
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            scratch.readings.clear();
+            for (var, &value) in self.inputs.iter().zip(readings) {
+                if !value.is_finite() {
+                    return Err(FuzzyError::NonFiniteInput {
+                        variable: var.name().to_owned(),
+                        value,
+                    });
+                }
+                scratch.readings.push(var.clamp(value));
+            }
+            self.fuzzify_into(scratch);
+            let Scratch { memberships, firings, .. } = scratch;
+            firings.clear();
+            firings.resize(self.compiled.len(), 0.0);
+            self.fire_rules_into(memberships, firings);
+            let var = &self.outputs[0];
+            if self.config.defuzzifier.needs_surface() {
+                let Scratch { firings, surfaces, .. } = scratch;
+                let surface = Scratch::surface_for_in(surfaces, var, self.config.resolution)?;
+                if self.accumulate_surface(0, var, firings, surface) {
+                    self.crisp_of_surface(var, surface)
+                } else {
+                    self.fallback_crisp(0, var)
+                }
+            } else {
+                self.crisp_weighted(0, var, &scratch.firings, &mut scratch.activations)
+            }
+        })
     }
 
     /// Like [`Engine::evaluate`] but returns the single output's crisp
@@ -272,8 +419,14 @@ impl Engine {
         Ok(outcome.outputs[0].crisp)
     }
 
-    fn gather_inputs(&self, values: &[(&str, f64)]) -> Result<Vec<f64>> {
-        let mut slots: Vec<Option<f64>> = vec![None; self.inputs.len()];
+    /// Resolves name-keyed values into `scratch.readings` (declaration
+    /// order, clamped), reusing the scratch slot/flag buffers instead of
+    /// allocating per call.
+    fn gather_inputs_into(&self, values: &[(&str, f64)], scratch: &mut Scratch) -> Result<()> {
+        scratch.readings.clear();
+        scratch.readings.resize(self.inputs.len(), 0.0);
+        scratch.filled.clear();
+        scratch.filled.resize(self.inputs.len(), false);
         for &(name, value) in values {
             let lower = name.to_ascii_lowercase();
             let idx = self
@@ -284,78 +437,79 @@ impl Engine {
             if !value.is_finite() {
                 return Err(FuzzyError::NonFiniteInput { variable: lower, value });
             }
-            slots[idx] = Some(self.inputs[idx].clamp(value));
+            scratch.readings[idx] = self.inputs[idx].clamp(value);
+            scratch.filled[idx] = true;
         }
-        slots
-            .into_iter()
-            .enumerate()
-            .map(|(i, slot)| {
-                slot.ok_or_else(|| FuzzyError::MissingInput {
-                    variable: self.inputs[i].name().to_owned(),
-                })
-            })
-            .collect()
+        if let Some(i) = scratch.filled.iter().position(|&f| !f) {
+            return Err(FuzzyError::MissingInput { variable: self.inputs[i].name().to_owned() });
+        }
+        Ok(())
     }
 
-    /// Membership of each reading in each term: `memberships[input][term]`.
-    fn fuzzify(&self, readings: &[f64]) -> Vec<Vec<f64>> {
-        self.inputs
-            .iter()
-            .zip(readings)
-            .map(|(var, &x)| var.terms().iter().map(|t| t.membership(x)).collect())
-            .collect()
+    /// Membership of each reading in each term, flattened into
+    /// `scratch.memberships` at `self.term_offsets`.
+    fn fuzzify_into(&self, scratch: &mut Scratch) {
+        scratch.memberships.clear();
+        for (var, &x) in self.inputs.iter().zip(&scratch.readings) {
+            scratch.memberships.extend(var.terms().iter().map(|t| t.membership(x)));
+        }
     }
 
     /// Firing strength per rule: connective fold over clause memberships,
-    /// scaled by the rule weight.
-    fn fire_rules(&self, memberships: &[Vec<f64>]) -> Vec<f64> {
-        self.compiled
-            .iter()
-            .map(|rule| {
-                let mut degrees = rule.clauses.iter().map(|c| {
-                    let mu = memberships[c.input][c.term];
-                    if c.negated {
-                        1.0 - mu
-                    } else {
-                        mu
-                    }
-                });
-                let strength = match rule.connective {
-                    Connective::And => {
-                        let first = degrees.next().unwrap_or(1.0);
-                        degrees.fold(first, |acc, d| self.config.tnorm.apply(acc, d))
-                    }
-                    Connective::Or => {
-                        let first = degrees.next().unwrap_or(0.0);
-                        degrees.fold(first, |acc, d| self.config.snorm.apply(acc, d))
-                    }
-                };
-                strength * rule.weight
-            })
-            .collect()
+    /// scaled by the rule weight. `firings` must already hold one slot per
+    /// rule.
+    fn fire_rules_into(&self, memberships: &[f64], firings: &mut [f64]) {
+        for (slot, rule) in firings.iter_mut().zip(&self.compiled) {
+            let mut degrees = rule.clauses.iter().map(|c| {
+                let mu = memberships[self.term_offsets[c.input] + c.term];
+                if c.negated {
+                    1.0 - mu
+                } else {
+                    mu
+                }
+            });
+            let strength = match rule.connective {
+                Connective::And => {
+                    let first = degrees.next().unwrap_or(1.0);
+                    degrees.fold(first, |acc, d| self.config.tnorm.apply(acc, d))
+                }
+                Connective::Or => {
+                    let first = degrees.next().unwrap_or(0.0);
+                    degrees.fold(first, |acc, d| self.config.snorm.apply(acc, d))
+                }
+            };
+            *slot = strength * rule.weight;
+        }
     }
 
-    fn infer_outputs(&self, firings: &[f64]) -> Result<Vec<OutputValue>> {
+    fn infer_outputs(
+        &self,
+        firings: &[f64],
+        activations: &mut Vec<(f64, f64)>,
+    ) -> Result<Vec<OutputValue>> {
         let mut outputs = Vec::with_capacity(self.outputs.len());
         for (out_idx, var) in self.outputs.iter().enumerate() {
             let value = if self.config.defuzzifier.needs_surface() {
                 self.defuzzify_surface(out_idx, var, firings)?
             } else {
-                self.defuzzify_weighted(out_idx, var, firings)?
+                let crisp = self.crisp_weighted(out_idx, var, firings, activations)?;
+                OutputValue { name: var.name().to_owned(), crisp, surface: None }
             };
             outputs.push(value);
         }
         Ok(outputs)
     }
 
-    fn defuzzify_surface(
+    /// Aggregates every firing consequent of `out_idx` into `surface`
+    /// (which must already be zeroed and shaped to the output universe).
+    /// Returns `false` when no rule contributed mass.
+    fn accumulate_surface(
         &self,
         out_idx: usize,
         var: &Variable,
         firings: &[f64],
-    ) -> Result<OutputValue> {
-        let mut surface = SampledSet::empty(var.min(), var.max(), self.config.resolution)?;
-        let samples = surface.len();
+        surface: &mut SampledSet,
+    ) -> bool {
         let mut any_mass = false;
         for (rule, &strength) in self.compiled.iter().zip(firings) {
             if strength <= 0.0 {
@@ -367,38 +521,61 @@ impl Engine {
                 }
                 any_mass = true;
                 let mf = var.terms()[consequent.term].function();
-                let contribution = SampledSet::from_fn(var.min(), var.max(), samples, |x| {
-                    self.config.implication.apply(strength, mf.evaluate(x))
-                })?;
-                surface.merge_with(&contribution, |a, b| self.config.aggregation.apply(a, b));
+                surface.merge_from_fn(
+                    |x| self.config.implication.apply(strength, mf.evaluate(x)),
+                    |a, b| self.config.aggregation.apply(a, b),
+                );
             }
         }
-        if !any_mass {
-            return match self.fallbacks.get(&out_idx) {
-                Some(&fallback) => Ok(OutputValue {
-                    name: var.name().to_owned(),
-                    crisp: fallback,
-                    surface: Some(surface),
-                }),
-                None => Err(FuzzyError::NoRuleFired { variable: var.name().to_owned() }),
-            };
-        }
-        let crisp = self.config.defuzzifier.crisp(&surface).map_err(|e| match e {
+        any_mass
+    }
+
+    /// Defuzzifies an aggregated surface, rewriting the placeholder
+    /// `NoRuleFired` variable name.
+    fn crisp_of_surface(&self, var: &Variable, surface: &SampledSet) -> Result<f64> {
+        self.config.defuzzifier.crisp(surface).map_err(|e| match e {
             FuzzyError::NoRuleFired { .. } => {
                 FuzzyError::NoRuleFired { variable: var.name().to_owned() }
             }
             other => other,
-        })?;
-        Ok(OutputValue { name: var.name().to_owned(), crisp, surface: Some(surface) })
+        })
     }
 
-    fn defuzzify_weighted(
+    /// The configured fallback for `out_idx`, or the `NoRuleFired` error.
+    fn fallback_crisp(&self, out_idx: usize, var: &Variable) -> Result<f64> {
+        match self.fallbacks.get(&out_idx) {
+            Some(&fallback) => Ok(fallback),
+            None => Err(FuzzyError::NoRuleFired { variable: var.name().to_owned() }),
+        }
+    }
+
+    fn defuzzify_surface(
         &self,
         out_idx: usize,
         var: &Variable,
         firings: &[f64],
     ) -> Result<OutputValue> {
-        let mut activations = Vec::new();
+        // This surface escapes into the returned `OutputValue`, so it is
+        // built fresh rather than in the thread-local pool.
+        let mut surface = SampledSet::empty(var.min(), var.max(), self.config.resolution)?;
+        if !self.accumulate_surface(out_idx, var, firings, &mut surface) {
+            let crisp = self.fallback_crisp(out_idx, var)?;
+            return Ok(OutputValue { name: var.name().to_owned(), crisp, surface: Some(surface) });
+        }
+        let crisp = self.crisp_of_surface(var, &surface)?;
+        Ok(OutputValue { name: var.name().to_owned(), crisp, surface: Some(surface) })
+    }
+
+    /// Weighted-average defuzzification of `out_idx`, reusing the scratch
+    /// activation buffer.
+    fn crisp_weighted(
+        &self,
+        out_idx: usize,
+        var: &Variable,
+        firings: &[f64],
+        activations: &mut Vec<(f64, f64)>,
+    ) -> Result<f64> {
+        activations.clear();
         for (rule, &strength) in self.compiled.iter().zip(firings) {
             if strength <= 0.0 {
                 continue;
@@ -410,18 +587,9 @@ impl Engine {
                 }
             }
         }
-        match self.config.defuzzifier.crisp_from_activations(&activations) {
-            Ok(crisp) => Ok(OutputValue {
-                name: var.name().to_owned(),
-                crisp: crisp.clamp(var.min(), var.max()),
-                surface: None,
-            }),
-            Err(FuzzyError::NoRuleFired { .. }) => match self.fallbacks.get(&out_idx) {
-                Some(&fallback) => {
-                    Ok(OutputValue { name: var.name().to_owned(), crisp: fallback, surface: None })
-                }
-                None => Err(FuzzyError::NoRuleFired { variable: var.name().to_owned() }),
-            },
+        match self.config.defuzzifier.crisp_from_activations(activations) {
+            Ok(crisp) => Ok(crisp.clamp(var.min(), var.max())),
+            Err(FuzzyError::NoRuleFired { .. }) => self.fallback_crisp(out_idx, var),
             Err(other) => Err(other),
         }
     }
@@ -598,6 +766,14 @@ impl EngineBuilder {
             fallbacks.insert(idx, value);
         }
 
+        let mut term_offsets = Vec::with_capacity(self.inputs.len() + 1);
+        let mut total_terms = 0;
+        for v in &self.inputs {
+            term_offsets.push(total_terms);
+            total_terms += v.terms().len();
+        }
+        term_offsets.push(total_terms);
+
         Ok(Engine {
             inputs: self.inputs,
             outputs: self.outputs,
@@ -607,6 +783,7 @@ impl EngineBuilder {
             compiled,
             fallbacks,
             config: self.config,
+            term_offsets,
         })
     }
 }
@@ -675,6 +852,132 @@ mod tests {
         let engine = tipper();
         let mid = engine.evaluate_single(&[("service", 5.0), ("food", 5.0)]).unwrap();
         assert!((mid - 15.0).abs() < 2.0, "mid service should tip ~15, got {mid}");
+    }
+
+    #[test]
+    fn evaluate_crisp_matches_named_evaluation() {
+        let engine = tipper();
+        for s in [0.0, 2.5, 5.0, 6.5, 10.0] {
+            for f in [0.0, 3.0, 7.0, 10.0] {
+                let named = engine.evaluate_single(&[("service", s), ("food", f)]).unwrap();
+                let positional = engine.evaluate_crisp(&[s, f]).unwrap();
+                assert_eq!(named, positional, "divergence at service={s} food={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_crisp_reports_arity_errors() {
+        let engine = tipper();
+        assert_eq!(
+            engine.evaluate_crisp(&[5.0]).unwrap_err(),
+            FuzzyError::MissingInput { variable: "food".into() }
+        );
+        assert!(matches!(
+            engine.evaluate_crisp(&[5.0, 5.0, 5.0]).unwrap_err(),
+            FuzzyError::UnknownVariable { .. }
+        ));
+        assert!(matches!(
+            engine.evaluate_crisp(&[f64::NAN, 5.0]).unwrap_err(),
+            FuzzyError::NonFiniteInput { .. }
+        ));
+    }
+
+    #[test]
+    fn evaluate_crisp_clamps_and_falls_back() {
+        let engine = tipper();
+        assert_eq!(
+            engine.evaluate_crisp(&[100.0, 10.0]).unwrap(),
+            engine.evaluate_crisp(&[10.0, 10.0]).unwrap()
+        );
+        let x = Variable::builder("x", 0.0, 10.0).term("left", tri(0.0, 0.0, 2.0)).build().unwrap();
+        let y = Variable::builder("y", 0.0, 1.0).term("t", tri(0.5, 0.5, 0.5)).build().unwrap();
+        let engine = Engine::builder()
+            .input(x)
+            .output(y)
+            .rule(Rule::when("x", "left").then("y", "t").build().unwrap())
+            .fallback("y", 0.25)
+            .build()
+            .unwrap();
+        assert_eq!(engine.evaluate_crisp(&[9.0]).unwrap(), 0.25);
+    }
+
+    #[test]
+    fn evaluate_crisp_rejects_multi_output() {
+        let x = Variable::builder("x", 0.0, 1.0).term("t", tri(0.5, 0.5, 0.5)).build().unwrap();
+        let y1 = Variable::builder("y1", 0.0, 1.0).term("t", tri(0.5, 0.5, 0.5)).build().unwrap();
+        let y2 = Variable::builder("y2", 0.0, 1.0).term("t", tri(0.5, 0.5, 0.5)).build().unwrap();
+        let engine = Engine::builder()
+            .input(x)
+            .output(y1)
+            .output(y2)
+            .rule(Rule::when("x", "t").then("y1", "t").then("y2", "t").build().unwrap())
+            .build()
+            .unwrap();
+        assert!(matches!(
+            engine.evaluate_crisp(&[0.5]).unwrap_err(),
+            FuzzyError::InvalidMembership { .. }
+        ));
+    }
+
+    #[test]
+    fn evaluate_crisp_matches_weighted_average_path() {
+        let service = Variable::builder("service", 0.0, 10.0)
+            .term("poor", tri(0.0, 0.0, 10.0))
+            .term("excellent", tri(10.0, 10.0, 0.0))
+            .build()
+            .unwrap();
+        let tip = Variable::builder("tip", 0.0, 30.0)
+            .term("low", tri(5.0, 5.0, 5.0))
+            .term("high", tri(25.0, 5.0, 5.0))
+            .build()
+            .unwrap();
+        let engine = Engine::builder()
+            .input(service)
+            .output(tip)
+            .rule(Rule::when("service", "poor").then("tip", "low").build().unwrap())
+            .rule(Rule::when("service", "excellent").then("tip", "high").build().unwrap())
+            .defuzzifier(Defuzzifier::WeightedAverage)
+            .build()
+            .unwrap();
+        for s in [0.0, 2.0, 5.0, 8.0, 10.0] {
+            assert_eq!(
+                engine.evaluate_crisp(&[s]).unwrap(),
+                engine.evaluate_single(&[("service", s)]).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn alternating_engines_with_different_universes_stay_correct() {
+        // The FLC1 → FLC2 cascade alternates two engines with different
+        // output universes on one thread; each must keep its own scratch
+        // surface (shape-keyed pool) and produce the same results as
+        // when evaluated in isolation.
+        let tipper = tipper();
+        let x = Variable::builder("x", 0.0, 1.0)
+            .term("lo", tri(0.0, 0.0, 1.0))
+            .term("hi", tri(1.0, 1.0, 0.0))
+            .build()
+            .unwrap();
+        let y = Variable::builder("y", -1.0, 1.0)
+            .term("lo", tri(-1.0, 0.0, 2.0))
+            .term("hi", tri(1.0, 2.0, 0.0))
+            .build()
+            .unwrap();
+        let other = Engine::builder()
+            .input(x)
+            .output(y)
+            .rule(Rule::when("x", "lo").then("y", "lo").build().unwrap())
+            .rule(Rule::when("x", "hi").then("y", "hi").build().unwrap())
+            .build()
+            .unwrap();
+        let tip_alone = tipper.evaluate_crisp(&[6.5, 4.0]).unwrap();
+        let other_alone = other.evaluate_crisp(&[0.3]).unwrap();
+        for _ in 0..3 {
+            assert_eq!(tipper.evaluate_crisp(&[6.5, 4.0]).unwrap(), tip_alone);
+            assert_eq!(other.evaluate_crisp(&[0.3]).unwrap(), other_alone);
+        }
     }
 
     #[test]

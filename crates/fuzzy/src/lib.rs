@@ -54,11 +54,15 @@
 //! * [`defuzz`] — centroid, bisector, maxima and weighted-average
 //!   defuzzifiers.
 //! * [`engine`] — the compiled controller.
+//! * [`backend`] — pluggable inference backends: exact Mamdani per
+//!   query, or a precomputed decision surface answered by multilinear
+//!   interpolation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
 pub mod defuzz;
 pub mod dsl;
 pub mod engine;
@@ -70,6 +74,7 @@ pub mod set;
 pub mod term;
 pub mod variable;
 
+pub use backend::{BackendKind, CompiledSurface, InferenceBackend, DEFAULT_LATTICE_POINTS};
 pub use defuzz::{Defuzzifier, DEFAULT_RESOLUTION};
 pub use dsl::{parse_rule, parse_rules};
 pub use engine::{Engine, EngineBuilder, InferenceConfig, Outcome, OutputValue};
@@ -83,6 +88,7 @@ pub use variable::{Variable, VariableBuilder};
 
 /// Commonly used items, for glob import in applications and examples.
 pub mod prelude {
+    pub use crate::backend::{BackendKind, CompiledSurface, InferenceBackend};
     pub use crate::defuzz::Defuzzifier;
     pub use crate::dsl::{parse_rule, parse_rules};
     pub use crate::engine::{Engine, InferenceConfig, Outcome};

@@ -128,6 +128,32 @@ impl SampledSet {
         }
     }
 
+    /// Resets every sample to zero, keeping the universe and resolution
+    /// (lets the engine reuse one aggregation buffer across inferences).
+    pub fn zero(&mut self) {
+        for v in &mut self.values {
+            *v = 0.0;
+        }
+    }
+
+    /// Point-wise merge with the membership function `f` sampled over this
+    /// set's own grid: for each sample `i` at coordinate `x_i`,
+    /// `values[i] = combine(values[i], sanitize(f(x_i)))`.
+    ///
+    /// Equivalent to building a [`SampledSet::from_fn`] contribution and
+    /// [`SampledSet::merge_with`]-ing it (same clamping and non-finite
+    /// sanitization), but without allocating the intermediate set — this
+    /// is the engine's aggregation hot loop.
+    pub fn merge_from_fn(&mut self, f: impl Fn(f64) -> f64, combine: impl Fn(f64, f64) -> f64) {
+        let step = (self.max - self.min) / (self.values.len() as f64 - 1.0);
+        for (i, v) in self.values.iter_mut().enumerate() {
+            let x = self.min + step * i as f64;
+            let mu = f(x);
+            let mu = if mu.is_finite() { mu.clamp(0.0, 1.0) } else { 0.0 };
+            *v = combine(*v, mu).clamp(0.0, 1.0);
+        }
+    }
+
     /// Height of the set: the maximum sampled membership.
     #[must_use]
     pub fn height(&self) -> f64 {
@@ -350,6 +376,36 @@ mod tests {
         let mut s = SampledSet::from_fn(0.0, 1.0, 11, |_| 0.5).unwrap();
         s.map_in_place(|v| v * 4.0);
         assert!(s.values().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn merge_from_fn_matches_from_fn_plus_merge_with() {
+        let tri = |x: f64| 1.0 - (x - 0.5).abs() * 2.0;
+        let base = |x: f64| if x < 0.5 { 0.3 } else { 0.0 };
+        let mut direct = SampledSet::from_fn(0.0, 1.0, 101, base).unwrap();
+        direct.merge_from_fn(tri, f64::max);
+        let mut reference = SampledSet::from_fn(0.0, 1.0, 101, base).unwrap();
+        let contribution = SampledSet::from_fn(0.0, 1.0, 101, tri).unwrap();
+        reference.merge_with(&contribution, f64::max);
+        assert_eq!(direct, reference);
+    }
+
+    #[test]
+    fn merge_from_fn_sanitizes_non_finite() {
+        let mut s = SampledSet::empty(0.0, 1.0, 11).unwrap();
+        s.merge_from_fn(|x| if x == 0.0 { f64::NAN } else { 2.0 }, f64::max);
+        assert_eq!(s.values()[0], 0.0);
+        assert!(s.values()[1..].iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn zero_keeps_shape() {
+        let mut s = triangle_set();
+        s.zero();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 1001);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 1.0);
     }
 
     #[test]

@@ -10,11 +10,30 @@ use facs_suite::cac::{
     BandwidthUnits, CallId, CallKind, CallRequest, CellId, MobilityInfo, ServiceClass,
 };
 use facs_suite::cellsim::{HexGrid, SimRng};
+use facs_suite::core::FacsConfig;
 use facs_suite::distrib::Cluster;
 use facs_suite::scc::{SccConfig, SccNetwork};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let grid = HexGrid::new(1, 10.0);
+
+    // A FACS cluster on compiled decision surfaces: the lattice compiles
+    // once and all seven actors share it — the production-serving shape.
+    let facs_cluster = Cluster::spawn_facs(&grid, BandwidthUnits::new(40), FacsConfig::compiled())?;
+    let probe = CallRequest::new(
+        CallId(0),
+        ServiceClass::Voice,
+        CallKind::New,
+        MobilityInfo::new(60.0, 0.0, 2.0),
+    );
+    let outcome = facs_cluster.request_admission(CellId(0), probe)?;
+    println!(
+        "FACS cluster (compiled surfaces): {} actors, probe call admitted = {}",
+        facs_cluster.len(),
+        outcome.admitted
+    );
+    facs_cluster.shutdown();
+
     let network = SccNetwork::new(SccConfig::default());
     let cluster = Cluster::spawn(&grid, BandwidthUnits::new(40), network.controllers(&grid));
     println!("spawned {} base-station actors", cluster.len());

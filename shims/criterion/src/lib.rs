@@ -5,8 +5,20 @@
 //! the configured measurement time elapses and reports the mean
 //! nanoseconds per iteration to stderr. There is no statistical
 //! analysis, outlier rejection, or HTML report.
+//!
+//! Like the real crate, passing `--test` after `--` (as in
+//! `cargo bench --bench foo -- --test`) runs every routine once as a
+//! smoke test instead of measuring it, so CI can gate on "the bench
+//! still runs" without paying for a measurement.
 
 use std::time::{Duration, Instant};
+
+/// `true` when the process was invoked in test mode (`-- --test`), in
+/// which case every benchmark routine runs once, unmeasured.
+#[must_use]
+pub fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
 
 /// Opaque value barrier, forwarding to [`std::hint::black_box`].
 pub fn black_box<T>(value: T) -> T {
@@ -54,19 +66,23 @@ impl Criterion {
         self
     }
 
-    /// Runs one named benchmark.
+    /// Runs one named benchmark (or, in `--test` mode, runs its routine
+    /// once without measuring).
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        let test_only = test_mode();
         let mut bencher = Bencher {
             warm_up_time: self.warm_up_time,
             measurement_time: self.measurement_time,
             sample_size: self.sample_size,
+            test_only,
             report: None,
         };
         f(&mut bencher);
         match bencher.report {
+            Some(_) if test_only => eprintln!("{id:<40} ok (test mode: 1 iteration)"),
             Some((iters, nanos)) => {
                 let per_iter = nanos / iters.max(1) as f64;
                 eprintln!("{id:<40} time: {} ({iters} iterations)", format_nanos(per_iter));
@@ -95,6 +111,7 @@ pub struct Bencher {
     warm_up_time: Duration,
     measurement_time: Duration,
     sample_size: usize,
+    test_only: bool,
     /// `(total_iterations, total_nanos)` once driven.
     report: Option<(u64, f64)>,
 }
@@ -106,6 +123,12 @@ impl Bencher {
     where
         R: FnMut() -> O,
     {
+        if self.test_only {
+            let start = Instant::now();
+            black_box(routine());
+            self.report = Some((1, start.elapsed().as_nanos() as f64));
+            return;
+        }
         // Warm-up: run until the warm-up budget elapses, counting
         // iterations to size the measurement batches.
         let warm_start = Instant::now();

@@ -1,12 +1,15 @@
 //! Reproducibility: identical seeds must give identical runs for every
-//! controller, and the workload must be independent of the policy under
-//! test (so comparisons are paired).
+//! controller (on both inference backends), the workload must be
+//! independent of the policy under test (so comparisons are paired), and
+//! the parallel replication/sweep runners must be bit-identical to a
+//! sequential fold.
 
-use facs::FacsController;
+use facs::{FacsConfig, FacsController};
 use facs_cac::policies::{CompleteSharing, GuardChannel};
 use facs_cac::{BandwidthUnits, BoxedController};
 use facs_cellsim::prelude::*;
-use facs_cellsim::HexGrid;
+use facs_cellsim::{HexGrid, Summary};
+use facs_fuzzy::BackendKind;
 use facs_scc::{SccConfig, SccNetwork};
 
 fn config() -> ScenarioConfig {
@@ -20,9 +23,24 @@ fn config() -> ScenarioConfig {
     }
 }
 
-type ControllerBuilder = Box<dyn Fn(&HexGrid) -> Vec<BoxedController>>;
+type BoxedBuilder = Box<dyn Fn(&HexGrid) -> Vec<BoxedController> + Sync>;
 
-fn builders() -> Vec<(&'static str, ControllerBuilder)> {
+/// FACS on the compiled backend. A coarse 9-point lattice keeps the
+/// debug-profile compile cheap — determinism does not depend on lattice
+/// resolution, and accuracy at the default resolution is covered by the
+/// facs-core equivalence tests.
+fn compiled_facs_builder() -> BoxedBuilder {
+    let prototype = FacsController::with_config(FacsConfig {
+        backend: BackendKind::Compiled { points_per_axis: 9 },
+        ..FacsConfig::default()
+    })
+    .unwrap();
+    Box::new(move |grid: &HexGrid| {
+        grid.cell_ids().map(|_| Box::new(prototype.clone()) as BoxedController).collect()
+    })
+}
+
+fn builders() -> Vec<(&'static str, BoxedBuilder)> {
     vec![
         (
             "facs",
@@ -32,6 +50,7 @@ fn builders() -> Vec<(&'static str, ControllerBuilder)> {
                     .collect()
             }),
         ),
+        ("facs-compiled", compiled_facs_builder()),
         ("scc", Box::new(|grid: &HexGrid| SccNetwork::new(SccConfig::default()).controllers(grid))),
         (
             "cs",
@@ -92,4 +111,63 @@ fn replication_average_is_stable() {
     let a = cfg.acceptance(build.as_ref());
     let b = cfg.acceptance(build.as_ref());
     assert_eq!(a, b);
+}
+
+#[test]
+fn parallel_replications_match_sequential_fold_for_every_controller() {
+    // `acceptance`/`acceptance_summary`/`aggregate` fan replications out
+    // over scoped threads; their results must be bit-identical to folding
+    // `run_once` over `replication_seeds()` sequentially.
+    let cfg = ScenarioConfig { requests: 120, replications: 3, ..config() };
+    for (name, build) in builders() {
+        let build = build.as_ref();
+        let mut seq_total = 0.0;
+        let mut seq_sample = Vec::new();
+        let mut seq_sum = Metrics::new();
+        for seed in cfg.replication_seeds() {
+            let m = cfg.run_once(seed, build);
+            seq_total += m.acceptance_percentage();
+            seq_sample.push(m.acceptance_percentage());
+            seq_sum.merge(&m);
+        }
+        assert_eq!(
+            cfg.acceptance(build),
+            seq_total / seq_sample.len() as f64,
+            "acceptance diverged for {name}"
+        );
+        assert_eq!(
+            cfg.acceptance_summary(build),
+            Summary::of(&seq_sample),
+            "summary diverged for {name}"
+        );
+        assert_eq!(cfg.aggregate(build), seq_sum, "aggregate diverged for {name}");
+    }
+}
+
+#[test]
+fn parallel_curve_matches_pointwise_runs() {
+    let configure = |n| ScenarioConfig { requests: n, replications: 2, ..Default::default() };
+    for (name, build) in
+        [("facs", builders().remove(0).1), ("facs-compiled", builders().remove(1).1)]
+    {
+        let build = build.as_ref();
+        let series = acceptance_curve(name, &[20, 60, 100], configure, build);
+        for (&n, &(x, y)) in [20usize, 60, 100].iter().zip(&series.points) {
+            assert_eq!(x, n as f64);
+            assert_eq!(y, configure(n).acceptance(build), "{name} diverged at n={n}");
+        }
+    }
+}
+
+#[test]
+fn compiled_backend_is_deterministic_across_runner_modes() {
+    // Same seed, same metrics — whether replications run sequentially
+    // (replications = 1 short-circuits the thread pool) or in parallel.
+    let build = compiled_facs_builder();
+    let sequential = ScenarioConfig { replications: 1, ..config() };
+    let a = sequential.aggregate(build.as_ref());
+    let b = sequential.run_once(sequential.seed, build.as_ref());
+    assert_eq!(a, b);
+    let parallel = ScenarioConfig { replications: 4, ..config() };
+    assert_eq!(parallel.aggregate(build.as_ref()), parallel.aggregate(build.as_ref()));
 }

@@ -1,0 +1,57 @@
+//! Kernel throughput: events/sec and calls/sec of the sharded simulation
+//! kernel at 10k / 100k / 1M users, 1 vs 4 shards (FACS on compiled
+//! decision surfaces).
+//!
+//! Each criterion iteration times the full scenario run; the first run
+//! per configuration additionally reports kernel-only throughput
+//! (workload generation and controller construction excluded). On a
+//! single-core host the 4-shard rows measure barrier overhead, not
+//! speedup — the ≥ 2× scaling target applies to multi-core CI.
+//!
+//! `cargo bench -p facs-bench --bench sim_throughput -- --test` runs
+//! every configuration once as a smoke (the CI time-budget mode).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use facs_bench::{stress_scenario, throughput_run};
+
+fn label(requests: usize) -> String {
+    match requests {
+        1_000_000 => "1M".to_owned(),
+        n if n % 1_000 == 0 => format!("{}k", n / 1_000),
+        n => n.to_string(),
+    }
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    for &requests in &[10_000usize, 100_000, 1_000_000] {
+        for &shards in &[1usize, 4] {
+            let config = stress_scenario(requests, shards);
+            let id = format!("sim_throughput/{}users/{}shards", label(requests), shards);
+            // The kernel-rate report costs one full extra run; in
+            // `--test` smoke mode criterion's single iteration is enough.
+            if !criterion::test_mode() {
+                let report = throughput_run(&config);
+                eprintln!(
+                    "{id:<40} kernel: {:>12.0} events/s {:>12.0} calls/s ({} events, {:.2?})",
+                    report.events_per_sec(),
+                    report.calls_per_sec(),
+                    report.metrics.total_events(),
+                    report.wall,
+                );
+            }
+            c.bench_function(&id, |b| b.iter(|| throughput_run(&config)));
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(2)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_sim_throughput
+}
+criterion_main!(benches);

@@ -1,15 +1,19 @@
-//! Regenerates every table and figure of the paper's evaluation.
+//! Regenerates every table and figure of the paper's evaluation, plus
+//! the scenario-catalog and kernel-throughput runs that go beyond it.
 //!
 //! ```sh
 //! experiments                 # run everything at default replications
 //! experiments --exp fig7      # one experiment
 //! experiments --exp fig10 --reps 6
+//! experiments --exp catalog --out-dir results/catalog   # JSON per scenario
+//! experiments --exp throughput --shards 1,4             # 1M-user smoke
 //! experiments --list
 //! ```
 //!
 //! Output is CSV (stdout) plus an ASCII rendition of each figure;
-//! EXPERIMENTS.md records a snapshot of these numbers next to the
-//! paper's.
+//! `catalog` additionally writes one machine-readable JSON file per
+//! scenario. EXPERIMENTS.md records a snapshot of these numbers next to
+//! the paper's.
 
 use facs_bench::*;
 
@@ -28,12 +32,17 @@ const EXPERIMENTS: &[&str] = &[
     "ablation-threshold",
     "handoff",
     "backend",
+    "catalog",
+    "throughput",
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut exp = "all".to_owned();
     let mut reps: u32 = 3;
+    let mut out_dir = "results/catalog".to_owned();
+    let mut shards: Vec<usize> = vec![1, 4];
+    let mut assert_speedup: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -46,6 +55,36 @@ fn main() {
                     eprintln!("invalid --reps value `{}`", args[i + 1]);
                     std::process::exit(2);
                 });
+                i += 2;
+            }
+            "--out-dir" if i + 1 < args.len() => {
+                out_dir = args[i + 1].clone();
+                i += 2;
+            }
+            "--shards" if i + 1 < args.len() => {
+                shards = args[i + 1]
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("invalid --shards value `{}`", args[i + 1]);
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                let mut seen = shards.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                if shards.contains(&0) || seen.len() != shards.len() {
+                    eprintln!("--shards values must be unique and >= 1, got `{}`", args[i + 1]);
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            "--assert-speedup" if i + 1 < args.len() => {
+                assert_speedup = Some(args[i + 1].parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --assert-speedup value `{}`", args[i + 1]);
+                    std::process::exit(2);
+                }));
                 i += 2;
             }
             "--list" => {
@@ -160,6 +199,105 @@ fn main() {
                 a.agreement_percentage(),
                 a.max_score_divergence
             );
+        }
+        println!();
+    }
+
+    if run("catalog") {
+        ran_any = true;
+        // Keep the all-experiments sweep fast: the catalog's own
+        // replication defaults apply only when asked for explicitly.
+        let catalog_reps = if exp == "catalog" { reps } else { 1 };
+        let kernel_shards = *shards.first().unwrap_or(&1);
+        println!("== catalog: named scenario sweep (FACS, compiled surfaces) ==");
+        println!("scenario,requests,cells,shards,acceptance%,dropping%,utilization,handoffs");
+        let results = run_catalog(catalog_reps, kernel_shards);
+        std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| {
+            eprintln!("cannot create --out-dir `{out_dir}`: {e}");
+            std::process::exit(1);
+        });
+        for result in &results {
+            println!(
+                "{},{},{},{},{:.2},{:.2},{:.4},{}",
+                result.name,
+                result.config.requests,
+                result.config.grid().len(),
+                result.config.shards,
+                result.metrics.acceptance_percentage(),
+                result.metrics.dropping_percentage(),
+                result.metrics.mean_utilization(),
+                result.metrics.handoff_attempts,
+            );
+            let path = format!("{out_dir}/{}.json", result.name);
+            std::fs::write(&path, result.to_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+        }
+        println!("# wrote {} JSON artifacts to {out_dir}/", results.len());
+        println!();
+    }
+
+    if run("throughput") {
+        ran_any = true;
+        if assert_speedup.is_some() && shards.len() < 2 {
+            eprintln!("--assert-speedup needs at least two --shards values to compare");
+            std::process::exit(2);
+        }
+        // Keep the all-experiments sweep fast: the full million users run
+        // only when the smoke is requested explicitly.
+        let requests = if exp == "throughput" { 1_000_000 } else { 100_000 };
+        println!(
+            "== throughput: {}-user kernel smoke (127 cells, compiled FACS) ==",
+            if requests == 1_000_000 { "1M" } else { "100k" }
+        );
+        println!("shards,wall_s,events/s,calls/s,acceptance%");
+        // Best-of-two per shard count: a single sample would let one
+        // noisy run on a shared host flip the CI gate either way.
+        let mut walls: Vec<(usize, f64)> = Vec::new();
+        for &n in &shards {
+            let config = stress_scenario(requests, n);
+            let mut best = throughput_run(&config);
+            let rerun = throughput_run(&config);
+            if rerun.wall < best.wall {
+                best = rerun;
+            }
+            let wall = best.wall.as_secs_f64();
+            println!(
+                "{n},{wall:.2},{:.0},{:.0},{:.2}",
+                best.events_per_sec(),
+                best.calls_per_sec(),
+                best.metrics.acceptance_percentage(),
+            );
+            walls.push((n, wall));
+        }
+        // Speedup is measured against the *smallest* shard count listed,
+        // wherever it appears in --shards.
+        let &(base_shards, base_wall) =
+            walls.iter().min_by_key(|&&(n, _)| n).expect("--shards is non-empty");
+        let best_speedup = walls
+            .iter()
+            .filter(|&&(n, _)| n != base_shards)
+            .map(|&(_, wall)| base_wall / wall)
+            .fold(f64::NAN, f64::max);
+        if best_speedup.is_finite() {
+            println!("# best speedup over the {base_shards}-shard baseline: {best_speedup:.2}x");
+        }
+        if let Some(required) = assert_speedup {
+            let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+            if cores < 2 {
+                // Shards can only run concurrently with cores to run on;
+                // on a single-core host the gate would measure noise.
+                eprintln!(
+                    "skipping --assert-speedup {required:.2}: only {cores} core available \
+                     (parallel shard scaling needs >= 2)"
+                );
+            } else if best_speedup.is_nan() || best_speedup < required {
+                eprintln!(
+                    "throughput smoke FAILED: best speedup {best_speedup:.2}x < required {required:.2}x"
+                );
+                std::process::exit(1);
+            }
         }
         println!();
     }

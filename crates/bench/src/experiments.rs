@@ -391,6 +391,168 @@ pub fn backend_agreement(points_per_axis: usize, grid_steps: usize) -> BackendAg
     result
 }
 
+/// Builds the simulation behind a scenario and times the kernel run
+/// alone (workload generation and controller construction excluded) —
+/// the measurement behind the `sim_throughput` bench and the
+/// million-user smoke.
+#[must_use]
+pub fn timed_kernel_run(
+    config: &ScenarioConfig,
+    workload: Vec<UserSpec>,
+    build: &ControllerBuilder,
+) -> (Metrics, std::time::Duration) {
+    let grid = config.grid();
+    let controllers = build(&grid);
+    let mut sim = Simulation::new(grid, config.sim_config(config.seed), controllers);
+    let start = std::time::Instant::now();
+    let metrics = sim.run(workload);
+    (metrics, start.elapsed())
+}
+
+/// One scenario-catalog entry's aggregated result.
+#[derive(Debug, Clone)]
+pub struct CatalogResult {
+    /// Catalog entry name (also the JSON artifact's file stem).
+    pub name: &'static str,
+    /// Catalog entry description.
+    pub summary: &'static str,
+    /// The exact configuration that ran.
+    pub config: ScenarioConfig,
+    /// Counters aggregated over the replications.
+    pub metrics: Metrics,
+}
+
+impl CatalogResult {
+    /// Machine-readable JSON for this result (one object per scenario;
+    /// the `experiments --exp catalog` artifacts recorded in
+    /// EXPERIMENTS.md).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let m = &self.metrics;
+        let class = |i: usize| {
+            format!(
+                "{{\"offered\": {}, \"accepted\": {}, \"denied\": {}}}",
+                m.per_class[i].offered, m.per_class[i].accepted, m.per_class[i].denied
+            )
+        };
+        format!(
+            concat!(
+                "{{\n",
+                "  \"scenario\": \"{name}\",\n",
+                "  \"summary\": \"{summary}\",\n",
+                "  \"requests\": {requests},\n",
+                "  \"replications\": {reps},\n",
+                "  \"shards\": {shards},\n",
+                "  \"grid_cells\": {cells},\n",
+                "  \"offered_new\": {offered},\n",
+                "  \"accepted_new\": {accepted},\n",
+                "  \"blocked_new\": {blocked},\n",
+                "  \"handoff_attempts\": {ho_att},\n",
+                "  \"handoff_accepted\": {ho_acc},\n",
+                "  \"handoff_dropped\": {ho_drop},\n",
+                "  \"completed\": {completed},\n",
+                "  \"exited_coverage\": {exited},\n",
+                "  \"mobility_steps\": {steps},\n",
+                "  \"acceptance_pct\": {acc_pct:.4},\n",
+                "  \"dropping_pct\": {drop_pct:.4},\n",
+                "  \"mean_utilization\": {util:.6},\n",
+                "  \"per_class\": {{\"text\": {text}, \"voice\": {voice}, \"video\": {video}}}\n",
+                "}}\n"
+            ),
+            name = self.name,
+            summary = self.summary,
+            requests = self.config.requests,
+            reps = self.config.replications,
+            shards = self.config.shards,
+            cells = self.config.grid().len(),
+            offered = m.offered_new,
+            accepted = m.accepted_new,
+            blocked = m.blocked_new,
+            ho_att = m.handoff_attempts,
+            ho_acc = m.handoff_accepted,
+            ho_drop = m.handoff_dropped,
+            completed = m.completed,
+            exited = m.exited_coverage,
+            steps = m.mobility_steps,
+            acc_pct = m.acceptance_percentage(),
+            drop_pct = m.dropping_percentage(),
+            util = m.mean_utilization(),
+            text = class(0),
+            voice = class(1),
+            video = class(2),
+        )
+    }
+}
+
+/// Runs every entry of the scenario catalog (FACS on compiled decision
+/// surfaces) and returns the aggregated metrics per entry.
+#[must_use]
+pub fn run_catalog(replications: u32, shards: usize) -> Vec<CatalogResult> {
+    let build = facs_builder(FacsConfig::compiled());
+    facs_cellsim::catalog()
+        .into_iter()
+        .map(|entry| {
+            let config = ScenarioConfig { replications, shards, ..entry.config };
+            let metrics = config.aggregate(&build);
+            CatalogResult { name: entry.name, summary: entry.summary, config, metrics }
+        })
+        .collect()
+}
+
+/// The throughput stress scenario: `requests` users over a 10-minute
+/// window on a 127-cell grid. The `sim_throughput` bench runs it at
+/// 10k / 100k / 1M users and 1 vs N shards; at 1M it is the ROADMAP's
+/// "heavy traffic from millions of users" smoke (`--exp throughput`),
+/// far beyond the paper's 100-request figures.
+#[must_use]
+pub fn stress_scenario(requests: usize, shards: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        requests,
+        window_s: 600.0,
+        holding_mean_s: 40.0,
+        grid_radius: 6,
+        cell_radius_km: 2.0,
+        spawn: SpawnSpec::AnyCell,
+        mobility: MobilityChoice::Walker,
+        replications: 1,
+        shards,
+        ..Default::default()
+    }
+}
+
+/// Wall-clock report of one stress run.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// The run's counters.
+    pub metrics: Metrics,
+    /// Kernel wall time (generation and construction excluded).
+    pub wall: std::time::Duration,
+}
+
+impl ThroughputReport {
+    /// Kernel events per wall-clock second.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        self.metrics.total_events() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Offered calls per wall-clock second.
+    #[must_use]
+    pub fn calls_per_sec(&self) -> f64 {
+        self.metrics.offered_new as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs one scenario once (FACS on compiled surfaces) and reports kernel
+/// throughput.
+#[must_use]
+pub fn throughput_run(config: &ScenarioConfig) -> ThroughputReport {
+    let build = facs_builder(FacsConfig::compiled());
+    let workload = config.generate_workload(config.seed);
+    let (metrics, wall) = timed_kernel_run(config, workload, &build);
+    ThroughputReport { metrics, wall }
+}
+
 /// Renders series as a crude ASCII chart for terminal inspection.
 #[must_use]
 pub fn ascii_chart(series: &[Series], y_min: f64, y_max: f64) -> String {

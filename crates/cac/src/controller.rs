@@ -43,6 +43,16 @@ pub trait AdmissionController: Send {
     fn on_released(&mut self, call: CallId, class: ServiceClass, cell: &CellSnapshot) {
         let _ = (call, class, cell);
     }
+
+    /// Whether this controller's mutable state is confined to its own
+    /// cell (the default). Controllers that share cross-cell state —
+    /// e.g. SCC's cluster-wide shadow board — must return `false`: the
+    /// sharded simulation kernel refuses to run them on more than one
+    /// shard, because concurrent shards would interleave their shared
+    /// updates nondeterministically and break bit-reproducibility.
+    fn is_cell_local(&self) -> bool {
+        true
+    }
 }
 
 /// Object-safe boxed controller, the form the simulator stores per cell.
@@ -63,6 +73,10 @@ impl AdmissionController for BoxedController {
 
     fn on_released(&mut self, call: CallId, class: ServiceClass, cell: &CellSnapshot) {
         self.as_mut().on_released(call, class, cell);
+    }
+
+    fn is_cell_local(&self) -> bool {
+        self.as_ref().is_cell_local()
     }
 }
 

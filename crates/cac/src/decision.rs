@@ -65,6 +65,7 @@ impl fmt::Display for Verdict {
 pub struct Decision {
     admit: bool,
     score: f64,
+    margin: f64,
     verdict: Verdict,
 }
 
@@ -73,14 +74,14 @@ impl Decision {
     #[must_use]
     pub fn accept(score: f64) -> Self {
         let score = score.clamp(-1.0, 1.0);
-        Self { admit: true, score, verdict: Verdict::from_score(score) }
+        Self { admit: true, score, margin: score.abs(), verdict: Verdict::from_score(score) }
     }
 
     /// A rejection with the given soft score in `[-1, 1]`.
     #[must_use]
     pub fn reject(score: f64) -> Self {
         let score = score.clamp(-1.0, 1.0);
-        Self { admit: false, score, verdict: Verdict::from_score(score) }
+        Self { admit: false, score, margin: -score.abs(), verdict: Verdict::from_score(score) }
     }
 
     /// Gates a soft score with an acceptance threshold: admit iff
@@ -89,7 +90,12 @@ impl Decision {
     #[must_use]
     pub fn from_score(score: f64, threshold: f64) -> Self {
         let score = score.clamp(-1.0, 1.0);
-        Self { admit: score > threshold, score, verdict: Verdict::from_score(score) }
+        Self {
+            admit: score > threshold,
+            score,
+            margin: score - threshold,
+            verdict: Verdict::from_score(score),
+        }
     }
 
     /// A crisp binary decision with canonical scores ±1.
@@ -118,6 +124,20 @@ impl Decision {
     #[must_use]
     pub fn verdict(&self) -> Verdict {
         self.verdict
+    }
+
+    /// The decision margin: the signed distance of the soft score from
+    /// the acceptance boundary the decision was gated on, with the sign
+    /// always encoding the verdict (`margin > 0` exactly when the
+    /// controller admits, up to the measure-zero boundary case). For
+    /// decisions built with [`Decision::from_score`] this is
+    /// `score - threshold`; the boundary-free constructors
+    /// ([`Decision::accept`], [`Decision::reject`], [`Decision::binary`])
+    /// carry `±|score|`, so a probabilistic rejection at a high score
+    /// still reports a negative margin.
+    #[must_use]
+    pub fn margin(&self) -> f64 {
+        self.margin
     }
 }
 
@@ -187,6 +207,25 @@ mod tests {
     fn scores_are_clamped() {
         assert_eq!(Decision::accept(5.0).score(), 1.0);
         assert_eq!(Decision::reject(-5.0).score(), -1.0);
+    }
+
+    #[test]
+    fn margin_is_signed_distance_from_the_gate() {
+        let d = Decision::from_score(0.4, 0.1);
+        assert!(d.admits());
+        assert!((d.margin() - 0.3).abs() < 1e-12);
+        let d = Decision::from_score(-0.2, 0.1);
+        assert!(!d.admits());
+        assert!((d.margin() + 0.3).abs() < 1e-12);
+        // Gate-constructed decisions: margin sign tracks the verdict.
+        for score in [-1.0, -0.3, 0.0, 0.1001, 0.7, 1.0] {
+            let d = Decision::from_score(score, 0.1);
+            assert_eq!(d.admits(), d.margin() > 0.0, "score {score}");
+        }
+        // Boundary-free constructors use a zero boundary.
+        assert_eq!(Decision::binary(true).margin(), 1.0);
+        assert_eq!(Decision::binary(false).margin(), -1.0);
+        assert_eq!(Decision::accept(0.5).margin(), 0.5);
     }
 
     #[test]

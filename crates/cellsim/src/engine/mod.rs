@@ -1,0 +1,851 @@
+//! The sharded deterministic simulation kernel.
+//!
+//! The world — cells with ledgers and admission controllers, in-call
+//! users, pending arrivals — is partitioned into **cell-group shards**
+//! (cell `i` belongs to shard `i % shards`). Each shard runs an
+//! independent discrete-event loop over its own [`EngineQueue`] and the
+//! shards only interact at **epoch barriers** spaced one movement tick
+//! apart, where calls that crossed into a cell owned by another shard
+//! are exchanged as migrants.
+//!
+//! ## Why multi-shard runs are bit-identical to single-shard runs
+//!
+//! 1. **Conservative lookahead = movement cadence.** Between barriers
+//!    every event (arrival, call-end) is local to a single cell: handoffs
+//!    — the only cross-cell interaction — can occur *only* at movement
+//!    ticks, so a shard can safely simulate a whole epoch without
+//!    looking at any other shard.
+//! 2. **Shard-independent event order.** [`EngineQueue`] orders events
+//!    by `(time, kind, user, generation)` — content, not insertion
+//!    order — so each *cell* sees the same event sequence no matter
+//!    which queue hosts it.
+//! 3. **Per-user RNG streams.** Every user draws mobility noise from a
+//!    private stream seeded by `(simulation seed, user id)`; the stream
+//!    state travels with the call on migration. No draw ever depends on
+//!    how users are grouped.
+//! 4. **Ordered barrier exchange.** At a barrier, all source-cell
+//!    releases happen before any target-cell admission, and each cell
+//!    applies its inbound handoffs in ascending user order.
+//! 5. **Ordered folds.** Integer counters are exact sums; per-cell
+//!    utilization integrals are accumulated cell-locally and folded in
+//!    cell-id order at the end of the run, fixing every float-op order.
+//!
+//! The guarantee covers every controller whose state is **cell-local**
+//! (FACS on both inference backends, complete sharing, guard channels).
+//! SCC controllers share a cross-cell shadow board; with more than one
+//! shard their board updates would interleave nondeterministically, so
+//! controllers declare locality via
+//! [`AdmissionController::is_cell_local`] and the kernel **panics**
+//! rather than run a shared-state policy on multiple shards.
+//!
+//! [`EngineQueue`]: crate::events::EngineQueue
+
+mod shard;
+
+use facs_cac::{
+    AdmissionController, BandwidthLedger, BandwidthUnits, BoxedController, CellId,
+    ControllerFactory, ServiceClass,
+};
+
+use crate::events::UserId;
+use crate::geometry::HexGrid;
+use crate::metrics::{Metrics, MetricsSink};
+use crate::mobility::{
+    GaussMarkov, MobileState, MobilityModel, RandomWaypoint, StraightLine, Walker,
+};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+use shard::{sort_migrants, CellUnit, Migrant, Shard};
+
+/// A clonable, serde-friendly sum of the crate's mobility models, so
+/// workloads can be described as plain data.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum MobilityKind {
+    /// Heading-diffusion walker (speed-dependent stability).
+    Walker(Walker),
+    /// Random waypoint within a disc.
+    RandomWaypoint(RandomWaypoint),
+    /// Gauss–Markov autoregressive motion.
+    GaussMarkov(GaussMarkov),
+    /// Constant heading and speed.
+    StraightLine,
+}
+
+impl MobilityModel for MobilityKind {
+    fn step(&mut self, state: &mut MobileState, dt_s: f64, rng: &mut SimRng) {
+        match self {
+            MobilityKind::Walker(m) => m.step(state, dt_s, rng),
+            MobilityKind::RandomWaypoint(m) => m.step(state, dt_s, rng),
+            MobilityKind::GaussMarkov(m) => m.step(state, dt_s, rng),
+            MobilityKind::StraightLine => StraightLine.step(state, dt_s, rng),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            MobilityKind::Walker(_) => "walker",
+            MobilityKind::RandomWaypoint(_) => "random-waypoint",
+            MobilityKind::GaussMarkov(_) => "gauss-markov",
+            MobilityKind::StraightLine => "straight-line",
+        }
+    }
+}
+
+/// One user of the workload: when they request, what they request, where
+/// they start and how they move.
+#[derive(Debug, Clone)]
+pub struct UserSpec {
+    /// Request instant, seconds from simulation start.
+    pub arrival_s: f64,
+    /// Requested service class.
+    pub class: ServiceClass,
+    /// Kinematic state at request time.
+    pub start: MobileState,
+    /// Mobility model for the call's lifetime.
+    pub mobility: MobilityKind,
+    /// Pre-drawn call holding time, seconds (drawn by the workload
+    /// generator so admission policy cannot perturb the random stream).
+    pub holding_s: f64,
+}
+
+/// Simulation-wide constants.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulationConfig {
+    /// Capacity of every base station (the paper's 40 BU).
+    pub capacity: BandwidthUnits,
+    /// Movement/handoff processing cadence, seconds — also the epoch
+    /// length (conservative lookahead) of the sharded kernel.
+    pub movement_tick_s: f64,
+    /// Hard stop; events beyond this instant are discarded.
+    pub max_time_s: f64,
+    /// Seed for the per-user mobility random streams.
+    pub seed: u64,
+    /// Number of cell-group shards to run on scoped threads. Clamped to
+    /// the cell count; `0` and `1` both mean the single-threaded path.
+    /// Any value produces bit-identical results for cell-local
+    /// controllers (see the module docs).
+    pub shards: usize,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        Self {
+            capacity: BandwidthUnits::new(40),
+            movement_tick_s: 5.0,
+            max_time_s: 7_200.0,
+            seed: 0xFAC5,
+            shards: 1,
+        }
+    }
+}
+
+/// The simulator: owns the grid and the cells (ledger + controller
+/// each); each run partitions them into shards, drives the epoch loop,
+/// and reassembles the world.
+///
+/// Build with [`Simulation::new`], then [`Simulation::run`] a workload
+/// (or [`Simulation::run_with`] to stream events into a custom
+/// [`MetricsSink`]).
+pub struct Simulation {
+    grid: HexGrid,
+    cells: Vec<CellUnit>,
+    clock: SimTime,
+    config: SimulationConfig,
+    metrics: Metrics,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("cells", &self.cells.len())
+            .field("clock", &self.clock)
+            .field("shards", &self.config.shards)
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Creates a simulation over `grid` with one controller per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `controllers.len() == grid.len()` — the pairing is a
+    /// construction-time contract, not runtime data — and unless the
+    /// movement cadence is finite and positive (it is the kernel's epoch
+    /// length).
+    #[must_use]
+    pub fn new(grid: HexGrid, config: SimulationConfig, controllers: Vec<BoxedController>) -> Self {
+        assert_eq!(
+            controllers.len(),
+            grid.len(),
+            "need exactly one controller per cell ({} cells, {} controllers)",
+            grid.len(),
+            controllers.len()
+        );
+        assert!(
+            config.movement_tick_s.is_finite() && config.movement_tick_s > 0.0,
+            "bad movement tick {}",
+            config.movement_tick_s
+        );
+        let cells = controllers
+            .into_iter()
+            .enumerate()
+            .map(|(i, controller)| {
+                let id = CellId(i as u32);
+                CellUnit::new(
+                    id,
+                    BandwidthLedger::new(config.capacity),
+                    controller,
+                    grid.center_of(id),
+                )
+            })
+            .collect();
+        Self { grid, cells, clock: SimTime::ZERO, config, metrics: Metrics::new() }
+    }
+
+    /// Creates a simulation with one controller per cell built by
+    /// `factory` — the per-shard construction hook used when every cell
+    /// runs the same policy.
+    #[must_use]
+    pub fn from_factory(
+        grid: HexGrid,
+        config: SimulationConfig,
+        factory: &dyn ControllerFactory,
+    ) -> Self {
+        let controllers = grid.cell_ids().map(|_| factory.build()).collect();
+        Self::new(grid, config, controllers)
+    }
+
+    /// Runs the workload to completion and returns the collected metrics.
+    ///
+    /// Users are admitted at the cell covering their position; admitted
+    /// calls hold bandwidth until their holding time elapses, the user
+    /// hands off out of a full cell (drop), or the user leaves coverage.
+    pub fn run(&mut self, workload: Vec<UserSpec>) -> Metrics {
+        let metrics = self.run_with(workload, Metrics::new());
+        self.metrics = metrics.clone();
+        metrics
+    }
+
+    /// Runs the workload, streaming every observable event into `sink`
+    /// (forked per shard, folded back in shard order; see
+    /// [`MetricsSink`]).
+    pub fn run_with<S: MetricsSink>(&mut self, workload: Vec<UserSpec>, sink: S) -> S {
+        let shard_count = self.config.shards.clamp(1, self.cells.len().max(1));
+        if shard_count > 1 {
+            // Bit-identity only holds for cell-local controllers; a
+            // shared-state policy (SCC's shadow board) on concurrent
+            // shards would be silently nondeterministic, so refuse it.
+            if let Some(cell) = self.cells.iter().find(|c| !c.controller.is_cell_local()) {
+                panic!(
+                    "controller `{}` shares cross-cell state and cannot run on {} shards \
+                     without losing bit-reproducibility; use shards = 1",
+                    cell.controller.name(),
+                    shard_count
+                );
+            }
+        }
+        let tick = SimDuration::from_secs_f64(self.config.movement_tick_s);
+        assert!(tick.as_micros() > 0, "movement tick rounds to zero microseconds");
+        let horizon = SimTime::from_secs_f64(self.config.max_time_s);
+
+        // Partition cells round-robin: shard s owns ids s, s+n, s+2n, …
+        let mut per_shard: Vec<Vec<CellUnit>> = (0..shard_count).map(|_| Vec::new()).collect();
+        for cell in std::mem::take(&mut self.cells) {
+            per_shard[cell.id.0 as usize % shard_count].push(cell);
+        }
+        let grid = &self.grid;
+        let config = self.config;
+        let mut shards: Vec<Shard<'_, S>> = per_shard
+            .into_iter()
+            .enumerate()
+            .map(|(i, cells)| Shard::new(i, shard_count, grid, config, cells, sink.fork()))
+            .collect();
+
+        // Route each arrival to the shard owning its covering cell (the
+        // locate here is the only one; shards reuse it on dispatch).
+        for (idx, spec) in workload.into_iter().enumerate() {
+            let home = grid.locate(spec.start.position);
+            shards[home.0 as usize % shard_count].push_arrival(UserId(idx as u64), home, spec);
+        }
+
+        let epochs = if shard_count == 1 {
+            drive_sequential(&mut shards, tick, horizon)
+        } else {
+            drive_threaded(&mut shards, tick, horizon)
+        };
+        let final_time =
+            if epochs == 0 { SimTime::ZERO } else { barrier_time(tick, epochs).min(horizon) };
+
+        // Reassemble: fold shard sinks in shard order, restore cells in
+        // id order, then flush per-cell utilization in id order.
+        let mut sink = sink;
+        let mut cells: Vec<CellUnit> = Vec::with_capacity(self.grid.len());
+        for shard in shards {
+            sink.absorb(shard.sink);
+            cells.extend(shard.cells);
+        }
+        cells.sort_by_key(|c| c.id.0);
+        for cell in &mut cells {
+            let (occupied_bu_s, capacity_bu_s) = cell.finish(final_time);
+            sink.on_cell_utilization(cell.id, occupied_bu_s, capacity_bu_s);
+        }
+        self.cells = cells;
+        self.clock = final_time;
+        sink
+    }
+
+    /// Metrics collected by the last [`Simulation::run`].
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The simulation clock (final barrier time after a run).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The grid the simulation runs on.
+    #[must_use]
+    pub fn grid(&self) -> &HexGrid {
+        &self.grid
+    }
+
+    /// Occupied bandwidth of a cell (for assertions in tests and the
+    /// distributed runtime's cross-checks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    #[must_use]
+    pub fn occupied(&self, cell: CellId) -> BandwidthUnits {
+        self.cells[cell.0 as usize].ledger.occupied()
+    }
+}
+
+/// The instant of barrier `epoch` (exact integer microsecond math, so
+/// every shard and driver computes identical barrier times).
+fn barrier_time(tick: SimDuration, epoch: u64) -> SimTime {
+    SimTime::from_micros(tick.as_micros() * epoch)
+}
+
+/// The single-threaded epoch driver (also correct, though unused, for
+/// multiple shards — the determinism tests compare it against the
+/// threaded driver). Returns the number of epochs run.
+fn drive_sequential<S: MetricsSink>(
+    shards: &mut [Shard<'_, S>],
+    tick: SimDuration,
+    horizon: SimTime,
+) -> u64 {
+    let shard_count = shards.len();
+    let mut epoch: u64 = 0;
+    loop {
+        if shards.iter().all(Shard::idle) || barrier_time(tick, epoch) >= horizon {
+            break;
+        }
+        epoch += 1;
+        let t = barrier_time(tick, epoch);
+        let limit = t.min(horizon);
+        for s in shards.iter_mut() {
+            s.run_events(limit);
+        }
+        if t > horizon {
+            break;
+        }
+        let mut mailboxes: Vec<Vec<Migrant>> = (0..shard_count).map(|_| Vec::new()).collect();
+        for s in shards.iter_mut() {
+            for (target, migrant) in s.run_movement(t) {
+                mailboxes[target].push(migrant);
+            }
+        }
+        for (s, mut inbox) in shards.iter_mut().zip(mailboxes) {
+            sort_migrants(&mut inbox);
+            s.run_admissions(t, inbox);
+            s.sample_cells(t);
+        }
+    }
+    epoch
+}
+
+/// The threaded epoch driver: one scoped worker per shard, synchronized
+/// by a [`std::sync::Barrier`] twice per epoch (once after the idle
+/// check, once between publishing departures and admitting arrivals).
+/// Every worker executes the identical control flow on identical barrier
+/// times, so all of them take the same branches and the barrier counts
+/// always match.
+fn drive_threaded<S: MetricsSink>(
+    shards: &mut [Shard<'_, S>],
+    tick: SimDuration,
+    horizon: SimTime,
+) -> u64 {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Barrier, Mutex};
+
+    let shard_count = shards.len();
+    let sync = Barrier::new(shard_count);
+    let mailboxes: Vec<Mutex<Vec<Migrant>>> =
+        (0..shard_count).map(|_| Mutex::new(Vec::new())).collect();
+    let idle: Vec<AtomicBool> = (0..shard_count).map(|_| AtomicBool::new(false)).collect();
+
+    let epochs: Vec<u64> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter_mut()
+            .enumerate()
+            .map(|(me, shard)| {
+                let sync = &sync;
+                let mailboxes = &mailboxes;
+                let idle = &idle;
+                scope.spawn(move || {
+                    let mut epoch: u64 = 0;
+                    loop {
+                        idle[me].store(shard.idle(), Ordering::SeqCst);
+                        sync.wait();
+                        let all_idle = idle.iter().all(|flag| flag.load(Ordering::SeqCst));
+                        if all_idle || barrier_time(tick, epoch) >= horizon {
+                            break;
+                        }
+                        epoch += 1;
+                        let t = barrier_time(tick, epoch);
+                        shard.run_events(t.min(horizon));
+                        if t > horizon {
+                            break;
+                        }
+                        for (target, migrant) in shard.run_movement(t) {
+                            mailboxes[target].lock().expect("mailbox poisoned").push(migrant);
+                        }
+                        sync.wait();
+                        let mut inbox =
+                            std::mem::take(&mut *mailboxes[me].lock().expect("mailbox poisoned"));
+                        sort_migrants(&mut inbox);
+                        shard.run_admissions(t, inbox);
+                        shard.sample_cells(t);
+                    }
+                    epoch
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+    })
+    .expect("shard scope failed");
+
+    let first = epochs[0];
+    debug_assert!(epochs.iter().all(|&e| e == first), "shards disagreed on epoch count");
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::metrics::CellLoadSeries;
+    use facs_cac::policies::CompleteSharing;
+    use facs_cac::{AdmissionController, CallRequest, Decision};
+
+    fn controllers(n: usize) -> Vec<BoxedController> {
+        (0..n).map(|_| Box::new(CompleteSharing::new()) as BoxedController).collect()
+    }
+
+    fn stationary_spec(arrival_s: f64, class: ServiceClass, holding_s: f64) -> UserSpec {
+        UserSpec {
+            arrival_s,
+            class,
+            start: MobileState::new(Point::new(0.5, 0.0), 0.0, 0.0),
+            mobility: MobilityKind::StraightLine,
+            holding_s,
+        }
+    }
+
+    #[test]
+    fn single_call_is_admitted_and_completes() {
+        let grid = HexGrid::single_cell(10.0);
+        let mut sim = Simulation::new(grid, SimulationConfig::default(), controllers(1));
+        let metrics = sim.run(vec![stationary_spec(1.0, ServiceClass::Video, 60.0)]);
+        assert_eq!(metrics.offered_new, 1);
+        assert_eq!(metrics.accepted_new, 1);
+        assert_eq!(metrics.completed, 1);
+        assert_eq!(sim.occupied(CellId(0)), BandwidthUnits::ZERO, "bandwidth returned");
+    }
+
+    #[test]
+    fn capacity_blocks_excess_calls() {
+        let grid = HexGrid::single_cell(10.0);
+        // 40 BU: exactly 4 video calls fit if they overlap.
+        let workload: Vec<UserSpec> = (0..6)
+            .map(|i| stationary_spec(1.0 + i as f64 * 0.001, ServiceClass::Video, 1_000.0))
+            .collect();
+        let mut sim = Simulation::new(grid, SimulationConfig::default(), controllers(1));
+        let metrics = sim.run(workload);
+        assert_eq!(metrics.offered_new, 6);
+        assert_eq!(metrics.accepted_new, 4);
+        assert_eq!(metrics.blocked_new, 2);
+    }
+
+    #[test]
+    fn sequential_calls_reuse_bandwidth() {
+        let grid = HexGrid::single_cell(10.0);
+        // Calls arrive 100 s apart, each holds 10 s: never concurrent.
+        let workload: Vec<UserSpec> = (0..5)
+            .map(|i| stationary_spec(10.0 + 100.0 * i as f64, ServiceClass::Video, 10.0))
+            .collect();
+        let mut sim = Simulation::new(grid, SimulationConfig::default(), controllers(1));
+        let metrics = sim.run(workload);
+        assert_eq!(metrics.accepted_new, 5);
+        assert_eq!(metrics.completed, 5);
+    }
+
+    #[test]
+    fn handoff_moves_bandwidth_between_cells() {
+        let grid = HexGrid::new(1, 1.0);
+        // A user in the center cell moving due east at high speed will
+        // cross into the east neighbor well within its holding time.
+        let spec = UserSpec {
+            arrival_s: 1.0,
+            class: ServiceClass::Voice,
+            start: MobileState::new(Point::new(0.0, 0.0), 0.0, 120.0),
+            mobility: MobilityKind::StraightLine,
+            holding_s: 120.0,
+        };
+        let config = SimulationConfig { movement_tick_s: 1.0, ..Default::default() };
+        let mut sim = Simulation::new(grid, config, controllers(7));
+        let metrics = sim.run(vec![spec]);
+        assert_eq!(metrics.accepted_new, 1);
+        assert!(metrics.handoff_attempts >= 1, "no handoff happened");
+        assert_eq!(metrics.handoff_dropped, 0);
+        // Either completed in a neighbor or exited past the map edge.
+        assert_eq!(metrics.completed + metrics.exited_coverage, 1);
+    }
+
+    fn east_center(grid: &HexGrid) -> Point {
+        let id = grid
+            .cell_ids()
+            .find(|&id| {
+                let c = grid.center_of(id);
+                c.y.abs() < 1e-9 && c.x > 0.0
+            })
+            .expect("east neighbor exists");
+        grid.center_of(id)
+    }
+
+    #[test]
+    fn handoff_into_full_cell_drops_call() {
+        let grid = HexGrid::new(1, 1.0);
+        let config = SimulationConfig { movement_tick_s: 1.0, ..Default::default() };
+        // Fill the east neighbor with stationary video calls, then drive a
+        // voice call into it.
+        let east = east_center(&HexGrid::new(1, 1.0));
+        let mut workload: Vec<UserSpec> = (0..4)
+            .map(|i| UserSpec {
+                arrival_s: 0.5 + i as f64 * 0.01,
+                class: ServiceClass::Video,
+                start: MobileState::new(east, 0.0, 0.0),
+                mobility: MobilityKind::StraightLine,
+                holding_s: 10_000.0,
+            })
+            .collect();
+        workload.push(UserSpec {
+            arrival_s: 1.0,
+            class: ServiceClass::Voice,
+            start: MobileState::new(Point::new(0.0, 0.0), 0.0, 120.0),
+            mobility: MobilityKind::StraightLine,
+            holding_s: 10_000.0,
+        });
+        let mut sim = Simulation::new(grid, config, controllers(7));
+        let metrics = sim.run(workload);
+        assert_eq!(metrics.accepted_new, 5);
+        assert!(metrics.handoff_dropped >= 1, "expected a dropped handoff");
+    }
+
+    /// Speed (km/h) that advances a user by `km_per_tick` km per
+    /// movement tick of `tick_s` seconds.
+    fn kmh_for(km_per_tick: f64, tick_s: f64) -> f64 {
+        km_per_tick / tick_s * 3_600.0
+    }
+
+    #[test]
+    fn call_end_exactly_on_a_barrier_preempts_the_handoff() {
+        // A call whose end lands *exactly* on an epoch barrier is a
+        // call-end, not a handoff: run_events drains events with
+        // `time <= barrier` before the movement phase, so the user is
+        // gone before the step that would have crossed the border.
+        let grid = HexGrid::new(1, 1.0);
+        let east = east_center(&grid);
+        let boundary = east.x / 2.0;
+        let km_per_tick = 0.04;
+        // 4.5 ticks from the border: the crossing step is step 5.
+        let spec = |holding_s: f64| UserSpec {
+            arrival_s: 0.0,
+            class: ServiceClass::Voice,
+            start: MobileState::new(
+                Point::new(boundary - 4.5 * km_per_tick, 0.0),
+                0.0,
+                kmh_for(km_per_tick, 1.0),
+            ),
+            mobility: MobilityKind::StraightLine,
+            holding_s,
+        };
+        let run = |holding_s: f64, shards: usize| {
+            let config = SimulationConfig { movement_tick_s: 1.0, shards, ..Default::default() };
+            let mut sim = Simulation::new(HexGrid::new(1, 1.0), config, controllers(7));
+            sim.run(vec![spec(holding_s)])
+        };
+        // Control: a slightly longer call does cross at barrier 5.
+        let crossing = run(5.5, 1);
+        assert_eq!(crossing.handoff_attempts, 1, "control call should hand off");
+        // Holding 5.0 ends exactly at barrier 5: completed, never stepped
+        // at barrier 5, no handoff.
+        let exact = run(5.0, 1);
+        assert_eq!(exact.completed, 1);
+        assert_eq!(exact.handoff_attempts, 0, "end-at-barrier must preempt the handoff");
+        assert_eq!(exact.mobility_steps, 4, "no movement step at the final barrier");
+        for shards in [2, 4, 7] {
+            assert_eq!(exact, run(5.0, shards), "barrier-exact end diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn call_end_racing_an_outbound_handoff_across_shards() {
+        // The call hands off to a cell owned by another shard at barrier
+        // 2, then ends mid-epoch at t = 2.5. The source shard still holds
+        // the original generation-0 CallEnd event for t = 2.5; it must be
+        // discarded as stale while the destination shard's generation-1
+        // event completes the call — exactly once, on either side.
+        let grid = HexGrid::new(1, 1.0);
+        let east_id = grid.locate(east_center(&grid));
+        let boundary = east_center(&grid).x / 2.0;
+        let km_per_tick = 0.04;
+        let spec = UserSpec {
+            arrival_s: 0.0,
+            class: ServiceClass::Voice,
+            // 1.5 ticks from the border: crosses on step 2.
+            start: MobileState::new(
+                Point::new(boundary - 1.5 * km_per_tick, 0.0),
+                0.0,
+                kmh_for(km_per_tick, 1.0),
+            ),
+            mobility: MobilityKind::StraightLine,
+            holding_s: 2.5,
+        };
+        let run = |shards: usize| {
+            let config = SimulationConfig { movement_tick_s: 1.0, shards, ..Default::default() };
+            let mut sim = Simulation::new(HexGrid::new(1, 1.0), config, controllers(7));
+            let metrics = sim.run(vec![spec.clone()]);
+            for id in 0..7 {
+                assert_eq!(
+                    sim.occupied(CellId(id)),
+                    BandwidthUnits::ZERO,
+                    "cell {id} leaked bandwidth at {shards} shards"
+                );
+            }
+            metrics
+        };
+        let single = run(1);
+        assert_eq!(single.handoff_attempts, 1);
+        assert_eq!(single.handoff_accepted, 1);
+        assert_eq!(single.completed, 1, "the call must complete exactly once");
+        // Pick a shard count that puts source (cell 0) and destination on
+        // different shards, plus a few others for good measure.
+        let remote = (2..=7).find(|s| east_id.0 as usize % s != 0).expect("remote split exists");
+        for shards in [remote, 4, 7] {
+            assert_eq!(single, run(shards), "handoff/end race diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn handoff_into_a_full_cell_on_a_remote_shard_drops_the_call() {
+        // Same setup as handoff_into_full_cell_drops_call, but run with
+        // shard counts that place the full east neighbor on a different
+        // shard than the source cell: the migrant is exchanged at the
+        // barrier, denied at the remote cell, and dropped — bit-identical
+        // to the single-shard run.
+        let grid = HexGrid::new(1, 1.0);
+        let east = east_center(&grid);
+        let east_id = grid.locate(east);
+        let mut workload: Vec<UserSpec> = (0..4)
+            .map(|i| UserSpec {
+                arrival_s: 0.5 + i as f64 * 0.01,
+                class: ServiceClass::Video,
+                start: MobileState::new(east, 0.0, 0.0),
+                mobility: MobilityKind::StraightLine,
+                holding_s: 10_000.0,
+            })
+            .collect();
+        workload.push(UserSpec {
+            arrival_s: 1.0,
+            class: ServiceClass::Voice,
+            start: MobileState::new(Point::new(0.0, 0.0), 0.0, 120.0),
+            mobility: MobilityKind::StraightLine,
+            holding_s: 10_000.0,
+        });
+        let run = |shards: usize| {
+            let config = SimulationConfig {
+                movement_tick_s: 1.0,
+                max_time_s: 600.0,
+                shards,
+                ..Default::default()
+            };
+            let mut sim = Simulation::new(HexGrid::new(1, 1.0), config, controllers(7));
+            sim.run(workload.clone())
+        };
+        let single = run(1);
+        assert_eq!(single.accepted_new, 5);
+        assert!(single.handoff_dropped >= 1, "expected a dropped handoff");
+        let remote = (2..=7).find(|s| east_id.0 as usize % s != 0).expect("remote split exists");
+        assert_ne!(east_id.0 as usize % remote, 0, "east cell must live on a remote shard");
+        for shards in [remote, 4, 7] {
+            assert_eq!(single, run(shards), "remote full-cell drop diverged at {shards} shards");
+        }
+    }
+
+    fn walker_workload(n: u64) -> Vec<UserSpec> {
+        (0..n)
+            .map(|i| UserSpec {
+                arrival_s: i as f64,
+                class: if i % 3 == 0 { ServiceClass::Video } else { ServiceClass::Text },
+                start: MobileState::new(Point::new(0.1 * i as f64 % 1.5, 0.0), 45.0, 30.0),
+                mobility: MobilityKind::Walker(Walker::paper_default()),
+                holding_s: 60.0 + i as f64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let grid = HexGrid::new(1, 2.0);
+            let config = SimulationConfig { movement_tick_s: 2.0, seed: 7, ..Default::default() };
+            let mut sim = Simulation::new(grid, config, controllers(7));
+            sim.run(walker_workload(50))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sharded_runs_match_single_shard_bit_for_bit() {
+        let run = |shards: usize| {
+            let grid = HexGrid::new(2, 2.0);
+            let config =
+                SimulationConfig { movement_tick_s: 2.0, seed: 7, shards, ..Default::default() };
+            let mut sim = Simulation::new(grid, config, controllers(19));
+            sim.run(walker_workload(200))
+        };
+        let single = run(1);
+        for shards in [2, 3, 4, 19, 64] {
+            assert_eq!(single, run(shards), "{shards} shards diverged from 1");
+        }
+        assert!(single.handoff_attempts > 0, "workload should exercise handoffs");
+    }
+
+    #[test]
+    fn cell_series_sink_is_shard_independent() {
+        let run = |shards: usize| {
+            let grid = HexGrid::new(1, 2.0);
+            let config =
+                SimulationConfig { movement_tick_s: 2.0, seed: 9, shards, ..Default::default() };
+            let mut sim = Simulation::new(grid, config, controllers(7));
+            sim.run_with(walker_workload(60), (Metrics::new(), CellLoadSeries::new()))
+        };
+        let (m1, s1) = run(1);
+        let (m4, s4) = run(4);
+        assert_eq!(m1, m4);
+        assert_eq!(s1, s4);
+        assert_eq!(s1.capacity_bu(), 40);
+        assert!(s1.cells().count() > 0, "series sampled no cells");
+        let csv = s1.to_csv();
+        assert!(csv.starts_with("cell,t_s,occupied_bu\n"));
+    }
+
+    #[test]
+    fn controller_veto_blocks_even_with_capacity() {
+        struct DenyAll;
+        impl AdmissionController for DenyAll {
+            fn name(&self) -> &str {
+                "deny"
+            }
+            fn decide(&mut self, _r: &CallRequest, _c: &facs_cac::CellSnapshot) -> Decision {
+                Decision::binary(false)
+            }
+        }
+        let grid = HexGrid::single_cell(10.0);
+        let mut sim = Simulation::new(
+            grid,
+            SimulationConfig::default(),
+            vec![Box::new(DenyAll) as BoxedController],
+        );
+        let metrics = sim.run(vec![stationary_spec(1.0, ServiceClass::Text, 10.0)]);
+        assert_eq!(metrics.blocked_new, 1);
+        assert_eq!(metrics.accepted_new, 0);
+    }
+
+    struct SharedState;
+    impl AdmissionController for SharedState {
+        fn name(&self) -> &str {
+            "shared"
+        }
+        fn decide(&mut self, _r: &CallRequest, _c: &facs_cac::CellSnapshot) -> Decision {
+            Decision::binary(true)
+        }
+        fn is_cell_local(&self) -> bool {
+            false
+        }
+    }
+
+    fn shared_controllers(n: usize) -> Vec<BoxedController> {
+        (0..n).map(|_| Box::new(SharedState) as BoxedController).collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "shares cross-cell state")]
+    fn shared_state_controller_refuses_multiple_shards() {
+        let grid = HexGrid::new(1, 1.0);
+        let config = SimulationConfig { shards: 2, ..Default::default() };
+        let mut sim = Simulation::new(grid, config, shared_controllers(7));
+        let _ = sim.run(vec![stationary_spec(1.0, ServiceClass::Voice, 10.0)]);
+    }
+
+    #[test]
+    fn shared_state_controller_runs_single_shard() {
+        let grid = HexGrid::new(1, 1.0);
+        let mut sim = Simulation::new(grid, SimulationConfig::default(), shared_controllers(7));
+        let metrics = sim.run(vec![stationary_spec(1.0, ServiceClass::Voice, 10.0)]);
+        assert_eq!(metrics.accepted_new, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one controller per cell")]
+    fn controller_count_mismatch_panics() {
+        let grid = HexGrid::new(1, 1.0);
+        let _ = Simulation::new(grid, SimulationConfig::default(), controllers(3));
+    }
+
+    #[test]
+    fn from_factory_builds_one_controller_per_cell() {
+        let grid = HexGrid::new(1, 10.0);
+        let factory = || Box::new(CompleteSharing::new()) as BoxedController;
+        let mut sim = Simulation::from_factory(grid, SimulationConfig::default(), &factory);
+        let metrics = sim.run(vec![stationary_spec(1.0, ServiceClass::Voice, 10.0)]);
+        assert_eq!(metrics.accepted_new, 1);
+    }
+
+    #[test]
+    fn utilization_is_tracked() {
+        let grid = HexGrid::single_cell(10.0);
+        let mut sim = Simulation::new(grid, SimulationConfig::default(), controllers(1));
+        let metrics = sim.run(vec![stationary_spec(0.0, ServiceClass::Video, 600.0)]);
+        assert!(metrics.mean_utilization() > 0.0);
+    }
+
+    #[test]
+    fn mobility_steps_are_counted() {
+        let grid = HexGrid::single_cell(10.0);
+        let config = SimulationConfig { movement_tick_s: 1.0, ..Default::default() };
+        let mut sim = Simulation::new(grid, config, controllers(1));
+        // One stationary call holding ~10.5 s: stepped at barriers 1..=10.
+        let metrics = sim.run(vec![stationary_spec(0.0, ServiceClass::Voice, 10.5)]);
+        assert_eq!(metrics.mobility_steps, 10);
+        assert_eq!(metrics.total_events(), 1 + 1 + 10);
+    }
+}

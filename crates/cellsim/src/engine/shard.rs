@@ -1,0 +1,395 @@
+//! One shard of the simulation world: a group of cells (ledger +
+//! controller each), the users whose calls those cells currently serve,
+//! and a private event queue.
+//!
+//! A shard processes an entire epoch — all cell-local events up to the
+//! next movement barrier — without communicating; cross-shard traffic
+//! (handoffs of in-call users into cells owned by another shard) is
+//! exchanged only at the barrier. See the module docs of
+//! [`crate::engine`] for why this is deterministic.
+
+use std::collections::BTreeMap;
+
+use facs_cac::{
+    BandwidthLedger, BoxedController, CallId, CallKind, CallRequest, CellId, ServiceClass,
+};
+
+use crate::events::{EngineEvent, EngineQueue, UserId};
+use crate::geometry::{HexGrid, Point};
+use crate::metrics::MetricsSink;
+use crate::mobility::{MobileState, MobilityModel};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+use super::{MobilityKind, SimulationConfig, UserSpec};
+
+/// One cell's state plus its utilization bookkeeping.
+///
+/// The occupied-bandwidth integral is accumulated **per cell**, advanced
+/// only when this cell's occupancy changes (and flushed once at the end
+/// of the run). Because a cell's event sequence is shard-independent,
+/// the exact float-op order of its integral is too — which is what makes
+/// `mean_utilization` bit-identical across shard counts.
+pub(crate) struct CellUnit {
+    pub(crate) id: CellId,
+    pub(crate) ledger: BandwidthLedger,
+    pub(crate) controller: BoxedController,
+    pub(crate) center: Point,
+    occupied_integral_bu_s: f64,
+    last_change: SimTime,
+}
+
+impl CellUnit {
+    pub(crate) fn new(
+        id: CellId,
+        ledger: BandwidthLedger,
+        controller: BoxedController,
+        center: Point,
+    ) -> Self {
+        Self {
+            id,
+            ledger,
+            controller,
+            center,
+            occupied_integral_bu_s: 0.0,
+            last_change: SimTime::ZERO,
+        }
+    }
+
+    /// Integrates the current occupancy up to `now`. Must be called
+    /// before every occupancy change and once at the end of the run.
+    fn integrate_to(&mut self, now: SimTime) {
+        let dt = now.since(self.last_change).as_secs_f64();
+        if dt > 0.0 {
+            self.occupied_integral_bu_s += f64::from(self.ledger.occupied().get()) * dt;
+            self.last_change = now;
+        }
+    }
+
+    /// Final flush: returns `(occupied BU·s, capacity BU·s)` over `[0, end]`.
+    pub(crate) fn finish(&mut self, end: SimTime) -> (f64, f64) {
+        self.integrate_to(end);
+        let capacity_bu_s = f64::from(self.ledger.capacity().get()) * end.as_secs_f64();
+        (self.occupied_integral_bu_s, capacity_bu_s)
+    }
+}
+
+/// A user with an active call, registered with the shard owning the
+/// serving cell. The record travels whole (including the private RNG
+/// stream, so its position is preserved) when the call hands off to a
+/// cell on another shard.
+struct ActiveUser {
+    state: MobileState,
+    mobility: MobilityKind,
+    class: ServiceClass,
+    rng: SimRng,
+    cell: CellId,
+    call: CallId,
+    end_time: SimTime,
+    generation: u32,
+}
+
+/// A call crossing into a cell owned by (possibly) another shard,
+/// exchanged at an epoch barrier. The old cell's bandwidth is already
+/// released; the receiving shard decides admission at the target cell.
+pub(crate) struct Migrant {
+    pub(crate) user: UserId,
+    pub(crate) to: CellId,
+    state: MobileState,
+    mobility: MobilityKind,
+    class: ServiceClass,
+    rng: SimRng,
+    call: CallId,
+    end_time: SimTime,
+    generation: u32,
+}
+
+/// Derives a user's private mobility RNG stream from the simulation
+/// seed. Streams depend only on `(seed, user)` — never on which shard
+/// hosts the user — so any partition sees identical randomness.
+fn user_rng(seed: u64, user: u64) -> SimRng {
+    SimRng::seed_from_u64(seed ^ user.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+pub(crate) struct Shard<'a, S> {
+    index: usize,
+    shard_count: usize,
+    grid: &'a HexGrid,
+    config: SimulationConfig,
+    /// The owned cells, ascending id (ids ≡ `index` mod `shard_count`).
+    pub(crate) cells: Vec<CellUnit>,
+    queue: EngineQueue,
+    /// Queued arrivals: `(covering cell, spec)` — the cell is located
+    /// once by the router, not re-derived per event.
+    pending: BTreeMap<u64, (CellId, UserSpec)>,
+    active: BTreeMap<u64, ActiveUser>,
+    pub(crate) sink: S,
+}
+
+impl<'a, S: MetricsSink> Shard<'a, S> {
+    pub(crate) fn new(
+        index: usize,
+        shard_count: usize,
+        grid: &'a HexGrid,
+        config: SimulationConfig,
+        cells: Vec<CellUnit>,
+        sink: S,
+    ) -> Self {
+        Self {
+            index,
+            shard_count,
+            grid,
+            config,
+            cells,
+            queue: EngineQueue::new(),
+            pending: BTreeMap::new(),
+            active: BTreeMap::new(),
+            sink,
+        }
+    }
+
+    /// Queues one workload user whose starting position (covered by
+    /// `home`, as located by the router) this shard owns.
+    pub(crate) fn push_arrival(&mut self, user: UserId, home: CellId, spec: UserSpec) {
+        self.queue.schedule(SimTime::from_secs_f64(spec.arrival_s), EngineEvent::Arrival { user });
+        self.pending.insert(user.0, (home, spec));
+    }
+
+    /// `true` when the shard has nothing left to do.
+    pub(crate) fn idle(&self) -> bool {
+        self.queue.is_empty() && self.active.is_empty()
+    }
+
+    fn cell_mut(&mut self, id: CellId) -> &mut CellUnit {
+        let slot = id.0 as usize / self.shard_count;
+        let cell = &mut self.cells[slot];
+        debug_assert_eq!(cell.id, id, "cell partition arithmetic broke");
+        cell
+    }
+
+    fn cell(&self, id: CellId) -> &CellUnit {
+        let slot = id.0 as usize / self.shard_count;
+        let cell = &self.cells[slot];
+        debug_assert_eq!(cell.id, id, "cell partition arithmetic broke");
+        cell
+    }
+
+    /// Consults the controller, then the ledger; both must agree before
+    /// the call is admitted. A controller "admit" that no longer fits is
+    /// downgraded to a denial.
+    fn try_admit(&mut self, now: SimTime, cell_id: CellId, request: &CallRequest) -> bool {
+        let cell = self.cell_mut(cell_id);
+        let snapshot = cell.ledger.snapshot();
+        let decision = cell.controller.decide(request, &snapshot);
+        if !decision.admits() {
+            return false;
+        }
+        cell.integrate_to(now);
+        if cell.ledger.allocate(request.id, request.class).is_err() {
+            return false;
+        }
+        let after = cell.ledger.snapshot();
+        cell.controller.on_admitted(request, &after);
+        true
+    }
+
+    fn release(&mut self, now: SimTime, cell_id: CellId, call: CallId) {
+        let cell = self.cell_mut(cell_id);
+        cell.integrate_to(now);
+        let class = cell
+            .ledger
+            .release(call)
+            .expect("release of a call the ledger does not hold is a simulator bug");
+        let after = cell.ledger.snapshot();
+        cell.controller.on_released(call, class, &after);
+    }
+
+    /// Phase A: processes every queued event with `time <= limit` —
+    /// arrivals and call-ends, all local to this shard's cells.
+    pub(crate) fn run_events(&mut self, limit: SimTime) {
+        while let Some(time) = self.queue.peek_time() {
+            if time > limit {
+                break;
+            }
+            let (now, event) = self.queue.pop().expect("peeked event vanished");
+            match event {
+                EngineEvent::Arrival { user } => self.handle_arrival(now, user),
+                EngineEvent::CallEnd { user, generation } => {
+                    self.handle_call_end(now, user, generation);
+                }
+            }
+        }
+    }
+
+    fn handle_arrival(&mut self, now: SimTime, user: UserId) {
+        let (cell_id, spec) = self.pending.remove(&user.0).expect("arrival without a pending spec");
+        let position = spec.start.position;
+        if self.grid.out_of_coverage(position) {
+            // Off-map request: counts as blocked offered traffic.
+            self.sink.on_decision(now, cell_id, spec.class, CallKind::New, false);
+            return;
+        }
+        let call = CallId(user.0);
+        let request = CallRequest::new(
+            call,
+            spec.class,
+            CallKind::New,
+            spec.start.observe(self.cell(cell_id).center),
+        );
+        let admitted = self.try_admit(now, cell_id, &request);
+        self.sink.on_decision(now, cell_id, spec.class, CallKind::New, admitted);
+        if admitted {
+            let end_time = now + SimDuration::from_secs_f64(spec.holding_s);
+            self.queue.schedule(end_time, EngineEvent::CallEnd { user, generation: 0 });
+            self.active.insert(
+                user.0,
+                ActiveUser {
+                    state: spec.start,
+                    mobility: spec.mobility,
+                    class: spec.class,
+                    rng: user_rng(self.config.seed, user.0),
+                    cell: cell_id,
+                    call,
+                    end_time,
+                    generation: 0,
+                },
+            );
+        }
+    }
+
+    fn handle_call_end(&mut self, now: SimTime, user: UserId, generation: u32) {
+        // Stale end events — the call handed off (possibly to another
+        // shard) after this was scheduled, or was dropped/exited — carry
+        // an outdated generation or reference an absent user.
+        let Some(active) = self.active.get(&user.0) else { return };
+        if active.generation != generation {
+            return;
+        }
+        let (cell, call) = (active.cell, active.call);
+        self.release(now, cell, call);
+        self.active.remove(&user.0);
+        self.sink.on_completion(now, cell);
+    }
+
+    /// Barrier phase 1: advances every in-call user by one movement tick
+    /// (each on its own RNG stream), handles coverage exits locally, and
+    /// returns the calls that crossed into another cell as migrants
+    /// routed to `(target shard, migrant)`. The old cell's bandwidth is
+    /// released here, before any admission anywhere is attempted.
+    pub(crate) fn run_movement(&mut self, now: SimTime) -> Vec<(usize, Migrant)> {
+        enum Motion {
+            Exit,
+            Cross(CellId),
+        }
+        let dt = self.config.movement_tick_s;
+        let mut actions: Vec<(u64, Motion)> = Vec::new();
+        for (&id, user) in &mut self.active {
+            let mut state = user.state;
+            user.mobility.step(&mut state, dt, &mut user.rng);
+            user.state = state;
+            self.sink.on_mobility_step(now, user.cell);
+            if self.grid.out_of_coverage(state.position) {
+                actions.push((id, Motion::Exit));
+            } else {
+                let here = self.grid.locate(state.position);
+                if here != user.cell {
+                    actions.push((id, Motion::Cross(here)));
+                }
+            }
+        }
+        let mut out = Vec::new();
+        // Ascending user order (BTreeMap iteration): each cell sees its
+        // departures in the same order a single-shard run would apply.
+        for (id, motion) in actions {
+            let user = self.active.remove(&id).expect("moved user vanished");
+            self.release(now, user.cell, user.call);
+            match motion {
+                Motion::Exit => self.sink.on_exit(now, user.cell),
+                Motion::Cross(to) => {
+                    let target = to.0 as usize % self.shard_count;
+                    out.push((
+                        target,
+                        Migrant {
+                            user: UserId(id),
+                            to,
+                            state: user.state,
+                            mobility: user.mobility,
+                            class: user.class,
+                            rng: user.rng,
+                            call: user.call,
+                            end_time: user.end_time,
+                            generation: user.generation + 1,
+                        },
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Barrier phase 2: admits inbound handoffs at their target cells.
+    /// `migrants` must arrive sorted by user id (the caller sorts), so
+    /// each cell processes its inbound handoffs in global user order.
+    pub(crate) fn run_admissions(&mut self, now: SimTime, migrants: Vec<Migrant>) {
+        for m in migrants {
+            debug_assert_eq!(m.to.0 as usize % self.shard_count, self.index, "misrouted migrant");
+            let request = CallRequest::new(
+                m.call,
+                m.class,
+                CallKind::Handoff,
+                m.state.observe(self.cell(m.to).center),
+            );
+            let admitted = self.try_admit(now, m.to, &request);
+            self.sink.on_decision(now, m.to, m.class, CallKind::Handoff, admitted);
+            if admitted {
+                self.queue.schedule(
+                    m.end_time,
+                    EngineEvent::CallEnd { user: m.user, generation: m.generation },
+                );
+                self.active.insert(
+                    m.user.0,
+                    ActiveUser {
+                        state: m.state,
+                        mobility: m.mobility,
+                        class: m.class,
+                        rng: m.rng,
+                        cell: m.to,
+                        call: m.call,
+                        end_time: m.end_time,
+                        generation: m.generation,
+                    },
+                );
+            }
+            // Denied: the call is dropped mid-handoff; bandwidth was
+            // already freed at the source cell.
+        }
+    }
+
+    /// Epoch-barrier occupancy samples for the time-series sinks.
+    pub(crate) fn sample_cells(&mut self, now: SimTime) {
+        for cell in &self.cells {
+            self.sink.on_cell_sample(
+                now,
+                cell.id,
+                cell.ledger.occupied().get(),
+                cell.ledger.capacity().get(),
+            );
+        }
+    }
+}
+
+impl<S> std::fmt::Debug for Shard<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("index", &self.index)
+            .field("cells", &self.cells.len())
+            .field("active", &self.active.len())
+            .field("queued", &self.queue.len())
+            .finish()
+    }
+}
+
+/// Sorts a barrier's inbound migrants into global user order.
+pub(crate) fn sort_migrants(migrants: &mut [Migrant]) {
+    migrants.sort_by_key(|m| m.user.0);
+}

@@ -74,6 +74,11 @@ impl Ord for Scheduled {
 
 /// A time-ordered event queue with deterministic tie-breaking.
 ///
+/// Legacy: ties break in *insertion* order, which is only reproducible
+/// within a single queue. Kernel code must use [`EngineQueue`], whose
+/// order is defined by event contents and therefore survives any
+/// partitioning of events across shard queues.
+///
 /// # Examples
 ///
 /// ```
@@ -116,6 +121,118 @@ impl EventQueue {
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// The events of the sharded epoch kernel ([`crate::engine`]).
+///
+/// Unlike [`Event`], which relies on insertion order for tie-breaking
+/// (and is therefore only deterministic within a single queue), an
+/// `EngineEvent` carries everything needed for a **shard-independent**
+/// total order: at equal timestamps, call-ends sort before arrivals
+/// (capacity is freed before new decisions are made), then by user id,
+/// then by handoff generation. Any partition of the event set across
+/// shard queues therefore preserves each cell's event sequence exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// An admitted call's holding time expires. `generation` counts the
+    /// call's handoffs so far; an event whose generation no longer
+    /// matches the user's current registration is stale (the call moved
+    /// to another cell or shard after this event was scheduled) and is
+    /// ignored on dispatch.
+    CallEnd {
+        /// The user holding the finishing call.
+        user: UserId,
+        /// Handoff generation at scheduling time.
+        generation: u32,
+    },
+    /// A user issues a new-call request at its located cell.
+    Arrival {
+        /// The requesting user.
+        user: UserId,
+    },
+}
+
+impl EngineEvent {
+    /// The shard-independent tie-break key `(rank, user, generation)`.
+    #[must_use]
+    const fn key(self) -> (u8, u64, u32) {
+        match self {
+            EngineEvent::CallEnd { user, generation } => (0, user.0, generation),
+            EngineEvent::Arrival { user } => (1, user.0, 0),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EngineEntry {
+    time: SimTime,
+    event: EngineEvent,
+}
+
+impl PartialEq for EngineEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.event.key() == other.event.key()
+    }
+}
+
+impl Eq for EngineEntry {}
+
+impl PartialOrd for EngineEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EngineEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap inversion: the smallest (time, key) pops first.
+        (other.time, other.event.key()).cmp(&(self.time, self.event.key()))
+    }
+}
+
+/// A per-shard event queue over [`EngineEvent`]s whose pop order depends
+/// only on event contents — never on insertion order — so every cell
+/// sees the same event sequence regardless of how cells are grouped
+/// into shards.
+#[derive(Debug, Default)]
+pub struct EngineQueue {
+    heap: BinaryHeap<EngineEntry>,
+}
+
+impl EngineQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: EngineEvent) {
+        self.heap.push(EngineEntry { time, event });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, EngineEvent)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The timestamp of the next event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
     }
 
     /// Number of pending events.
@@ -176,6 +293,34 @@ mod tests {
         assert_eq!(q.pop().unwrap().0, t(0.5));
         assert_eq!(q.pop().unwrap().0, t(2.0));
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn engine_queue_order_is_insertion_independent() {
+        let events = [
+            (t(2.0), EngineEvent::Arrival { user: UserId(3) }),
+            (t(1.0), EngineEvent::CallEnd { user: UserId(9), generation: 1 }),
+            (t(1.0), EngineEvent::Arrival { user: UserId(1) }),
+            (t(1.0), EngineEvent::CallEnd { user: UserId(2), generation: 0 }),
+            (t(1.0), EngineEvent::CallEnd { user: UserId(2), generation: 2 }),
+        ];
+        // Schedule in two different orders; pops must agree.
+        let drain = |order: &[usize]| {
+            let mut q = EngineQueue::new();
+            for &i in order {
+                q.schedule(events[i].0, events[i].1);
+            }
+            std::iter::from_fn(move || q.pop()).collect::<Vec<_>>()
+        };
+        let a = drain(&[0, 1, 2, 3, 4]);
+        let b = drain(&[4, 2, 0, 3, 1]);
+        assert_eq!(a, b);
+        // At t=1: call-ends (user 2 gen 0, user 2 gen 2, user 9) precede
+        // the arrival of user 1.
+        assert_eq!(a[0].1, EngineEvent::CallEnd { user: UserId(2), generation: 0 });
+        assert_eq!(a[1].1, EngineEvent::CallEnd { user: UserId(2), generation: 2 });
+        assert_eq!(a[2].1, EngineEvent::CallEnd { user: UserId(9), generation: 1 });
+        assert_eq!(a[3].1, EngineEvent::Arrival { user: UserId(1) });
     }
 
     #[test]

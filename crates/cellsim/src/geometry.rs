@@ -220,10 +220,21 @@ impl HexGrid {
         self.coord_of(id).neighbors().iter().filter_map(|&c| self.cell_at(c)).collect()
     }
 
-    /// The cell whose center is nearest to `point` (ties broken by lower
-    /// id). The honeycomb Voronoi partition is exactly "nearest center".
+    /// The cell whose center is nearest to `point`. The honeycomb Voronoi
+    /// partition is exactly "nearest center".
+    ///
+    /// Runs in O(1) via the inverse pixel→axial transform plus cube
+    /// rounding; only points that round outside the finite grid (i.e.
+    /// beyond the outer ring) fall back to a scan over the cells.
     #[must_use]
     pub fn locate(&self, point: Point) -> CellId {
+        let size = self.cell_radius_km;
+        let fq = (3f64.sqrt() / 3.0 * point.x - point.y / 3.0) / size;
+        let fr = (2.0 / 3.0 * point.y) / size;
+        if let Some(id) = self.cell_at(Self::axial_round(fq, fr)) {
+            return id;
+        }
+        // Outside the modelled honeycomb: nearest center by scan.
         let mut best = CellId(0);
         let mut best_d = f64::INFINITY;
         for id in self.cell_ids() {
@@ -234,6 +245,24 @@ impl HexGrid {
             }
         }
         best
+    }
+
+    /// Rounds fractional axial coordinates to the containing hex (the
+    /// standard cube-rounding construction).
+    fn axial_round(fq: f64, fr: f64) -> HexCoord {
+        let fs = -fq - fr;
+        let mut q = fq.round();
+        let mut r = fr.round();
+        let s = fs.round();
+        let dq = (q - fq).abs();
+        let dr = (r - fr).abs();
+        let ds = (s - fs).abs();
+        if dq > dr && dq > ds {
+            q = -r - s;
+        } else if dr > ds {
+            r = -q - s;
+        }
+        HexCoord::new(q as i32, r as i32)
     }
 
     /// `true` when `point` lies farther from every center than one cell
@@ -346,6 +375,39 @@ mod tests {
         let b = a.step(30.0, 2.0);
         assert!((a.bearing_to(b) - 30.0).abs() < 1e-9);
         assert!((a.distance_to(b) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn locate_rounding_agrees_with_nearest_center_scan() {
+        let g = HexGrid::new(2, 1.3);
+        // A deterministic lattice of probe points covering the grid and a
+        // margin beyond it.
+        for ix in -40..=40 {
+            for iy in -40..=40 {
+                let p = Point::new(f64::from(ix) * 0.17, f64::from(iy) * 0.17);
+                let by_scan = {
+                    let mut best = CellId(0);
+                    let mut best_d = f64::INFINITY;
+                    for id in g.cell_ids() {
+                        let d = g.center_of(id).distance_to(p);
+                        if d < best_d {
+                            best_d = d;
+                            best = id;
+                        }
+                    }
+                    best
+                };
+                let located = g.locate(p);
+                // Equal-distance boundary points may legitimately resolve
+                // either way; require agreement up to distance equality.
+                let d_located = g.center_of(located).distance_to(p);
+                let d_scan = g.center_of(by_scan).distance_to(p);
+                assert!(
+                    (d_located - d_scan).abs() < 1e-9,
+                    "locate {located:?} (d {d_located}) vs scan {by_scan:?} (d {d_scan}) at {p:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -14,10 +14,15 @@
 //! * [`mobility`] — walker / random-waypoint / Gauss–Markov models plus
 //!   the GPS observation (`(S, A, D)` triple) FLC1 consumes;
 //! * [`traffic`] — traffic mix, Poisson arrivals, holding times;
-//! * [`events`] — deterministic discrete-event queue;
-//! * [`network`] — the simulation engine (cells, users, handoffs);
-//! * [`scenario`] — the paper's experiment configurations;
-//! * [`metrics`] — acceptance/dropping/utilization counters and series;
+//! * [`events`] — deterministic event queues (the legacy insertion-order
+//!   queue and the shard-independent engine queue);
+//! * [`engine`] — the sharded deterministic simulation kernel (cells,
+//!   users, handoffs, epoch barriers); [`network`] is its compat facade;
+//! * [`workload`] — declarative workload descriptions and the named
+//!   scenario catalog (hotspot, flash crowd, rush hour, …);
+//! * [`scenario`] — the paper's experiment configurations and sweeps;
+//! * [`metrics`] — the streaming [`metrics::MetricsSink`] interface,
+//!   acceptance/dropping/utilization counters, per-cell load series;
 //! * [`rng`] / [`time`] — seeded randomness and integer sim-time.
 //!
 //! ## Example
@@ -46,6 +51,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod engine;
 pub mod erlang;
 pub mod events;
 pub mod geometry;
@@ -57,12 +63,13 @@ pub mod scenario;
 pub mod stats;
 pub mod time;
 pub mod traffic;
+pub mod workload;
 
-pub use events::{Event, EventQueue, UserId};
+pub use engine::{MobilityKind, Simulation, SimulationConfig, UserSpec};
+pub use events::{EngineEvent, EngineQueue, Event, EventQueue, UserId};
 pub use geometry::{HexCoord, HexGrid, Point};
-pub use metrics::{ClassCounters, Metrics, Series};
+pub use metrics::{CellLoadSeries, ClassCounters, Metrics, MetricsSink, Series};
 pub use mobility::{GaussMarkov, MobileState, MobilityModel, RandomWaypoint, StraightLine, Walker};
-pub use network::{MobilityKind, Simulation, SimulationConfig, UserSpec};
 pub use rng::SimRng;
 pub use scenario::{
     acceptance_curve, offered_load_fraction, paper_request_counts, AngleSpec, ControllerBuilder,
@@ -71,13 +78,16 @@ pub use scenario::{
 pub use stats::Summary;
 pub use time::{SimDuration, SimTime};
 pub use traffic::{HoldingTimes, PoissonArrivals, TrafficMix};
+pub use workload::{
+    catalog, catalog_names, scenario_by_name, ArrivalPattern, CatalogEntry, Workload,
+};
 
 /// Commonly used items, for glob import in applications and examples.
 pub mod prelude {
+    pub use crate::engine::{MobilityKind, Simulation, SimulationConfig, UserSpec};
     pub use crate::geometry::{HexGrid, Point};
-    pub use crate::metrics::{Metrics, Series};
+    pub use crate::metrics::{CellLoadSeries, Metrics, MetricsSink, Series};
     pub use crate::mobility::{MobileState, MobilityModel, Walker};
-    pub use crate::network::{MobilityKind, Simulation, SimulationConfig, UserSpec};
     pub use crate::rng::SimRng;
     pub use crate::scenario::{
         acceptance_curve, paper_request_counts, AngleSpec, ControllerBuilder, DistanceSpec,
@@ -85,4 +95,5 @@ pub mod prelude {
     };
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::traffic::{HoldingTimes, PoissonArrivals, TrafficMix};
+    pub use crate::workload::{catalog, scenario_by_name, ArrivalPattern, CatalogEntry, Workload};
 }

@@ -1,9 +1,130 @@
-//! Simulation metrics: the counters behind every figure of the paper.
+//! Simulation metrics: the counters behind every figure of the paper,
+//! and the streaming [`MetricsSink`] interface the sharded kernel feeds.
+//!
+//! The engine does not know what it is measuring: every observable event
+//! (admission decision, completion, coverage exit, mobility step, epoch
+//! occupancy sample, final per-cell utilization integral) is pushed into
+//! a [`MetricsSink`]. [`Metrics`] — the paper's counters — is one sink;
+//! [`CellLoadSeries`] records a per-cell occupancy time series; a tuple
+//! of sinks fans one run out to both.
 
-use facs_cac::{CallKind, ServiceClass};
+use std::collections::BTreeMap;
+
+use facs_cac::{CallKind, CellId, ServiceClass};
 use serde::{Deserialize, Serialize};
 
 use crate::time::SimTime;
+
+/// A streaming observer of simulation events.
+///
+/// The sharded kernel creates one sink per shard with [`fork`](Self::fork)
+/// and folds them back with [`absorb`](Self::absorb) **in shard-index
+/// order** once the run ends, so integer counters are exact sums and any
+/// floating-point state is combined in a deterministic order. Per-cell
+/// hooks only ever fire on the shard that owns the cell, which makes each
+/// cell's sub-stream identical regardless of how many shards ran.
+///
+/// All event hooks default to no-ops so special-purpose sinks implement
+/// only what they observe.
+pub trait MetricsSink: Send {
+    /// A fresh, empty sink of the same kind, for one shard.
+    #[must_use]
+    fn fork(&self) -> Self
+    where
+        Self: Sized;
+
+    /// Folds a shard's sink back into this one (called in shard order).
+    fn absorb(&mut self, other: Self)
+    where
+        Self: Sized;
+
+    /// An admission decision (new call or handoff) was made at `cell`.
+    fn on_decision(
+        &mut self,
+        now: SimTime,
+        cell: CellId,
+        class: ServiceClass,
+        kind: CallKind,
+        admitted: bool,
+    ) {
+        let _ = (now, cell, class, kind, admitted);
+    }
+
+    /// A call completed its holding time at `cell`.
+    fn on_completion(&mut self, now: SimTime, cell: CellId) {
+        let _ = (now, cell);
+    }
+
+    /// A call ended because its user left the coverage area.
+    fn on_exit(&mut self, now: SimTime, cell: CellId) {
+        let _ = (now, cell);
+    }
+
+    /// One mobility step was applied to an in-call user served by `cell`.
+    fn on_mobility_step(&mut self, now: SimTime, cell: CellId) {
+        let _ = (now, cell);
+    }
+
+    /// Epoch-barrier occupancy sample of `cell`.
+    fn on_cell_sample(&mut self, now: SimTime, cell: CellId, occupied: u32, capacity: u32) {
+        let _ = (now, cell, occupied, capacity);
+    }
+
+    /// Final utilization integrals of `cell`, reported once per cell at
+    /// the end of the run **in cell-id order** (after all shards merged).
+    fn on_cell_utilization(&mut self, cell: CellId, occupied_bu_s: f64, capacity_bu_s: f64) {
+        let _ = (cell, occupied_bu_s, capacity_bu_s);
+    }
+}
+
+/// Runs two sinks side by side over one simulation.
+impl<A: MetricsSink, B: MetricsSink> MetricsSink for (A, B) {
+    fn fork(&self) -> Self {
+        (self.0.fork(), self.1.fork())
+    }
+
+    fn absorb(&mut self, other: Self) {
+        self.0.absorb(other.0);
+        self.1.absorb(other.1);
+    }
+
+    fn on_decision(
+        &mut self,
+        now: SimTime,
+        cell: CellId,
+        class: ServiceClass,
+        kind: CallKind,
+        admitted: bool,
+    ) {
+        self.0.on_decision(now, cell, class, kind, admitted);
+        self.1.on_decision(now, cell, class, kind, admitted);
+    }
+
+    fn on_completion(&mut self, now: SimTime, cell: CellId) {
+        self.0.on_completion(now, cell);
+        self.1.on_completion(now, cell);
+    }
+
+    fn on_exit(&mut self, now: SimTime, cell: CellId) {
+        self.0.on_exit(now, cell);
+        self.1.on_exit(now, cell);
+    }
+
+    fn on_mobility_step(&mut self, now: SimTime, cell: CellId) {
+        self.0.on_mobility_step(now, cell);
+        self.1.on_mobility_step(now, cell);
+    }
+
+    fn on_cell_sample(&mut self, now: SimTime, cell: CellId, occupied: u32, capacity: u32) {
+        self.0.on_cell_sample(now, cell, occupied, capacity);
+        self.1.on_cell_sample(now, cell, occupied, capacity);
+    }
+
+    fn on_cell_utilization(&mut self, cell: CellId, occupied_bu_s: f64, capacity_bu_s: f64) {
+        self.0.on_cell_utilization(cell, occupied_bu_s, capacity_bu_s);
+        self.1.on_cell_utilization(cell, occupied_bu_s, capacity_bu_s);
+    }
+}
 
 /// Offered/accepted/denied counters for one service class.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -47,6 +168,9 @@ pub struct Metrics {
     pub completed: u64,
     /// Calls ended by the terminal leaving the coverage area.
     pub exited_coverage: u64,
+    /// Mobility steps applied to in-call users (one per active user per
+    /// movement epoch).
+    pub mobility_steps: u64,
     /// Per-class new-call counters, indexed text/voice/video.
     pub per_class: [ClassCounters; 3],
     /// Integral of (occupied BU · seconds) across all cells, for
@@ -152,6 +276,18 @@ impl Metrics {
         self.per_class[Self::class_index(class)].acceptance_percentage()
     }
 
+    /// Total kernel events behind this run: admission decisions (new +
+    /// handoff), completions, coverage exits and mobility steps. The
+    /// denominator of the throughput benches' events/sec figure.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.offered_new
+            + self.handoff_attempts
+            + self.completed
+            + self.exited_coverage
+            + self.mobility_steps
+    }
+
     /// Accumulates another run's counters into this one (used to
     /// aggregate replications; percentages are recomputed from the summed
     /// counters).
@@ -164,6 +300,7 @@ impl Metrics {
         self.handoff_dropped += other.handoff_dropped;
         self.completed += other.completed;
         self.exited_coverage += other.exited_coverage;
+        self.mobility_steps += other.mobility_steps;
         for i in 0..3 {
             self.per_class[i].offered += other.per_class[i].offered;
             self.per_class[i].accepted += other.per_class[i].accepted;
@@ -171,6 +308,110 @@ impl Metrics {
         }
         self.utilization_bu_seconds += other.utilization_bu_seconds;
         self.capacity_bu_seconds += other.capacity_bu_seconds;
+    }
+}
+
+impl MetricsSink for Metrics {
+    fn fork(&self) -> Self {
+        Metrics::new()
+    }
+
+    fn absorb(&mut self, other: Self) {
+        self.merge(&other);
+    }
+
+    fn on_decision(
+        &mut self,
+        _now: SimTime,
+        _cell: CellId,
+        class: ServiceClass,
+        kind: CallKind,
+        admitted: bool,
+    ) {
+        self.record_decision(class, kind, admitted);
+    }
+
+    fn on_completion(&mut self, _now: SimTime, _cell: CellId) {
+        self.record_completion();
+    }
+
+    fn on_exit(&mut self, _now: SimTime, _cell: CellId) {
+        self.record_exit();
+    }
+
+    fn on_mobility_step(&mut self, _now: SimTime, _cell: CellId) {
+        self.mobility_steps += 1;
+    }
+
+    fn on_cell_utilization(&mut self, _cell: CellId, occupied_bu_s: f64, capacity_bu_s: f64) {
+        self.utilization_bu_seconds += occupied_bu_s;
+        self.capacity_bu_seconds += capacity_bu_s;
+    }
+}
+
+/// A streaming per-cell occupancy time series: one `(t, occupied BU)`
+/// sample per cell per movement epoch, taken at the epoch barrier.
+///
+/// Because a cell is sampled only by the shard that owns it, each cell's
+/// series is bit-identical no matter how many shards the run used.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellLoadSeries {
+    series: BTreeMap<u32, Vec<(f64, u32)>>,
+    capacity: u32,
+}
+
+impl CellLoadSeries {
+    /// Creates an empty series sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cells with at least one sample, in id order.
+    pub fn cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.series.keys().map(|&id| CellId(id))
+    }
+
+    /// The `(time s, occupied BU)` samples of one cell, in time order.
+    #[must_use]
+    pub fn samples(&self, cell: CellId) -> &[(f64, u32)] {
+        self.series.get(&cell.0).map_or(&[], Vec::as_slice)
+    }
+
+    /// The sampled base-station capacity (0 before any sample arrived).
+    #[must_use]
+    pub fn capacity_bu(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Renders the series as CSV rows `cell,t,occupied`.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cell,t_s,occupied_bu\n");
+        for (cell, samples) in &self.series {
+            for &(t, occupied) in samples {
+                out.push_str(&format!("{cell},{t:.3},{occupied}\n"));
+            }
+        }
+        out
+    }
+}
+
+impl MetricsSink for CellLoadSeries {
+    fn fork(&self) -> Self {
+        Self::default()
+    }
+
+    fn absorb(&mut self, other: Self) {
+        for (cell, samples) in other.series {
+            self.series.entry(cell).or_default().extend(samples);
+        }
+        self.capacity = self.capacity.max(other.capacity);
+    }
+
+    fn on_cell_sample(&mut self, now: SimTime, cell: CellId, occupied: u32, capacity: u32) {
+        self.capacity = capacity;
+        self.series.entry(cell.0).or_default().push((now.as_secs_f64(), occupied));
     }
 }
 

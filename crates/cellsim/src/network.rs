@@ -1,573 +1,9 @@
-//! The discrete-event cellular-network simulation: cells with ledgers and
-//! admission controllers, mobile users placing calls, movement, handoffs.
+//! Back-compat facade over the sharded simulation kernel.
+//!
+//! The discrete-event simulator formerly defined here was refactored
+//! into the [`crate::engine`] module, which partitions the world into
+//! deterministic cell-group shards (see its docs for the epoch/barrier
+//! model). The public names are re-exported so existing imports of
+//! `facs_cellsim::network::*` keep working.
 
-use facs_cac::{
-    AdmissionController, BandwidthLedger, BandwidthUnits, BoxedController, CallId, CallKind,
-    CallRequest, CellId, ServiceClass,
-};
-
-use crate::events::{Event, EventQueue, UserId};
-use crate::geometry::{HexGrid, Point};
-use crate::metrics::Metrics;
-use crate::mobility::{
-    GaussMarkov, MobileState, MobilityModel, RandomWaypoint, StraightLine, Walker,
-};
-use crate::rng::SimRng;
-use crate::time::{SimDuration, SimTime};
-
-/// A clonable, serde-friendly sum of the crate's mobility models, so
-/// workloads can be described as plain data.
-#[derive(Debug, Clone)]
-#[non_exhaustive]
-pub enum MobilityKind {
-    /// Heading-diffusion walker (speed-dependent stability).
-    Walker(Walker),
-    /// Random waypoint within a disc.
-    RandomWaypoint(RandomWaypoint),
-    /// Gauss–Markov autoregressive motion.
-    GaussMarkov(GaussMarkov),
-    /// Constant heading and speed.
-    StraightLine,
-}
-
-impl MobilityModel for MobilityKind {
-    fn step(&mut self, state: &mut MobileState, dt_s: f64, rng: &mut SimRng) {
-        match self {
-            MobilityKind::Walker(m) => m.step(state, dt_s, rng),
-            MobilityKind::RandomWaypoint(m) => m.step(state, dt_s, rng),
-            MobilityKind::GaussMarkov(m) => m.step(state, dt_s, rng),
-            MobilityKind::StraightLine => StraightLine.step(state, dt_s, rng),
-        }
-    }
-
-    fn name(&self) -> &str {
-        match self {
-            MobilityKind::Walker(_) => "walker",
-            MobilityKind::RandomWaypoint(_) => "random-waypoint",
-            MobilityKind::GaussMarkov(_) => "gauss-markov",
-            MobilityKind::StraightLine => "straight-line",
-        }
-    }
-}
-
-/// One user of the workload: when they request, what they request, where
-/// they start and how they move.
-#[derive(Debug, Clone)]
-pub struct UserSpec {
-    /// Request instant, seconds from simulation start.
-    pub arrival_s: f64,
-    /// Requested service class.
-    pub class: ServiceClass,
-    /// Kinematic state at request time.
-    pub start: MobileState,
-    /// Mobility model for the call's lifetime.
-    pub mobility: MobilityKind,
-    /// Pre-drawn call holding time, seconds (drawn by the workload
-    /// generator so admission policy cannot perturb the random stream).
-    pub holding_s: f64,
-}
-
-/// Simulation-wide constants.
-#[derive(Debug, Clone, Copy)]
-pub struct SimulationConfig {
-    /// Capacity of every base station (the paper's 40 BU).
-    pub capacity: BandwidthUnits,
-    /// Movement/handoff processing cadence, seconds.
-    pub movement_tick_s: f64,
-    /// Hard stop; events beyond this instant are discarded.
-    pub max_time_s: f64,
-    /// Seed for the mobility random stream.
-    pub seed: u64,
-}
-
-impl Default for SimulationConfig {
-    fn default() -> Self {
-        Self {
-            capacity: BandwidthUnits::new(40),
-            movement_tick_s: 5.0,
-            max_time_s: 7_200.0,
-            seed: 0xFAC5,
-        }
-    }
-}
-
-struct ActiveCall {
-    id: CallId,
-    class: ServiceClass,
-    cell: CellId,
-}
-
-struct User {
-    state: MobileState,
-    mobility: MobilityKind,
-    class: ServiceClass,
-    holding_s: f64,
-    call: Option<ActiveCall>,
-}
-
-struct CellUnit {
-    ledger: BandwidthLedger,
-    controller: BoxedController,
-    center: Point,
-}
-
-/// The simulator: owns the grid, the cells (ledger + controller each),
-/// the users, the event queue and the metrics.
-///
-/// Build with [`Simulation::new`], then [`Simulation::run`] a workload.
-pub struct Simulation {
-    grid: HexGrid,
-    cells: Vec<CellUnit>,
-    users: Vec<User>,
-    queue: EventQueue,
-    clock: SimTime,
-    config: SimulationConfig,
-    rng: SimRng,
-    metrics: Metrics,
-    pending_arrivals: usize,
-}
-
-impl std::fmt::Debug for Simulation {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Simulation")
-            .field("cells", &self.cells.len())
-            .field("users", &self.users.len())
-            .field("clock", &self.clock)
-            .field("pending_arrivals", &self.pending_arrivals)
-            .finish()
-    }
-}
-
-impl Simulation {
-    /// Creates a simulation over `grid` with one controller per cell.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `controllers.len() == grid.len()` — the pairing is a
-    /// construction-time contract, not runtime data.
-    #[must_use]
-    pub fn new(grid: HexGrid, config: SimulationConfig, controllers: Vec<BoxedController>) -> Self {
-        assert_eq!(
-            controllers.len(),
-            grid.len(),
-            "need exactly one controller per cell ({} cells, {} controllers)",
-            grid.len(),
-            controllers.len()
-        );
-        let cells = controllers
-            .into_iter()
-            .enumerate()
-            .map(|(i, controller)| CellUnit {
-                ledger: BandwidthLedger::new(config.capacity),
-                controller,
-                center: grid.center_of(CellId(i as u32)),
-            })
-            .collect();
-        let rng = SimRng::seed_from_u64(config.seed);
-        Self {
-            grid,
-            cells,
-            users: Vec::new(),
-            queue: EventQueue::new(),
-            clock: SimTime::ZERO,
-            config,
-            rng,
-            metrics: Metrics::new(),
-            pending_arrivals: 0,
-        }
-    }
-
-    /// Runs the workload to completion and returns the collected metrics.
-    ///
-    /// Users are admitted at the cell covering their position; admitted
-    /// calls hold bandwidth until their holding time elapses, the user
-    /// hands off out of a full cell (drop), or the user leaves coverage.
-    pub fn run(&mut self, workload: Vec<UserSpec>) -> Metrics {
-        for spec in workload {
-            let id = UserId(self.users.len() as u64);
-            self.users.push(User {
-                state: spec.start,
-                mobility: spec.mobility,
-                class: spec.class,
-                holding_s: spec.holding_s,
-                call: None,
-            });
-            self.queue
-                .schedule(SimTime::from_secs_f64(spec.arrival_s), Event::Arrival { user: id });
-            self.pending_arrivals += 1;
-        }
-        self.queue
-            .schedule(SimTime::from_secs_f64(self.config.movement_tick_s), Event::MovementTick);
-
-        let horizon = SimTime::from_secs_f64(self.config.max_time_s);
-        while let Some((time, event)) = self.queue.pop() {
-            if time > horizon {
-                break;
-            }
-            self.integrate_utilization(time);
-            self.clock = time;
-            match event {
-                Event::Arrival { user } => self.handle_arrival(user),
-                Event::CallEnd { call, user, .. } => self.handle_call_end(call, user),
-                Event::MovementTick => self.handle_tick(),
-            }
-        }
-        self.metrics.clone()
-    }
-
-    /// Metrics collected so far.
-    #[must_use]
-    pub fn metrics(&self) -> &Metrics {
-        &self.metrics
-    }
-
-    /// The simulation clock.
-    #[must_use]
-    pub fn now(&self) -> SimTime {
-        self.clock
-    }
-
-    /// The grid the simulation runs on.
-    #[must_use]
-    pub fn grid(&self) -> &HexGrid {
-        &self.grid
-    }
-
-    /// Occupied bandwidth of a cell (for assertions in tests and the
-    /// distributed runtime's cross-checks).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cell` is out of range.
-    #[must_use]
-    pub fn occupied(&self, cell: CellId) -> BandwidthUnits {
-        self.cells[cell.0 as usize].ledger.occupied()
-    }
-
-    fn integrate_utilization(&mut self, now: SimTime) {
-        let dt = now.since(self.clock).as_secs_f64();
-        if dt <= 0.0 {
-            return;
-        }
-        for cell in &self.cells {
-            self.metrics.record_utilization(
-                cell.ledger.occupied().get(),
-                cell.ledger.capacity().get(),
-                dt,
-            );
-        }
-    }
-
-    fn handle_arrival(&mut self, user_id: UserId) {
-        self.pending_arrivals = self.pending_arrivals.saturating_sub(1);
-        let (position, state, class) = {
-            let user = &self.users[user_id.0 as usize];
-            (user.state.position, user.state, user.class)
-        };
-        if self.grid.out_of_coverage(position) {
-            // Off-map request: counts as blocked offered traffic.
-            self.metrics.record_decision(class, CallKind::New, false);
-            return;
-        }
-        let cell_id = self.grid.locate(position);
-        let call_id = CallId(user_id.0);
-        let request = CallRequest::new(
-            call_id,
-            class,
-            CallKind::New,
-            state.observe(self.cells[cell_id.0 as usize].center),
-        );
-        let admitted = self.try_admit(cell_id, &request);
-        self.metrics.record_decision(class, CallKind::New, admitted);
-        if admitted {
-            let holding = SimDuration::from_secs_f64(self.users[user_id.0 as usize].holding_s);
-            self.queue.schedule(
-                self.clock + holding,
-                Event::CallEnd { call: call_id, user: user_id, cell: cell_id },
-            );
-            self.users[user_id.0 as usize].call = Some(ActiveCall {
-                id: call_id,
-                class: self.users[user_id.0 as usize].class,
-                cell: cell_id,
-            });
-        }
-    }
-
-    /// Consults the controller, then the ledger; both must agree before
-    /// the call is admitted. A controller "admit" that no longer fits is
-    /// downgraded to a denial.
-    fn try_admit(&mut self, cell_id: CellId, request: &CallRequest) -> bool {
-        let cell = &mut self.cells[cell_id.0 as usize];
-        let snapshot = cell.ledger.snapshot();
-        let decision = cell.controller.decide(request, &snapshot);
-        if !decision.admits() {
-            return false;
-        }
-        if cell.ledger.allocate(request.id, request.class).is_err() {
-            return false;
-        }
-        let after = cell.ledger.snapshot();
-        cell.controller.on_admitted(request, &after);
-        true
-    }
-
-    fn release(&mut self, cell_id: CellId, call: CallId) {
-        let cell = &mut self.cells[cell_id.0 as usize];
-        let class = cell
-            .ledger
-            .release(call)
-            .expect("release of a call the ledger does not hold is a simulator bug");
-        let after = cell.ledger.snapshot();
-        cell.controller.on_released(call, class, &after);
-    }
-
-    fn handle_call_end(&mut self, call: CallId, user_id: UserId) {
-        let user = &mut self.users[user_id.0 as usize];
-        // The event may be stale: the call could have been dropped at a
-        // handoff after this end-event was scheduled.
-        let Some(active) = user.call.take() else { return };
-        if active.id != call {
-            user.call = Some(active);
-            return;
-        }
-        self.release(active.cell, call);
-        self.metrics.record_completion();
-    }
-
-    fn handle_tick(&mut self) {
-        let dt = self.config.movement_tick_s;
-        for idx in 0..self.users.len() {
-            if self.users[idx].call.is_none() {
-                continue;
-            }
-            let user_id = UserId(idx as u64);
-            // Advance kinematics.
-            {
-                let user = &mut self.users[idx];
-                let mut state = user.state;
-                user.mobility.step(&mut state, dt, &mut self.rng);
-                user.state = state;
-            }
-            self.process_boundary(user_id);
-        }
-        if self.pending_arrivals > 0 || self.users.iter().any(|u| u.call.is_some()) {
-            let next = self.clock + SimDuration::from_secs_f64(dt);
-            self.queue.schedule(next, Event::MovementTick);
-        }
-    }
-
-    fn process_boundary(&mut self, user_id: UserId) {
-        let (position, active_cell, active_id, class) = {
-            let user = &self.users[user_id.0 as usize];
-            let Some(active) = &user.call else { return };
-            (user.state.position, active.cell, active.id, active.class)
-        };
-        if self.grid.out_of_coverage(position) {
-            self.release(active_cell, active_id);
-            self.users[user_id.0 as usize].call = None;
-            self.metrics.record_exit();
-            return;
-        }
-        let here = self.grid.locate(position);
-        if here == active_cell {
-            return;
-        }
-        // Handoff attempt into `here`.
-        let request = CallRequest::new(
-            active_id,
-            class,
-            CallKind::Handoff,
-            self.users[user_id.0 as usize].state.observe(self.cells[here.0 as usize].center),
-        );
-        // Release the old allocation first: the handoff target decides on
-        // its own free capacity, the old cell frees either way.
-        self.release(active_cell, active_id);
-        let admitted = self.try_admit(here, &request);
-        self.metrics.record_decision(class, CallKind::Handoff, admitted);
-        if admitted {
-            if let Some(active) = &mut self.users[user_id.0 as usize].call {
-                active.cell = here;
-            }
-        } else {
-            // Dropped mid-call.
-            self.users[user_id.0 as usize].call = None;
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use facs_cac::policies::CompleteSharing;
-    use facs_cac::Decision;
-
-    fn controllers(n: usize) -> Vec<BoxedController> {
-        (0..n).map(|_| Box::new(CompleteSharing::new()) as BoxedController).collect()
-    }
-
-    fn stationary_spec(arrival_s: f64, class: ServiceClass, holding_s: f64) -> UserSpec {
-        UserSpec {
-            arrival_s,
-            class,
-            start: MobileState::new(Point::new(0.5, 0.0), 0.0, 0.0),
-            mobility: MobilityKind::StraightLine,
-            holding_s,
-        }
-    }
-
-    #[test]
-    fn single_call_is_admitted_and_completes() {
-        let grid = HexGrid::single_cell(10.0);
-        let mut sim = Simulation::new(grid, SimulationConfig::default(), controllers(1));
-        let metrics = sim.run(vec![stationary_spec(1.0, ServiceClass::Video, 60.0)]);
-        assert_eq!(metrics.offered_new, 1);
-        assert_eq!(metrics.accepted_new, 1);
-        assert_eq!(metrics.completed, 1);
-        assert_eq!(sim.occupied(CellId(0)), BandwidthUnits::ZERO, "bandwidth returned");
-    }
-
-    #[test]
-    fn capacity_blocks_excess_calls() {
-        let grid = HexGrid::single_cell(10.0);
-        // 40 BU: exactly 4 video calls fit if they overlap.
-        let workload: Vec<UserSpec> = (0..6)
-            .map(|i| stationary_spec(1.0 + i as f64 * 0.001, ServiceClass::Video, 1_000.0))
-            .collect();
-        let mut sim = Simulation::new(grid, SimulationConfig::default(), controllers(1));
-        let metrics = sim.run(workload);
-        assert_eq!(metrics.offered_new, 6);
-        assert_eq!(metrics.accepted_new, 4);
-        assert_eq!(metrics.blocked_new, 2);
-    }
-
-    #[test]
-    fn sequential_calls_reuse_bandwidth() {
-        let grid = HexGrid::single_cell(10.0);
-        // Calls arrive 100 s apart, each holds 10 s: never concurrent.
-        let workload: Vec<UserSpec> = (0..5)
-            .map(|i| stationary_spec(10.0 + 100.0 * i as f64, ServiceClass::Video, 10.0))
-            .collect();
-        let mut sim = Simulation::new(grid, SimulationConfig::default(), controllers(1));
-        let metrics = sim.run(workload);
-        assert_eq!(metrics.accepted_new, 5);
-        assert_eq!(metrics.completed, 5);
-    }
-
-    #[test]
-    fn handoff_moves_bandwidth_between_cells() {
-        let grid = HexGrid::new(1, 1.0);
-        // A user in the center cell moving due east at high speed will
-        // cross into the east neighbor well within its holding time.
-        let spec = UserSpec {
-            arrival_s: 1.0,
-            class: ServiceClass::Voice,
-            start: MobileState::new(Point::new(0.0, 0.0), 0.0, 120.0),
-            mobility: MobilityKind::StraightLine,
-            holding_s: 120.0,
-        };
-        let config = SimulationConfig { movement_tick_s: 1.0, ..Default::default() };
-        let mut sim = Simulation::new(grid, config, controllers(7));
-        let metrics = sim.run(vec![spec]);
-        assert_eq!(metrics.accepted_new, 1);
-        assert!(metrics.handoff_attempts >= 1, "no handoff happened");
-        assert_eq!(metrics.handoff_dropped, 0);
-        // Either completed in a neighbor or exited past the map edge.
-        assert_eq!(metrics.completed + metrics.exited_coverage, 1);
-    }
-
-    #[test]
-    fn handoff_into_full_cell_drops_call() {
-        let grid = HexGrid::new(1, 1.0);
-        let config = SimulationConfig { movement_tick_s: 1.0, ..Default::default() };
-        // Fill the east neighbor with stationary video calls, then drive a
-        // voice call into it.
-        let east_center = {
-            let g = HexGrid::new(1, 1.0);
-            let id = g
-                .cell_ids()
-                .find(|&id| {
-                    let c = g.center_of(id);
-                    c.y.abs() < 1e-9 && c.x > 0.0
-                })
-                .unwrap();
-            g.center_of(id)
-        };
-        let mut workload: Vec<UserSpec> = (0..4)
-            .map(|i| UserSpec {
-                arrival_s: 0.5 + i as f64 * 0.01,
-                class: ServiceClass::Video,
-                start: MobileState::new(east_center, 0.0, 0.0),
-                mobility: MobilityKind::StraightLine,
-                holding_s: 10_000.0,
-            })
-            .collect();
-        workload.push(UserSpec {
-            arrival_s: 1.0,
-            class: ServiceClass::Voice,
-            start: MobileState::new(Point::new(0.0, 0.0), 0.0, 120.0),
-            mobility: MobilityKind::StraightLine,
-            holding_s: 10_000.0,
-        });
-        let mut sim = Simulation::new(grid, config, controllers(7));
-        let metrics = sim.run(workload);
-        assert_eq!(metrics.accepted_new, 5);
-        assert!(metrics.handoff_dropped >= 1, "expected a dropped handoff");
-    }
-
-    #[test]
-    fn runs_are_deterministic() {
-        let run = || {
-            let grid = HexGrid::new(1, 2.0);
-            let config = SimulationConfig { movement_tick_s: 2.0, seed: 7, ..Default::default() };
-            let workload: Vec<UserSpec> = (0..50)
-                .map(|i| UserSpec {
-                    arrival_s: i as f64,
-                    class: if i % 3 == 0 { ServiceClass::Video } else { ServiceClass::Text },
-                    start: MobileState::new(Point::new(0.1 * i as f64 % 1.5, 0.0), 45.0, 30.0),
-                    mobility: MobilityKind::Walker(Walker::paper_default()),
-                    holding_s: 60.0 + i as f64,
-                })
-                .collect();
-            let mut sim = Simulation::new(grid, config, controllers(7));
-            sim.run(workload)
-        };
-        assert_eq!(run(), run());
-    }
-
-    #[test]
-    fn controller_veto_blocks_even_with_capacity() {
-        struct DenyAll;
-        impl AdmissionController for DenyAll {
-            fn name(&self) -> &str {
-                "deny"
-            }
-            fn decide(&mut self, _r: &CallRequest, _c: &facs_cac::CellSnapshot) -> Decision {
-                Decision::binary(false)
-            }
-        }
-        let grid = HexGrid::single_cell(10.0);
-        let mut sim = Simulation::new(
-            grid,
-            SimulationConfig::default(),
-            vec![Box::new(DenyAll) as BoxedController],
-        );
-        let metrics = sim.run(vec![stationary_spec(1.0, ServiceClass::Text, 10.0)]);
-        assert_eq!(metrics.blocked_new, 1);
-        assert_eq!(metrics.accepted_new, 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "one controller per cell")]
-    fn controller_count_mismatch_panics() {
-        let grid = HexGrid::new(1, 1.0);
-        let _ = Simulation::new(grid, SimulationConfig::default(), controllers(3));
-    }
-
-    #[test]
-    fn utilization_is_tracked() {
-        let grid = HexGrid::single_cell(10.0);
-        let mut sim = Simulation::new(grid, SimulationConfig::default(), controllers(1));
-        let metrics = sim.run(vec![stationary_spec(0.0, ServiceClass::Video, 600.0)]);
-        assert!(metrics.mean_utilization() > 0.0);
-    }
-}
+pub use crate::engine::{MobilityKind, Simulation, SimulationConfig, UserSpec};

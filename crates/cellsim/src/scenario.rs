@@ -24,11 +24,17 @@ use facs_cac::{BandwidthUnits, BoxedController};
 
 use crate::geometry::HexGrid;
 use crate::metrics::{Metrics, Series};
-use crate::mobility::{MobileState, Walker};
-use crate::network::{MobilityKind, Simulation, SimulationConfig, UserSpec};
-use crate::rng::SimRng;
+use crate::network::{Simulation, SimulationConfig, UserSpec};
 use crate::stats::Summary;
-use crate::traffic::{HoldingTimes, PoissonArrivals, TrafficMix};
+use crate::traffic::{HoldingTimes, TrafficMix};
+use crate::workload::Workload;
+
+// The distribution specs moved into the declarative workload module;
+// re-exported here so `facs_cellsim::scenario::SpeedSpec` etc. keep
+// working.
+pub use crate::workload::{
+    AngleSpec, ArrivalPattern, DistanceSpec, MobilityChoice, SpawnSpec, SpeedSpec,
+};
 
 /// A per-grid controller factory, as passed to the scenario runners.
 ///
@@ -36,78 +42,6 @@ use crate::traffic::{HoldingTimes, PoissonArrivals, TrafficMix};
 /// one builder from several worker threads at once; plain closures that
 /// capture only shared data (or nothing) satisfy it automatically.
 pub type ControllerBuilder = dyn Fn(&HexGrid) -> Vec<BoxedController> + Sync;
-
-/// How user speed is drawn.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum SpeedSpec {
-    /// Every user moves at exactly this speed (km/h) — Fig. 7's curves.
-    Fixed(f64),
-    /// Uniform over the paper's 0–120 km/h range.
-    PaperUniform,
-    /// Uniform over a custom range.
-    Uniform(f64, f64),
-}
-
-impl SpeedSpec {
-    fn sample(self, rng: &mut SimRng) -> f64 {
-        match self {
-            SpeedSpec::Fixed(v) => v,
-            SpeedSpec::PaperUniform => rng.uniform_range(0.0, 120.0),
-            SpeedSpec::Uniform(lo, hi) => rng.uniform_range(lo, hi),
-        }
-    }
-}
-
-/// How the user's heading (and therefore FLC1's angle input) is drawn.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum AngleSpec {
-    /// The observed angle at request time is exactly this value (degrees)
-    /// — Fig. 8's curves.
-    Fixed(f64),
-    /// Uniform over −180…180°.
-    Uniform,
-    /// The GPS-substitution model (DESIGN.md): users originally headed at
-    /// the base station, but their heading has diffused for `history_s`
-    /// seconds of walker motion — so slow users arrive with nearly
-    /// uniform headings while fast users still point at the BS. This is
-    /// the mechanism behind Fig. 7.
-    HeadingHistory {
-        /// Seconds of heading diffusion before the request.
-        history_s: f64,
-    },
-}
-
-/// How the user's distance from the base station is drawn.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum DistanceSpec {
-    /// Exactly this many km from the BS — Fig. 9's curves.
-    Fixed(f64),
-    /// Uniform over `0..cell radius`.
-    UniformInCell,
-    /// Uniform over a custom range (km).
-    Uniform(f64, f64),
-}
-
-/// Where users spawn.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SpawnSpec {
-    /// All requests target the center cell (figs. 7–9: one BS).
-    CenterCell,
-    /// Requests spread uniformly over all cells (fig. 10: a cluster).
-    AnyCell,
-}
-
-/// Which mobility model users follow after the request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum MobilityChoice {
-    /// Walker for sampled-angle populations, straight-line for pinned
-    /// angles (so the controlled variable stays controlled).
-    Auto,
-    /// Always the heading-diffusion walker.
-    Walker,
-    /// Always straight-line.
-    StraightLine,
-}
 
 /// Full description of one paper experiment run.
 #[derive(Debug, Clone)]
@@ -136,8 +70,13 @@ pub struct ScenarioConfig {
     pub mobility: MobilityChoice,
     /// Traffic class mix.
     pub mix: TrafficMix,
+    /// Arrival-time pattern inside the window.
+    pub arrivals: ArrivalPattern,
     /// Movement/handoff cadence (seconds).
     pub movement_tick_s: f64,
+    /// Cell-group shards the kernel runs on (1 = single-threaded;
+    /// results are bit-identical for any value, see [`crate::engine`]).
+    pub shards: usize,
     /// Base RNG seed.
     pub seed: u64,
     /// Number of independent replications to average over.
@@ -159,7 +98,9 @@ impl Default for ScenarioConfig {
             spawn: SpawnSpec::CenterCell,
             mobility: MobilityChoice::Auto,
             mix: TrafficMix::PAPER,
+            arrivals: ArrivalPattern::Uniform,
             movement_tick_s: 5.0,
+            shards: 1,
             seed: 2007,
             replications: 3,
         }
@@ -173,75 +114,50 @@ impl ScenarioConfig {
         HexGrid::new(self.grid_radius, self.cell_radius_km)
     }
 
-    /// Generates the workload for one replication.
+    /// The declarative [`Workload`] description this scenario's knobs
+    /// assemble into — the single source of workload generation.
+    #[must_use]
+    pub fn workload(&self) -> Workload {
+        Workload {
+            arrivals: self.arrivals.clone(),
+            spawn: self.spawn,
+            speed: self.speed,
+            angle: self.angle,
+            distance: self.distance,
+            mobility: self.mobility,
+            mix: self.mix,
+        }
+    }
+
+    /// Generates the workload for one replication by expanding
+    /// [`ScenarioConfig::workload`].
     ///
     /// All randomness is drawn from `seed`, independent of the policy
     /// under test, so competing controllers face byte-identical traffic.
     #[must_use]
     pub fn generate_workload(&self, seed: u64) -> Vec<UserSpec> {
-        let grid = self.grid();
-        let mut rng = SimRng::seed_from_u64(seed);
-        let holding = HoldingTimes::new(self.holding_mean_s);
-        let arrivals = PoissonArrivals::arrival_times(self.requests, self.window_s, &mut rng);
-        let walker = Walker::paper_default();
+        self.workload().generate(
+            &self.grid(),
+            self.requests,
+            self.window_s,
+            HoldingTimes::new(self.holding_mean_s),
+            seed,
+        )
+    }
 
-        arrivals
-            .into_iter()
-            .map(|arrival_s| {
-                let class = self.mix.sample(&mut rng);
-                let speed = self.speed.sample(&mut rng);
-                let cell = match self.spawn {
-                    SpawnSpec::CenterCell => facs_cac::CellId(0),
-                    SpawnSpec::AnyCell => facs_cac::CellId(rng.index(grid.len()) as u32),
-                };
-                let bs = grid.center_of(cell);
-                let distance = match self.distance {
-                    DistanceSpec::Fixed(d) => d,
-                    DistanceSpec::UniformInCell => rng.uniform_range(0.0, self.cell_radius_km),
-                    DistanceSpec::Uniform(lo, hi) => rng.uniform_range(lo, hi),
-                };
-                // Place the user on a uniformly random bearing from the BS.
-                let bearing_from_bs = rng.uniform_range(-180.0, 180.0);
-                let position = bs.step(bearing_from_bs, distance);
-                let bearing_to_bs = if distance > 1e-9 {
-                    position.bearing_to(bs)
-                } else {
-                    rng.uniform_range(-180.0, 180.0)
-                };
-                let heading = match self.angle {
-                    AngleSpec::Fixed(angle) => bearing_to_bs + angle,
-                    AngleSpec::Uniform => rng.uniform_range(-180.0, 180.0),
-                    AngleSpec::HeadingHistory { history_s } => {
-                        let sigma = walker.turn_sigma_at(speed) * history_s.sqrt();
-                        if sigma >= 60.0 {
-                            // Past ~60° of diffusion a wrapped normal is
-                            // dispersed enough that the direction carries
-                            // no usable information — the paper's
-                            // "walking users can change their direction"
-                            // regime. Model it as fully randomized.
-                            rng.uniform_range(-180.0, 180.0)
-                        } else {
-                            bearing_to_bs + rng.normal(0.0, sigma)
-                        }
-                    }
-                };
-                let mobility = match self.mobility {
-                    MobilityChoice::Walker => MobilityKind::Walker(walker.clone()),
-                    MobilityChoice::StraightLine => MobilityKind::StraightLine,
-                    MobilityChoice::Auto => match self.angle {
-                        AngleSpec::Fixed(_) => MobilityKind::StraightLine,
-                        _ => MobilityKind::Walker(walker.clone()),
-                    },
-                };
-                UserSpec {
-                    arrival_s,
-                    class,
-                    start: MobileState::new(position, heading, speed),
-                    mobility,
-                    holding_s: holding.sample_s(&mut rng),
-                }
-            })
-            .collect()
+    /// The kernel configuration this scenario runs under for workload
+    /// seed `seed` — the single source of the seed mix and horizon
+    /// formula, shared by [`ScenarioConfig::run_once`] and the
+    /// throughput harness in `facs-bench`.
+    #[must_use]
+    pub fn sim_config(&self, seed: u64) -> SimulationConfig {
+        SimulationConfig {
+            capacity: BandwidthUnits::new(self.capacity_bu),
+            movement_tick_s: self.movement_tick_s,
+            max_time_s: self.window_s + 50.0 * self.holding_mean_s,
+            seed: seed ^ 0x5EED_0001,
+            shards: self.shards,
+        }
     }
 
     /// Runs the scenario once with the given per-grid controller builder
@@ -249,13 +165,7 @@ impl ScenarioConfig {
     pub fn run_once(&self, seed: u64, build: &ControllerBuilder) -> Metrics {
         let grid = self.grid();
         let controllers = build(&grid);
-        let config = SimulationConfig {
-            capacity: BandwidthUnits::new(self.capacity_bu),
-            movement_tick_s: self.movement_tick_s,
-            max_time_s: self.window_s + 50.0 * self.holding_mean_s,
-            seed: seed ^ 0x5EED_0001,
-        };
-        let mut sim = Simulation::new(grid, config, controllers);
+        let mut sim = Simulation::new(grid, self.sim_config(seed), controllers);
         sim.run(self.generate_workload(seed))
     }
 

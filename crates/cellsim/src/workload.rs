@@ -1,0 +1,512 @@
+//! Declarative workload descriptions and the named scenario catalog.
+//!
+//! A [`Workload`] is plain data — arrival pattern, spawn placement,
+//! speed/angle/distance distributions, mobility model and traffic mix —
+//! that deterministically expands into a list of [`UserSpec`]s for a
+//! given grid, request count, window and seed. [`crate::scenario::ScenarioConfig`] assembles
+//! its knobs into a `Workload`, the `experiments` binary runs every
+//! entry of the [`catalog`], and `facs-distrib` replays workloads
+//! through the actor runtime.
+//!
+//! The [`catalog`] names the scenario families the suite ships beyond
+//! the paper's homogeneous Poisson/hex-grid setup: hotspot cells, flash
+//! crowds, rush-hour time-varying arrival rates, heterogeneous
+//! service-class mixes (cf. arXiv:1412.3630, arXiv:1004.4444) and
+//! highway-corridor mobility.
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{MobilityKind, UserSpec};
+use crate::geometry::{HexGrid, Point};
+use crate::mobility::{MobileState, Walker};
+use crate::rng::SimRng;
+use crate::scenario::ScenarioConfig;
+use crate::traffic::{HoldingTimes, PoissonArrivals, TrafficMix};
+
+/// How user speed is drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SpeedSpec {
+    /// Every user moves at exactly this speed (km/h) — Fig. 7's curves.
+    Fixed(f64),
+    /// Uniform over the paper's 0–120 km/h range.
+    PaperUniform,
+    /// Uniform over a custom range.
+    Uniform(f64, f64),
+}
+
+impl SpeedSpec {
+    fn sample(self, rng: &mut SimRng) -> f64 {
+        match self {
+            SpeedSpec::Fixed(v) => v,
+            SpeedSpec::PaperUniform => rng.uniform_range(0.0, 120.0),
+            SpeedSpec::Uniform(lo, hi) => rng.uniform_range(lo, hi),
+        }
+    }
+}
+
+/// How the user's heading (and therefore FLC1's angle input) is drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AngleSpec {
+    /// The observed angle at request time is exactly this value (degrees)
+    /// — Fig. 8's curves.
+    Fixed(f64),
+    /// Uniform over −180…180°.
+    Uniform,
+    /// An absolute compass heading in degrees (counterclockwise from
+    /// +x), independent of the base-station bearing — corridor traffic.
+    Heading(f64),
+    /// The GPS-substitution model (DESIGN.md): users originally headed at
+    /// the base station, but their heading has diffused for `history_s`
+    /// seconds of walker motion — so slow users arrive with nearly
+    /// uniform headings while fast users still point at the BS. This is
+    /// the mechanism behind Fig. 7.
+    HeadingHistory {
+        /// Seconds of heading diffusion before the request.
+        history_s: f64,
+    },
+}
+
+/// How the user's distance from the base station is drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DistanceSpec {
+    /// Exactly this many km from the BS — Fig. 9's curves.
+    Fixed(f64),
+    /// Uniform over `0..cell radius`.
+    UniformInCell,
+    /// Uniform over a custom range (km).
+    Uniform(f64, f64),
+}
+
+/// Where users spawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SpawnSpec {
+    /// All requests target the center cell (figs. 7–9: one BS).
+    CenterCell,
+    /// Requests spread uniformly over all cells (fig. 10: a cluster).
+    AnyCell,
+    /// A fraction of requests concentrates on one cell, the rest spread
+    /// uniformly — a persistent hotspot (stadium, mall).
+    Hotspot {
+        /// The hot cell's id.
+        cell: u32,
+        /// Fraction of requests targeting the hot cell (clamped 0–1).
+        fraction: f64,
+    },
+    /// Requests spawn along a straight corridor through the grid center
+    /// (a highway crossing the coverage area).
+    Corridor {
+        /// Corridor heading, degrees counterclockwise from +x.
+        heading_deg: f64,
+        /// Half the corridor width, km (lateral spawn offset).
+        half_width_km: f64,
+    },
+}
+
+/// Which mobility model users follow after the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MobilityChoice {
+    /// Walker for sampled-angle populations, straight-line for pinned
+    /// angles (so the controlled variable stays controlled).
+    Auto,
+    /// Always the heading-diffusion walker.
+    Walker,
+    /// Always straight-line.
+    StraightLine,
+}
+
+/// When users arrive inside the window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalPattern {
+    /// Conditioned Poisson: given `n` arrivals in the window, instants
+    /// are i.i.d. uniform — the paper's process.
+    Uniform,
+    /// A flash crowd: `weight` of the arrivals land uniformly inside a
+    /// burst of `width` (fraction of the window) centered at `center`
+    /// (fraction of the window); the rest arrive uniformly.
+    Burst {
+        /// Burst center as a fraction of the window (0–1).
+        center: f64,
+        /// Burst width as a fraction of the window (0–1).
+        width: f64,
+        /// Fraction of all arrivals belonging to the burst (0–1).
+        weight: f64,
+    },
+    /// A time-varying arrival rate: the window splits into equal stages
+    /// with the given relative rates (e.g. a rush-hour ramp
+    /// `[0.2, 0.6, 1.0, 1.0, 0.6, 0.2]`).
+    Stages(Vec<f64>),
+}
+
+impl ArrivalPattern {
+    /// Draws `count` arrival instants in `[0, window_s)`, ascending.
+    #[must_use]
+    pub fn sample_times(&self, count: usize, window_s: f64, rng: &mut SimRng) -> Vec<f64> {
+        let window = window_s.max(f64::MIN_POSITIVE);
+        let mut times: Vec<f64> = match self {
+            // Delegate to the paper's process so the baseline random
+            // stream is unchanged.
+            ArrivalPattern::Uniform => return PoissonArrivals::arrival_times(count, window_s, rng),
+            ArrivalPattern::Burst { center, width, weight } => (0..count)
+                .map(|_| {
+                    if rng.chance(*weight) {
+                        let lo = (center - width / 2.0).max(0.0) * window;
+                        let hi = ((center + width / 2.0).min(1.0) * window).max(lo + 1e-9);
+                        rng.uniform_range(lo, hi)
+                    } else {
+                        rng.uniform_range(0.0, window)
+                    }
+                })
+                .collect(),
+            ArrivalPattern::Stages(rates) => {
+                assert!(!rates.is_empty(), "empty arrival stages");
+                let stage_len = window / rates.len() as f64;
+                (0..count)
+                    .map(|_| {
+                        let stage = rng.weighted_index(rates);
+                        stage as f64 * stage_len + rng.uniform_range(0.0, stage_len)
+                    })
+                    .collect()
+            }
+        };
+        times.sort_by(f64::total_cmp);
+        times
+    }
+}
+
+/// A declarative workload description: everything the generator needs,
+/// as plain (serde-friendly) data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Arrival-time pattern inside the window.
+    pub arrivals: ArrivalPattern,
+    /// Spawn placement.
+    pub spawn: SpawnSpec,
+    /// Speed distribution.
+    pub speed: SpeedSpec,
+    /// Angle distribution.
+    pub angle: AngleSpec,
+    /// Distance distribution (ignored by corridor placement, which fixes
+    /// positions geometrically).
+    pub distance: DistanceSpec,
+    /// Mobility model choice.
+    pub mobility: MobilityChoice,
+    /// Traffic class mix.
+    pub mix: TrafficMix,
+}
+
+impl Default for Workload {
+    /// The paper's §4 population: uniform arrivals at the center cell,
+    /// 0–120 km/h, heading-history angles, uniform in-cell distances,
+    /// 60/30/10 % text/voice/video.
+    fn default() -> Self {
+        Self {
+            arrivals: ArrivalPattern::Uniform,
+            spawn: SpawnSpec::CenterCell,
+            speed: SpeedSpec::PaperUniform,
+            angle: AngleSpec::HeadingHistory { history_s: 300.0 },
+            distance: DistanceSpec::UniformInCell,
+            mobility: MobilityChoice::Auto,
+            mix: TrafficMix::PAPER,
+        }
+    }
+}
+
+impl Workload {
+    /// Expands the description into `count` concrete [`UserSpec`]s over
+    /// `grid`, arrivals spread over `window_s` seconds, holding times
+    /// drawn from `holding`. All randomness derives from `seed` alone,
+    /// so competing controllers face byte-identical traffic.
+    #[must_use]
+    pub fn generate(
+        &self,
+        grid: &HexGrid,
+        count: usize,
+        window_s: f64,
+        holding: HoldingTimes,
+        seed: u64,
+    ) -> Vec<UserSpec> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let arrivals = self.arrivals.sample_times(count, window_s, &mut rng);
+        let walker = Walker::paper_default();
+        // The corridor spans the grid's full extent plus one cell radius.
+        let corridor_reach = (f64::from(grid.radius()) * 3f64.sqrt() + 1.0) * grid.cell_radius_km();
+
+        arrivals
+            .into_iter()
+            .map(|arrival_s| {
+                let class = self.mix.sample(&mut rng);
+                let speed = self.speed.sample(&mut rng);
+                let (position, bearing_to_bs) = match self.spawn {
+                    SpawnSpec::Corridor { heading_deg, half_width_km } => {
+                        let along = rng.uniform_range(-corridor_reach, corridor_reach);
+                        let offset = if half_width_km > 0.0 {
+                            rng.uniform_range(-half_width_km, half_width_km)
+                        } else {
+                            0.0
+                        };
+                        let position =
+                            Point::ORIGIN.step(heading_deg, along).step(heading_deg + 90.0, offset);
+                        let bs = grid.center_of(grid.locate(position));
+                        let bearing = if position.distance_to(bs) > 1e-9 {
+                            position.bearing_to(bs)
+                        } else {
+                            rng.uniform_range(-180.0, 180.0)
+                        };
+                        (position, bearing)
+                    }
+                    placement => {
+                        let cell = match placement {
+                            SpawnSpec::CenterCell => facs_cac::CellId(0),
+                            SpawnSpec::AnyCell => facs_cac::CellId(rng.index(grid.len()) as u32),
+                            SpawnSpec::Hotspot { cell, fraction } => {
+                                if rng.chance(fraction) {
+                                    facs_cac::CellId(cell.min(grid.len() as u32 - 1))
+                                } else {
+                                    facs_cac::CellId(rng.index(grid.len()) as u32)
+                                }
+                            }
+                            SpawnSpec::Corridor { .. } => unreachable!("matched above"),
+                        };
+                        let bs = grid.center_of(cell);
+                        let distance = match self.distance {
+                            DistanceSpec::Fixed(d) => d,
+                            DistanceSpec::UniformInCell => {
+                                rng.uniform_range(0.0, grid.cell_radius_km())
+                            }
+                            DistanceSpec::Uniform(lo, hi) => rng.uniform_range(lo, hi),
+                        };
+                        // Place the user on a uniformly random bearing
+                        // from the BS.
+                        let bearing_from_bs = rng.uniform_range(-180.0, 180.0);
+                        let position = bs.step(bearing_from_bs, distance);
+                        let bearing_to_bs = if distance > 1e-9 {
+                            position.bearing_to(bs)
+                        } else {
+                            rng.uniform_range(-180.0, 180.0)
+                        };
+                        (position, bearing_to_bs)
+                    }
+                };
+                let heading = match self.angle {
+                    AngleSpec::Fixed(angle) => bearing_to_bs + angle,
+                    AngleSpec::Uniform => rng.uniform_range(-180.0, 180.0),
+                    AngleSpec::Heading(heading_deg) => heading_deg,
+                    AngleSpec::HeadingHistory { history_s } => {
+                        let sigma = walker.turn_sigma_at(speed) * history_s.sqrt();
+                        if sigma >= 60.0 {
+                            // Past ~60° of diffusion a wrapped normal is
+                            // dispersed enough that the direction carries
+                            // no usable information — the paper's
+                            // "walking users can change their direction"
+                            // regime. Model it as fully randomized.
+                            rng.uniform_range(-180.0, 180.0)
+                        } else {
+                            bearing_to_bs + rng.normal(0.0, sigma)
+                        }
+                    }
+                };
+                let mobility = match self.mobility {
+                    MobilityChoice::Walker => MobilityKind::Walker(walker.clone()),
+                    MobilityChoice::StraightLine => MobilityKind::StraightLine,
+                    MobilityChoice::Auto => match self.angle {
+                        AngleSpec::Fixed(_) | AngleSpec::Heading(_) => MobilityKind::StraightLine,
+                        _ => MobilityKind::Walker(walker.clone()),
+                    },
+                };
+                UserSpec {
+                    arrival_s,
+                    class,
+                    start: MobileState::new(position, heading, speed),
+                    mobility,
+                    holding_s: holding.sample_s(&mut rng),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One named entry of the scenario catalog.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// Stable machine-friendly name (used for JSON artifact filenames).
+    pub name: &'static str,
+    /// One-line human description.
+    pub summary: &'static str,
+    /// The ready-to-run configuration.
+    pub config: ScenarioConfig,
+}
+
+/// The named scenario catalog: the paper's baseline plus the workload
+/// families the suite grows beyond it. Every entry runs on any shard
+/// count with bit-identical results (for cell-local controllers).
+#[must_use]
+pub fn catalog() -> Vec<CatalogEntry> {
+    vec![
+        CatalogEntry {
+            name: "paper-baseline",
+            summary: "figs 7-10 population: uniform arrivals, paper mix, single BS",
+            config: ScenarioConfig { requests: 100, ..ScenarioConfig::default() },
+        },
+        CatalogEntry {
+            name: "hotspot",
+            summary: "70% of requests pile onto the center cell of a 7-cell cluster",
+            config: ScenarioConfig {
+                requests: 280,
+                grid_radius: 1,
+                spawn: SpawnSpec::Hotspot { cell: 0, fraction: 0.7 },
+                mobility: MobilityChoice::Walker,
+                ..ScenarioConfig::default()
+            },
+        },
+        CatalogEntry {
+            name: "flash-crowd",
+            summary: "80% of arrivals burst into 10% of the window at a hot cell",
+            config: ScenarioConfig {
+                requests: 320,
+                grid_radius: 1,
+                spawn: SpawnSpec::Hotspot { cell: 0, fraction: 0.5 },
+                arrivals: ArrivalPattern::Burst { center: 0.5, width: 0.1, weight: 0.8 },
+                mobility: MobilityChoice::Walker,
+                ..ScenarioConfig::default()
+            },
+        },
+        CatalogEntry {
+            name: "rush-hour",
+            summary: "time-varying arrival rate ramping 0.2x -> 1x -> 0.2x over the window",
+            config: ScenarioConfig {
+                requests: 320,
+                grid_radius: 1,
+                spawn: SpawnSpec::AnyCell,
+                arrivals: ArrivalPattern::Stages(vec![0.2, 0.6, 1.0, 1.0, 0.6, 0.2]),
+                mobility: MobilityChoice::Walker,
+                ..ScenarioConfig::default()
+            },
+        },
+        CatalogEntry {
+            name: "hetero-mix",
+            summary: "video-heavy 20/30/50 class mix stressing multi-class allocation",
+            config: ScenarioConfig {
+                requests: 220,
+                grid_radius: 1,
+                spawn: SpawnSpec::AnyCell,
+                mix: TrafficMix { text: 0.2, voice: 0.3, video: 0.5 },
+                mobility: MobilityChoice::Walker,
+                ..ScenarioConfig::default()
+            },
+        },
+        CatalogEntry {
+            name: "highway",
+            summary: "fast corridor traffic crossing a 19-cell grid (handoff-dominated)",
+            config: ScenarioConfig {
+                requests: 240,
+                grid_radius: 2,
+                cell_radius_km: 2.0,
+                spawn: SpawnSpec::Corridor { heading_deg: 0.0, half_width_km: 0.5 },
+                speed: SpeedSpec::Uniform(60.0, 120.0),
+                angle: AngleSpec::Heading(0.0),
+                mobility: MobilityChoice::StraightLine,
+                holding_mean_s: 120.0,
+                movement_tick_s: 2.0,
+                ..ScenarioConfig::default()
+            },
+        },
+    ]
+}
+
+/// Looks a catalog scenario up by name.
+#[must_use]
+pub fn scenario_by_name(name: &str) -> Option<ScenarioConfig> {
+    catalog().into_iter().find(|e| e.name == name).map(|e| e.config)
+}
+
+/// The catalog's scenario names, in catalog order.
+#[must_use]
+pub fn catalog_names() -> Vec<&'static str> {
+    catalog().into_iter().map(|e| e.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique_and_stable() {
+        let names = catalog_names();
+        assert_eq!(
+            names,
+            vec!["paper-baseline", "hotspot", "flash-crowd", "rush-hour", "hetero-mix", "highway"]
+        );
+        for name in names {
+            assert!(scenario_by_name(name).is_some(), "missing {name}");
+        }
+        assert!(scenario_by_name("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn burst_concentrates_arrivals() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let pattern = ArrivalPattern::Burst { center: 0.5, width: 0.1, weight: 0.8 };
+        let times = pattern.sample_times(2_000, 100.0, &mut rng);
+        assert_eq!(times.len(), 2_000);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        let in_burst = times.iter().filter(|&&t| (45.0..55.0).contains(&t)).count();
+        // 80% targeted + ~10% of the uniform remainder ≈ 82%.
+        assert!(in_burst > 1_500, "only {in_burst} of 2000 in the burst");
+    }
+
+    #[test]
+    fn stages_shape_the_rate() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let pattern = ArrivalPattern::Stages(vec![1.0, 0.0, 3.0, 0.0]);
+        let times = pattern.sample_times(4_000, 400.0, &mut rng);
+        let count = |lo: f64, hi: f64| times.iter().filter(|&&t| (lo..hi).contains(&t)).count();
+        assert_eq!(count(100.0, 200.0) + count(300.0, 400.0), 0, "zero-rate stages got arrivals");
+        let first = count(0.0, 100.0);
+        let third = count(200.0, 300.0);
+        assert!(third > 2 * first, "stage weights ignored: {first} vs {third}");
+    }
+
+    #[test]
+    fn hotspot_concentrates_spawns() {
+        let config = ScenarioConfig {
+            requests: 1_000,
+            grid_radius: 1,
+            spawn: SpawnSpec::Hotspot { cell: 3, fraction: 0.7 },
+            ..ScenarioConfig::default()
+        };
+        let grid = config.grid();
+        let specs = config.generate_workload(5);
+        let hot =
+            specs.iter().filter(|s| grid.locate(s.start.position) == facs_cac::CellId(3)).count();
+        // 70% targeted plus 1/7th of the remainder ≈ 74%; spawn distance
+        // can land a user over the cell border, so leave slack.
+        assert!(hot > 550, "only {hot} of 1000 spawns hit the hotspot");
+    }
+
+    #[test]
+    fn corridor_spawns_on_the_line_heading_along_it() {
+        let config = scenario_by_name("highway").expect("highway in catalog");
+        let specs = config.generate_workload(11);
+        for spec in &specs {
+            assert!(spec.start.position.y.abs() <= 0.5 + 1e-9, "off corridor: {spec:?}");
+            assert_eq!(spec.start.heading_deg, 0.0);
+            assert!(spec.start.speed_kmh >= 60.0 && spec.start.speed_kmh <= 120.0);
+            assert!(matches!(spec.mobility, MobilityKind::StraightLine));
+        }
+    }
+
+    #[test]
+    fn workload_generation_is_deterministic() {
+        for entry in catalog() {
+            let a = entry.config.generate_workload(77);
+            let b = entry.config.generate_workload(77);
+            assert_eq!(a.len(), b.len(), "{}", entry.name);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.arrival_s, y.arrival_s, "{}", entry.name);
+                assert_eq!(x.start, y.start, "{}", entry.name);
+                assert_eq!(x.class, y.class, "{}", entry.name);
+                assert_eq!(x.holding_s, y.holding_s, "{}", entry.name);
+            }
+        }
+    }
+}

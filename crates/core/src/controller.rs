@@ -1,6 +1,9 @@
 //! The FACS admission controller: FLC1 → FLC2 cascade (paper Fig. 4).
 
-use facs_cac::{AdmissionController, CallKind, CallRequest, CellSnapshot, Decision, MobilityInfo};
+use facs_cac::{
+    AdmissionController, BoxedController, CallKind, CallRequest, CellSnapshot, Decision,
+    MobilityInfo,
+};
 use facs_fuzzy::{BackendKind, FuzzyError, InferenceConfig};
 
 use crate::flc1::Flc1;
@@ -129,6 +132,27 @@ impl FacsController {
             flc2: Flc2::with_backend(config.inference, config.backend)?,
             config,
         })
+    }
+
+    /// A cloneable per-cell controller factory sharing one prototype:
+    /// rule compilation (and, on the compiled backend, surface
+    /// precomputation) happens **once** here, and every invocation hands
+    /// out a clone — compiled surfaces clone by reference, so a sharded
+    /// simulation or a 100-cell cluster pays a single compile. The
+    /// returned closure satisfies `facs_cac::ControllerFactory`, which
+    /// is what [`facs_cellsim`-style] engines consume to construct one
+    /// controller per cell per shard.
+    ///
+    /// [`facs_cellsim`-style]: facs_cac::ControllerFactory
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FuzzyError`] if the prototype fails to build.
+    pub fn factory(
+        config: FacsConfig,
+    ) -> Result<impl Fn() -> BoxedController + Send + Sync + Clone, FuzzyError> {
+        let prototype = Self::with_config(config)?;
+        Ok(move || Box::new(prototype.clone()) as BoxedController)
     }
 
     /// The active configuration.

@@ -66,6 +66,7 @@ impl BsActor {
                     // not the actor's: ignore the send error.
                     let _ = reply.send(AdmissionOutcome {
                         admitted,
+                        margin: decision.margin(),
                         decision,
                         occupied_after: self.ledger.occupied(),
                     });
@@ -82,6 +83,53 @@ impl BsActor {
                 BsMessage::Shutdown => break,
             }
         }
+    }
+}
+
+/// One admitted call awaiting its holding-time expiry during a replay.
+/// Ordered by `(end time, call id)` — total because end times are finite
+/// workload sums, and call-id tie-breaking keeps replays deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LiveCall {
+    end_s: f64,
+    cell: CellId,
+    call: CallId,
+}
+
+impl Eq for LiveCall {}
+
+impl PartialOrd for LiveCall {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LiveCall {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.end_s.total_cmp(&other.end_s).then_with(|| self.call.0.cmp(&other.call.0))
+    }
+}
+
+/// The outcome of replaying a scenario's new-call stream through a
+/// cluster (see [`Cluster::replay_new_calls`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplayReport {
+    /// Per-request `(serving cell, outcome)` in arrival order.
+    pub outcomes: Vec<(CellId, AdmissionOutcome)>,
+    /// Requests skipped because the user spawned outside coverage.
+    pub out_of_coverage: usize,
+}
+
+impl ReplayReport {
+    /// Fraction of replayed requests that were admitted (1.0 when none
+    /// were replayed).
+    #[must_use]
+    pub fn acceptance_ratio(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 1.0;
+        }
+        let admitted = self.outcomes.iter().filter(|(_, o)| o.admitted).count();
+        admitted as f64 / self.outcomes.len() as f64
     }
 }
 
@@ -183,6 +231,63 @@ impl Cluster {
         let controllers =
             grid.cell_ids().map(|_| Box::new(prototype.clone()) as BoxedController).collect();
         Ok(Self::spawn(grid, capacity, controllers))
+    }
+
+    /// Replays a scenario workload's new-call stream through the actor
+    /// path: users are generated from `scenario` (any entry of
+    /// `facs_cellsim::workload::catalog()` works), each request is sent
+    /// to the actor of the cell covering the user's position, and calls
+    /// whose holding time has elapsed are released before later
+    /// arrivals — so the actors see the same churn the in-process
+    /// simulator's new-call path produces.
+    ///
+    /// Deterministic for a given `(scenario, seed)`: replaying twice
+    /// against identically-configured clusters yields identical reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ClusterError`] (e.g. the cluster's grid is
+    /// smaller than the scenario's).
+    pub fn replay_new_calls(
+        &self,
+        scenario: &facs_cellsim::ScenarioConfig,
+        seed: u64,
+    ) -> Result<ReplayReport, ClusterError> {
+        let grid = scenario.grid();
+        let mut report = ReplayReport::default();
+        // Admitted calls, earliest-ending first (ties broken by call id,
+        // so replays are deterministic); a min-heap keeps the churn loop
+        // O(n log n) over million-user workloads.
+        let mut live: std::collections::BinaryHeap<std::cmp::Reverse<LiveCall>> =
+            std::collections::BinaryHeap::new();
+        for (i, spec) in scenario.generate_workload(seed).into_iter().enumerate() {
+            while let Some(std::cmp::Reverse(ending)) = live.peek() {
+                if ending.end_s > spec.arrival_s {
+                    break;
+                }
+                self.release(ending.cell, ending.call)?;
+                live.pop();
+            }
+            if grid.out_of_coverage(spec.start.position) {
+                report.out_of_coverage += 1;
+                continue;
+            }
+            let cell = grid.locate(spec.start.position);
+            let call = CallId(i as u64);
+            let request = CallRequest::new(
+                call,
+                spec.class,
+                facs_cac::CallKind::New,
+                spec.start.observe(grid.center_of(cell)),
+            );
+            let outcome = self.request_admission(cell, request)?;
+            if outcome.admitted {
+                let end_s = spec.arrival_s + spec.holding_s;
+                live.push(std::cmp::Reverse(LiveCall { end_s, cell, call }));
+            }
+            report.outcomes.push((cell, outcome));
+        }
+        Ok(report)
     }
 
     fn sender(&self, cell: CellId) -> Result<&Sender<BsMessage>, ClusterError> {

@@ -22,5 +22,5 @@
 pub mod cluster;
 pub mod messages;
 
-pub use cluster::{Cluster, ClusterError};
+pub use cluster::{Cluster, ClusterError, ReplayReport};
 pub use messages::{AdmissionOutcome, BsMessage};

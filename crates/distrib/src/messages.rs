@@ -9,6 +9,11 @@ use facs_cac::{BandwidthUnits, CallId, CallRequest, Decision};
 pub struct AdmissionOutcome {
     /// Whether the call was admitted *and* its bandwidth allocated.
     pub admitted: bool,
+    /// The decision margin: the soft score's signed distance from the
+    /// controller's acceptance boundary (see [`Decision::margin`]).
+    /// Positive iff the *controller* admitted; `admitted` can still be
+    /// `false` when the allocation no longer fit.
+    pub margin: f64,
     /// The controller's soft decision (may admit even when allocation
     /// failed; `admitted` is authoritative).
     pub decision: Decision,

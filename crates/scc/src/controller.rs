@@ -92,6 +92,12 @@ impl AdmissionController for SccController {
         "SCC"
     }
 
+    /// SCC reads and writes the cluster-wide shadow board, so its state
+    /// is not cell-local: the sharded kernel must run it single-shard.
+    fn is_cell_local(&self) -> bool {
+        false
+    }
+
     fn decide(&mut self, request: &CallRequest, cell: &CellSnapshot) -> Decision {
         let demand = f64::from(request.demand().get());
         let capacity = f64::from(cell.capacity.get());

@@ -160,6 +160,55 @@ fn parallel_curve_matches_pointwise_runs() {
 }
 
 #[test]
+fn catalog_shards_are_bit_identical_on_both_backends() {
+    // The sharded kernel's core guarantee (ISSUE 4 acceptance criterion):
+    // for every scenario-catalog entry, multi-shard runs are bit-identical
+    // to the single-shard run, on both inference backends. One replication
+    // per entry keeps the debug-profile runtime sane; shard-identity does
+    // not depend on the replication count (replications only change seeds).
+    let backends: Vec<(&'static str, BoxedBuilder)> = vec![
+        (
+            "exact",
+            Box::new(|grid: &HexGrid| {
+                grid.cell_ids()
+                    .map(|_| Box::new(FacsController::new().unwrap()) as BoxedController)
+                    .collect()
+            }),
+        ),
+        ("compiled", compiled_facs_builder()),
+    ];
+    for entry in facs_cellsim::catalog() {
+        for (backend, build) in &backends {
+            let run = |shards: usize| {
+                let cfg = ScenarioConfig { shards, replications: 1, ..entry.config.clone() };
+                cfg.run_once(cfg.seed, build.as_ref())
+            };
+            let single = run(1);
+            for shards in [2, 4] {
+                assert_eq!(
+                    single,
+                    run(shards),
+                    "catalog entry `{}` on the {backend} backend diverged at {shards} shards",
+                    entry.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scc_declares_shared_state_so_the_kernel_keeps_it_single_shard() {
+    // SCC's shadow board is cluster-wide; the kernel refuses to shard it
+    // (engine unit tests cover the panic), and the declaration is what
+    // that refusal keys on.
+    use facs_cac::AdmissionController;
+    let grid = HexGrid::new(1, 10.0);
+    let controllers = SccNetwork::new(SccConfig::default()).controllers(&grid);
+    assert!(controllers.iter().all(|c| !c.is_cell_local()));
+    assert!(FacsController::new().unwrap().is_cell_local());
+}
+
+#[test]
 fn compiled_backend_is_deterministic_across_runner_modes() {
     // Same seed, same metrics — whether replications run sequentially
     // (replications = 1 short-circuits the thread pool) or in parallel.

@@ -104,6 +104,97 @@ fn cluster_matches_in_process_controller() {
     cluster.shutdown();
 }
 
+/// Replays `scenario` through a freshly spawned FACS cluster built from
+/// `config` and returns the report.
+fn replay_facs(
+    scenario: &facs_cellsim::ScenarioConfig,
+    config: facs::FacsConfig,
+) -> facs_distrib::ReplayReport {
+    let cluster =
+        Cluster::spawn_facs(&scenario.grid(), BandwidthUnits::new(scenario.capacity_bu), config)
+            .expect("FACS cluster spawns");
+    let report = cluster.replay_new_calls(scenario, scenario.seed).expect("replay succeeds");
+    cluster.shutdown();
+    report
+}
+
+/// A coarse compiled lattice keeps the debug-profile surface compile
+/// cheap; determinism does not depend on lattice resolution.
+fn compiled_config(points_per_axis: usize) -> facs::FacsConfig {
+    facs::FacsConfig {
+        backend: facs_fuzzy::BackendKind::Compiled { points_per_axis },
+        ..facs::FacsConfig::default()
+    }
+}
+
+#[test]
+fn cluster_replay_is_deterministic_per_backend() {
+    // Mirror of tests/determinism.rs for the actor path: replaying the
+    // same catalog scenario through two identically-configured clusters
+    // must yield byte-identical reports (decisions, margins, occupancies)
+    // on both inference backends.
+    let scenario = facs_cellsim::scenario_by_name("hetero-mix").expect("hetero-mix in catalog");
+    for (backend, config) in
+        [("exact", facs::FacsConfig::default()), ("compiled", compiled_config(9))]
+    {
+        let a = replay_facs(&scenario, config);
+        let b = replay_facs(&scenario, config);
+        assert!(!a.outcomes.is_empty(), "replay exercised no requests");
+        assert_eq!(a, b, "{backend} cluster replay is not deterministic");
+    }
+}
+
+#[test]
+fn cluster_exact_and_compiled_backends_agree_through_the_actor_path() {
+    // The compiled decision surface must track the exact Mamdani cascade
+    // through the actor path the same way it does in-process: while both
+    // clusters have seen identical traffic, any decision flip must sit
+    // inside the surface's score-divergence band around the gate (the
+    // 17-point lattice measures max |Δscore| = 0.084 in EXPERIMENTS.md).
+    const BAND: f64 = 0.1;
+    let scenario = facs_cellsim::scenario_by_name("hetero-mix").expect("hetero-mix in catalog");
+    let exact = replay_facs(&scenario, facs::FacsConfig::default());
+    let compiled = replay_facs(&scenario, compiled_config(17));
+    assert_eq!(exact.outcomes.len(), compiled.outcomes.len());
+    assert_eq!(exact.out_of_coverage, compiled.out_of_coverage);
+
+    let mut diverged = false;
+    let mut agreeing = 0usize;
+    for (i, ((cell_e, out_e), (cell_c, out_c))) in
+        exact.outcomes.iter().zip(&compiled.outcomes).enumerate()
+    {
+        // The margin mirrors the controller verdict on both backends.
+        assert_eq!(out_e.margin > 0.0, out_e.decision.admits(), "exact margin sign at {i}");
+        assert_eq!(out_c.margin > 0.0, out_c.decision.admits(), "compiled margin sign at {i}");
+        assert_eq!(cell_e, cell_c, "routing diverged at step {i}");
+        if out_e.admitted == out_c.admitted {
+            agreeing += 1;
+        } else if !diverged {
+            // First flip: cluster states were identical up to here, so
+            // the disagreement must be a near-gate interpolation artifact.
+            assert!(
+                out_e.margin.abs() <= BAND,
+                "first backend flip at step {i} is far from the gate (margin {:+.3})",
+                out_e.margin
+            );
+            diverged = true;
+        }
+        // After the first flip the ledgers legitimately differ; only the
+        // aggregate is comparable from here on.
+    }
+    let total = exact.outcomes.len().max(1);
+    assert!(
+        agreeing as f64 / total as f64 >= 0.95,
+        "backends agreed on only {agreeing}/{total} actor-path decisions"
+    );
+    assert!(
+        (exact.acceptance_ratio() - compiled.acceptance_ratio()).abs() <= 0.05,
+        "acceptance ratios diverged: exact {:.3} vs compiled {:.3}",
+        exact.acceptance_ratio(),
+        compiled.acceptance_ratio()
+    );
+}
+
 #[test]
 fn cluster_handoffs_preserve_global_bandwidth() {
     let grid = HexGrid::new(1, 10.0);

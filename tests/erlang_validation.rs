@@ -52,6 +52,7 @@ fn simulator_blocking_matches_erlang_b() {
             movement_tick_s: 50.0,
             max_time_s: 40_000.0,
             seed,
+            shards: 1,
         };
         let controllers: Vec<BoxedController> = vec![Box::new(CompleteSharing::new())];
         let mut sim = Simulation::new(grid, config, controllers);
@@ -78,6 +79,7 @@ fn simulator_tracks_erlang_b_across_loads() {
             movement_tick_s: 50.0,
             max_time_s: 60_000.0,
             seed: 7,
+            shards: 1,
         };
         let mut sim = Simulation::new(
             grid,

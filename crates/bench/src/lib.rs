@@ -8,5 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod validate;
 
 pub use experiments::*;
+pub use validate::*;

@@ -226,7 +226,7 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
         let position = spec.start.position;
         if self.grid.out_of_coverage(position) {
             // Off-map request: counts as blocked offered traffic.
-            self.sink.on_decision(now, cell_id, spec.class, CallKind::New, false);
+            self.sink.on_decision(now, cell_id, user, spec.class, CallKind::New, false);
             return;
         }
         let call = CallId(user.0);
@@ -237,7 +237,7 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
             spec.start.observe(self.cell(cell_id).center),
         );
         let admitted = self.try_admit(now, cell_id, &request);
-        self.sink.on_decision(now, cell_id, spec.class, CallKind::New, admitted);
+        self.sink.on_decision(now, cell_id, user, spec.class, CallKind::New, admitted);
         if admitted {
             let end_time = now + SimDuration::from_secs_f64(spec.holding_s);
             self.queue.schedule(end_time, EngineEvent::CallEnd { user, generation: 0 });
@@ -268,7 +268,7 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
         let (cell, call) = (active.cell, active.call);
         self.release(now, cell, call);
         self.active.remove(&user.0);
-        self.sink.on_completion(now, cell);
+        self.sink.on_completion(now, cell, user);
     }
 
     /// Barrier phase 1: advances every in-call user by one movement tick
@@ -304,7 +304,7 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
             let user = self.active.remove(&id).expect("moved user vanished");
             self.release(now, user.cell, user.call);
             match motion {
-                Motion::Exit => self.sink.on_exit(now, user.cell),
+                Motion::Exit => self.sink.on_exit(now, user.cell, UserId(id)),
                 Motion::Cross(to) => {
                     let target = to.0 as usize % self.shard_count;
                     out.push((
@@ -340,7 +340,7 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
                 m.state.observe(self.cell(m.to).center),
             );
             let admitted = self.try_admit(now, m.to, &request);
-            self.sink.on_decision(now, m.to, m.class, CallKind::Handoff, admitted);
+            self.sink.on_decision(now, m.to, m.user, m.class, CallKind::Handoff, admitted);
             if admitted {
                 self.queue.schedule(
                     m.end_time,

@@ -20,9 +20,13 @@
 //!   users, handoffs, epoch barriers); [`network`] is its compat facade;
 //! * [`workload`] — declarative workload descriptions and the named
 //!   scenario catalog (hotspot, flash crowd, rush hour, …);
+//! * [`fuzz`] — seeded sampling of arbitrary valid workloads with
+//!   shrink-on-failure to a minimal reproducing case;
 //! * [`scenario`] — the paper's experiment configurations and sweeps;
 //! * [`metrics`] — the streaming [`metrics::MetricsSink`] interface,
 //!   acceptance/dropping/utilization counters, per-cell load series;
+//! * [`validate`] — the invariant-checking sink and the order-insensitive
+//!   golden-trace digest behind `--exp validate` / `--exp golden`;
 //! * [`rng`] / [`time`] — seeded randomness and integer sim-time.
 //!
 //! ## Example
@@ -54,6 +58,7 @@
 pub mod engine;
 pub mod erlang;
 pub mod events;
+pub mod fuzz;
 pub mod geometry;
 pub mod metrics;
 pub mod mobility;
@@ -63,10 +68,12 @@ pub mod scenario;
 pub mod stats;
 pub mod time;
 pub mod traffic;
+pub mod validate;
 pub mod workload;
 
 pub use engine::{MobilityKind, Simulation, SimulationConfig, UserSpec};
 pub use events::{EngineEvent, EngineQueue, Event, EventQueue, UserId};
+pub use fuzz::{complexity, shrink, shrink_candidates, FuzzCase, WorkloadFuzzer};
 pub use geometry::{HexCoord, HexGrid, Point};
 pub use metrics::{CellLoadSeries, ClassCounters, Metrics, MetricsSink, Series};
 pub use mobility::{GaussMarkov, MobileState, MobilityModel, RandomWaypoint, StraightLine, Walker};
@@ -78,6 +85,7 @@ pub use scenario::{
 pub use stats::Summary;
 pub use time::{SimDuration, SimTime};
 pub use traffic::{HoldingTimes, PoissonArrivals, TrafficMix};
+pub use validate::{InvariantSink, TraceDigest};
 pub use workload::{
     catalog, catalog_names, scenario_by_name, ArrivalPattern, CatalogEntry, Workload,
 };
@@ -85,6 +93,7 @@ pub use workload::{
 /// Commonly used items, for glob import in applications and examples.
 pub mod prelude {
     pub use crate::engine::{MobilityKind, Simulation, SimulationConfig, UserSpec};
+    pub use crate::fuzz::{FuzzCase, WorkloadFuzzer};
     pub use crate::geometry::{HexGrid, Point};
     pub use crate::metrics::{CellLoadSeries, Metrics, MetricsSink, Series};
     pub use crate::mobility::{MobileState, MobilityModel, Walker};
@@ -95,5 +104,6 @@ pub mod prelude {
     };
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::traffic::{HoldingTimes, PoissonArrivals, TrafficMix};
+    pub use crate::validate::{InvariantSink, TraceDigest};
     pub use crate::workload::{catalog, scenario_by_name, ArrivalPattern, CatalogEntry, Workload};
 }

@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 use facs_cac::{CallKind, CellId, ServiceClass};
 use serde::{Deserialize, Serialize};
 
+use crate::events::UserId;
 use crate::time::SimTime;
 
 /// A streaming observer of simulation events.
@@ -38,26 +39,28 @@ pub trait MetricsSink: Send {
     where
         Self: Sized;
 
-    /// An admission decision (new call or handoff) was made at `cell`.
+    /// An admission decision (new call or handoff) for `user` was made
+    /// at `cell`.
     fn on_decision(
         &mut self,
         now: SimTime,
         cell: CellId,
+        user: UserId,
         class: ServiceClass,
         kind: CallKind,
         admitted: bool,
     ) {
-        let _ = (now, cell, class, kind, admitted);
+        let _ = (now, cell, user, class, kind, admitted);
     }
 
-    /// A call completed its holding time at `cell`.
-    fn on_completion(&mut self, now: SimTime, cell: CellId) {
-        let _ = (now, cell);
+    /// `user`'s call completed its holding time at `cell`.
+    fn on_completion(&mut self, now: SimTime, cell: CellId, user: UserId) {
+        let _ = (now, cell, user);
     }
 
-    /// A call ended because its user left the coverage area.
-    fn on_exit(&mut self, now: SimTime, cell: CellId) {
-        let _ = (now, cell);
+    /// `user`'s call ended because the terminal left the coverage area.
+    fn on_exit(&mut self, now: SimTime, cell: CellId, user: UserId) {
+        let _ = (now, cell, user);
     }
 
     /// One mobility step was applied to an in-call user served by `cell`.
@@ -92,22 +95,23 @@ impl<A: MetricsSink, B: MetricsSink> MetricsSink for (A, B) {
         &mut self,
         now: SimTime,
         cell: CellId,
+        user: UserId,
         class: ServiceClass,
         kind: CallKind,
         admitted: bool,
     ) {
-        self.0.on_decision(now, cell, class, kind, admitted);
-        self.1.on_decision(now, cell, class, kind, admitted);
+        self.0.on_decision(now, cell, user, class, kind, admitted);
+        self.1.on_decision(now, cell, user, class, kind, admitted);
     }
 
-    fn on_completion(&mut self, now: SimTime, cell: CellId) {
-        self.0.on_completion(now, cell);
-        self.1.on_completion(now, cell);
+    fn on_completion(&mut self, now: SimTime, cell: CellId, user: UserId) {
+        self.0.on_completion(now, cell, user);
+        self.1.on_completion(now, cell, user);
     }
 
-    fn on_exit(&mut self, now: SimTime, cell: CellId) {
-        self.0.on_exit(now, cell);
-        self.1.on_exit(now, cell);
+    fn on_exit(&mut self, now: SimTime, cell: CellId, user: UserId) {
+        self.0.on_exit(now, cell, user);
+        self.1.on_exit(now, cell, user);
     }
 
     fn on_mobility_step(&mut self, now: SimTime, cell: CellId) {
@@ -324,6 +328,7 @@ impl MetricsSink for Metrics {
         &mut self,
         _now: SimTime,
         _cell: CellId,
+        _user: UserId,
         class: ServiceClass,
         kind: CallKind,
         admitted: bool,
@@ -331,11 +336,11 @@ impl MetricsSink for Metrics {
         self.record_decision(class, kind, admitted);
     }
 
-    fn on_completion(&mut self, _now: SimTime, _cell: CellId) {
+    fn on_completion(&mut self, _now: SimTime, _cell: CellId, _user: UserId) {
         self.record_completion();
     }
 
-    fn on_exit(&mut self, _now: SimTime, _cell: CellId) {
+    fn on_exit(&mut self, _now: SimTime, _cell: CellId, _user: UserId) {
         self.record_exit();
     }
 

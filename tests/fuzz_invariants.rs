@@ -1,0 +1,185 @@
+//! The validate subsystem, end to end: trace digests must be stable
+//! across shard/thread counts and sensitive to single flipped
+//! admissions; every catalog scenario and fuzzed workload must uphold
+//! the kernel's conservation invariants; and the fuzzer's shrinker must
+//! hand back a strictly smaller failing workload.
+
+use facs_cac::policies::CompleteSharing;
+use facs_cac::{AdmissionController, BoxedController, CallId, CallRequest, CellSnapshot, Decision};
+use facs_cellsim::prelude::*;
+use facs_cellsim::{
+    catalog, complexity, shrink, shrink_candidates, HexGrid, InvariantSink, TraceDigest,
+};
+
+fn cs_controllers(grid: &HexGrid) -> Vec<BoxedController> {
+    grid.cell_ids().map(|_| Box::new(CompleteSharing::new()) as BoxedController).collect()
+}
+
+/// Runs one scenario (first replication seed) with the given shard
+/// count and collects metrics + invariants + digest.
+fn instrumented_run(
+    config: &ScenarioConfig,
+    shards: usize,
+) -> (Metrics, InvariantSink, TraceDigest) {
+    let seed = config.replication_seeds().next().expect("one replication");
+    let grid = config.grid();
+    let controllers = cs_controllers(&grid);
+    let sim_config = SimulationConfig { shards, ..config.sim_config(seed) };
+    let mut sim = Simulation::new(grid, sim_config, controllers);
+    let sink = (Metrics::new(), (InvariantSink::new(), TraceDigest::new()));
+    let (metrics, (invariants, digest)) = sim.run_with(config.generate_workload(seed), sink);
+    (metrics, invariants, digest)
+}
+
+fn busy_scenario() -> ScenarioConfig {
+    ScenarioConfig {
+        requests: 260,
+        grid_radius: 1,
+        spawn: SpawnSpec::AnyCell,
+        mobility: MobilityChoice::Walker,
+        replications: 1,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn digest_is_shard_and_thread_count_independent() {
+    let config = busy_scenario();
+    let (metrics, _, single) = instrumented_run(&config, 1);
+    assert!(metrics.handoff_attempts > 0, "scenario should exercise handoffs");
+    assert!(single.events() > 0, "digest saw no events");
+    // 2 and 7 shards run the threaded driver on different worker counts;
+    // the digest must not move by a single bit.
+    for shards in [2, 4, 7] {
+        let (_, _, sharded) = instrumented_run(&config, shards);
+        assert_eq!(single, sharded, "digest diverged at {shards} shards");
+    }
+}
+
+#[test]
+fn digest_is_deterministic_per_seed_and_sensitive_to_the_seed() {
+    let config = busy_scenario();
+    let (_, _, a) = instrumented_run(&config, 1);
+    let (_, _, b) = instrumented_run(&config, 1);
+    assert_eq!(a, b, "same seed must re-digest identically");
+    let reseeded = ScenarioConfig { seed: config.seed + 1, ..config };
+    let (_, _, c) = instrumented_run(&reseeded, 1);
+    assert_ne!(a, c, "different workload must change the digest");
+}
+
+/// Complete sharing, except one specific call id is denied — the
+/// minimal "single flipped admission" perturbation.
+struct DenyOne {
+    inner: CompleteSharing,
+    victim: CallId,
+}
+
+impl AdmissionController for DenyOne {
+    fn name(&self) -> &str {
+        "deny-one"
+    }
+
+    fn decide(&mut self, request: &CallRequest, cell: &CellSnapshot) -> Decision {
+        if request.id == self.victim {
+            Decision::binary(false)
+        } else {
+            self.inner.decide(request, cell)
+        }
+    }
+}
+
+#[test]
+fn digest_flips_on_a_single_flipped_admission() {
+    let config = busy_scenario();
+    let seed = config.replication_seeds().next().expect("one replication");
+    let workload = config.generate_workload(seed);
+    let run = |victim: Option<u64>| {
+        let grid = config.grid();
+        let controllers: Vec<BoxedController> = grid
+            .cell_ids()
+            .map(|_| match victim {
+                Some(id) => Box::new(DenyOne { inner: CompleteSharing::new(), victim: CallId(id) })
+                    as BoxedController,
+                None => Box::new(CompleteSharing::new()) as BoxedController,
+            })
+            .collect();
+        let mut sim = Simulation::new(grid, config.sim_config(seed), controllers);
+        sim.run_with(workload.clone(), (Metrics::new(), TraceDigest::new()))
+    };
+    let (base_metrics, baseline) = run(None);
+    let (flipped_metrics, flipped) = run(Some(7));
+    assert_eq!(
+        base_metrics.accepted_new,
+        flipped_metrics.accepted_new + 1,
+        "exactly one admission should have flipped"
+    );
+    assert_ne!(baseline, flipped, "a single flipped admission must change the digest");
+}
+
+#[test]
+fn catalog_scenarios_uphold_all_invariants() {
+    for entry in catalog() {
+        let config = ScenarioConfig { replications: 1, ..entry.config };
+        for shards in [1, 3] {
+            let (metrics, invariants, _) = instrumented_run(&config, shards);
+            let violations = invariants.violations();
+            assert!(
+                violations.is_empty(),
+                "{} at {shards} shards violated invariants: {violations:?}",
+                entry.name
+            );
+            let drift = invariants.cross_check(&metrics);
+            assert!(
+                drift.is_empty(),
+                "{} at {shards} shards: metrics drifted from events: {drift:?}",
+                entry.name
+            );
+            assert!(invariants.samples_checked() > 0, "{}: no capacity samples", entry.name);
+        }
+    }
+}
+
+#[test]
+fn fuzzed_workloads_uphold_all_invariants() {
+    // Cheap tier-1 slice of the CI `--exp validate` sweep: complete
+    // sharing (no fuzzy compile) over a handful of fuzzed scenarios.
+    let fuzzer = WorkloadFuzzer::new(0x5EED);
+    for case in fuzzer.cases(8) {
+        let (metrics, invariants, single) = instrumented_run(&case.config, 1);
+        let violations = invariants.violations();
+        assert!(
+            violations.is_empty(),
+            "fuzz case {} violated invariants: {violations:?}",
+            case.index
+        );
+        assert!(
+            invariants.cross_check(&metrics).is_empty(),
+            "fuzz case {}: metrics drift",
+            case.index
+        );
+        let (_, _, sharded) = instrumented_run(&case.config, 4);
+        assert_eq!(single, sharded, "fuzz case {}: digest diverged at 4 shards", case.index);
+    }
+}
+
+#[test]
+fn shrinking_produces_a_strictly_smaller_failing_workload() {
+    let case = WorkloadFuzzer::new(0xBEEF).case(0);
+    let mut case = case;
+    case.config.requests = 250;
+    case.config.grid_radius = 2;
+    let original_complexity = complexity(&case.config);
+    // Synthetic failure predicate: "fails" whenever the workload still
+    // offers at least 25 requests.
+    let fails = |c: &ScenarioConfig| c.requests >= 25;
+    let minimal = shrink(&case, fails);
+    assert!(fails(&minimal.config), "shrunk case no longer fails");
+    assert!(
+        complexity(&minimal.config) < original_complexity,
+        "shrinking must strictly reduce structural complexity"
+    );
+    assert_eq!(minimal.config.requests, 25, "requests should bottom out at the threshold");
+    assert_eq!(minimal.config.grid_radius, 0, "grid should shrink to a single cell");
+    // And at the fixpoint, no candidate fails anymore.
+    assert!(shrink_candidates(&minimal.config).iter().all(|c| !fails(c)));
+}

@@ -15,12 +15,7 @@ fn bench_defuzz(c: &mut Criterion) {
     let series = ablation_defuzz(1);
     eprintln!("{}", ascii_chart(&series, 40.0, 100.0));
 
-    let cell = CellSnapshot {
-        capacity: BandwidthUnits::new(40),
-        occupied: BandwidthUnits::new(17),
-        real_time_calls: 2,
-        non_real_time_calls: 3,
-    };
+    let cell = CellSnapshot::loaded(BandwidthUnits::new(40), BandwidthUnits::new(17));
     let request = CallRequest::new(
         CallId(1),
         ServiceClass::Voice,

@@ -15,12 +15,7 @@ fn bench_tnorm(c: &mut Criterion) {
     let series = ablation_tnorm(1);
     eprintln!("{}", ascii_chart(&series, 40.0, 100.0));
 
-    let cell = CellSnapshot {
-        capacity: BandwidthUnits::new(40),
-        occupied: BandwidthUnits::new(22),
-        real_time_calls: 2,
-        non_real_time_calls: 3,
-    };
+    let cell = CellSnapshot::loaded(BandwidthUnits::new(40), BandwidthUnits::new(22));
     let request = CallRequest::new(
         CallId(1),
         ServiceClass::Video,

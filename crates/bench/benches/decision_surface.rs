@@ -32,12 +32,7 @@ fn bench_backends(c: &mut Criterion) {
     let facs_compiled = FacsController::with_config(FacsConfig::compiled()).unwrap();
 
     let mobility = MobilityInfo::new(45.0, 30.0, 4.0);
-    let cell = CellSnapshot {
-        capacity: BandwidthUnits::new(40),
-        occupied: BandwidthUnits::new(17),
-        real_time_calls: 2,
-        non_real_time_calls: 3,
-    };
+    let cell = CellSnapshot::loaded(BandwidthUnits::new(40), BandwidthUnits::new(17));
     let request = CallRequest::new(CallId(1), ServiceClass::Voice, CallKind::New, mobility);
 
     c.bench_function("flc1_exact", |b| {

@@ -15,12 +15,7 @@ fn bench_engine(c: &mut Criterion) {
     let flc2 = Flc2::new().unwrap();
     let facs = FacsController::new().unwrap();
     let mobility = MobilityInfo::new(45.0, 30.0, 4.0);
-    let cell = CellSnapshot {
-        capacity: BandwidthUnits::new(40),
-        occupied: BandwidthUnits::new(17),
-        real_time_calls: 2,
-        non_real_time_calls: 3,
-    };
+    let cell = CellSnapshot::loaded(BandwidthUnits::new(40), BandwidthUnits::new(17));
     let request = CallRequest::new(CallId(1), ServiceClass::Voice, CallKind::New, mobility);
 
     c.bench_function("flc1_inference", |b| {

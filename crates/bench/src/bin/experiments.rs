@@ -41,6 +41,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation-tnorm",
     "ablation-threshold",
     "handoff",
+    "elastic",
     "backend",
     "catalog",
     "throughput",
@@ -252,6 +253,26 @@ fn main() {
         let series = handoff_extension(reps);
         for s in &series {
             print!("{}", s.to_csv());
+        }
+        println!();
+    }
+
+    if run("elastic") {
+        ran_any = true;
+        println!("== elastic: degradation-aware admission on the congested scenario ==");
+        println!("system,acceptance%,new_block%,handoff_drop%,degraded,reallocations,mean_alloc");
+        for row in elastic_comparison(reps) {
+            let m = &row.metrics;
+            println!(
+                "{},{:.2},{:.2},{:.2},{},{},{:.4}",
+                row.label,
+                m.acceptance_percentage(),
+                row.blocking_percentage(),
+                m.dropping_percentage(),
+                m.degraded_admissions,
+                m.reallocations,
+                m.mean_allocation_fraction(),
+            );
         }
         println!();
     }

@@ -5,7 +5,7 @@
 //! prints them as CSV and ASCII plots, and EXPERIMENTS.md records the
 //! measured numbers against the paper's.
 
-use facs::{FacsConfig, FacsController, Flc1, Flc2, FRB1, FRB2};
+use facs::{FacsConfig, FacsController, FacsDegradeController, Flc1, Flc2, FRB1, FRB2};
 use facs_cac::policies::CompleteSharing;
 use facs_cac::{
     BoxedController, CallId, CallKind, CallRequest, CellSnapshot, MobilityInfo, ServiceClass,
@@ -30,6 +30,17 @@ pub fn request_counts() -> Vec<usize> {
 /// single compile per sweep.
 pub fn facs_builder(config: FacsConfig) -> impl Fn(&HexGrid) -> Vec<BoxedController> + Sync {
     let prototype = FacsController::with_config(config).expect("FACS builds");
+    move |grid: &HexGrid| {
+        grid.cell_ids().map(|_| Box::new(prototype.clone()) as BoxedController).collect()
+    }
+}
+
+/// Builds one degradation-aware FACS controller per grid cell (same
+/// prototype-clone economics as [`facs_builder`]).
+pub fn facs_degrade_builder(
+    config: FacsConfig,
+) -> impl Fn(&HexGrid) -> Vec<BoxedController> + Sync {
+    let prototype = FacsDegradeController::with_config(config).expect("FACS builds");
     move |grid: &HexGrid| {
         grid.cell_ids().map(|_| Box::new(prototype.clone()) as BoxedController).collect()
     }
@@ -313,6 +324,48 @@ pub fn handoff_extension(replications: u32) -> Vec<Series> {
     out
 }
 
+/// One admission system's aggregated result on the congested elastic
+/// scenario (see [`elastic_comparison`]).
+#[derive(Debug, Clone)]
+pub struct ElasticRow {
+    /// System label.
+    pub label: &'static str,
+    /// Counters aggregated over the replications.
+    pub metrics: Metrics,
+}
+
+impl ElasticRow {
+    /// New-call blocking percentage.
+    #[must_use]
+    pub fn blocking_percentage(&self) -> f64 {
+        100.0 * self.metrics.blocked_new as f64 / self.metrics.offered_new.max(1) as f64
+    }
+}
+
+/// Compares plain FACS, degradation-aware FACS and SCC on the catalog's
+/// `congested` scenario (overloaded elastic multi-class mix) — the
+/// EXPERIMENTS.md elastic-bandwidth table. The degradation-aware variant
+/// squeezes elastic calls toward their QoS floor to absorb handoffs, so
+/// it should show a lower handoff drop rate than plain FACS at
+/// equal-or-better new-call blocking.
+#[must_use]
+pub fn elastic_comparison(replications: u32) -> Vec<ElasticRow> {
+    let entry = facs_cellsim::catalog()
+        .into_iter()
+        .find(|e| e.name == "congested")
+        .expect("congested scenario in catalog");
+    let config = ScenarioConfig { replications, ..entry.config };
+    let systems: Vec<(&'static str, Box<ControllerBuilder>)> = vec![
+        ("FACS", Box::new(facs_builder(FacsConfig::default()))),
+        ("FACS-degrade", Box::new(facs_degrade_builder(FacsConfig::default()))),
+        ("SCC", Box::new(scc_builder(SccConfig::default()))),
+    ];
+    systems
+        .into_iter()
+        .map(|(label, build)| ElasticRow { label, metrics: config.aggregate(build.as_ref()) })
+        .collect()
+}
+
 /// Result of sweeping exact-vs-compiled FACS decisions over a dense
 /// input grid (see [`backend_agreement`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -367,14 +420,10 @@ pub fn backend_agreement(points_per_axis: usize, grid_steps: usize) -> BackendAg
                                 axis(0.0, 10.0, di),
                             ),
                         );
-                        let cell = CellSnapshot {
-                            capacity: facs_cac::BandwidthUnits::new(40),
-                            occupied: facs_cac::BandwidthUnits::new(
-                                axis(0.0, 40.0, oi).round() as u32
-                            ),
-                            real_time_calls: 0,
-                            non_real_time_calls: 0,
-                        };
+                        let cell = CellSnapshot::loaded(
+                            facs_cac::BandwidthUnits::new(40),
+                            facs_cac::BandwidthUnits::new(axis(0.0, 40.0, oi).round() as u32),
+                        );
                         let e = exact.evaluate(&request, &cell);
                         let c = compiled.evaluate(&request, &cell);
                         result.points += 1;

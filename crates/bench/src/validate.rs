@@ -2,8 +2,9 @@
 //! scenario catalog and the fuzzed-workload cross-check harness.
 //!
 //! * [`golden_digests`] runs every catalog scenario under every
-//!   controller variant (FACS exact, FACS compiled, complete sharing,
-//!   SCC) and records one order-insensitive [`TraceDigest`] per
+//!   controller variant (FACS exact, FACS compiled, degradation-aware
+//!   FACS, complete sharing, SCC) and records one order-insensitive
+//!   [`TraceDigest`] per
 //!   `(scenario, variant)` pair. `--exp golden --bless` writes them to
 //!   `results/golden/*.json`; `--exp golden --check` recomputes and
 //!   diffs them, so any behavioural drift of the kernel, the workload
@@ -31,7 +32,14 @@ use facs_cellsim::prelude::*;
 use facs_cellsim::{catalog, FuzzCase, InvariantSink, TraceDigest};
 use facs_scc::SccConfig;
 
-use crate::experiments::{cs_builder, facs_builder, scc_builder};
+use crate::experiments::{cs_builder, facs_builder, facs_degrade_builder, scc_builder};
+
+/// The golden-file schema version. Bump it whenever the digest
+/// *payload* changes shape (e.g. the multi-class elastic redesign
+/// folded allocations and reallocations into the trace): old baselines
+/// are then incomparable by construction, and `--check` fails with a
+/// re-bless instruction instead of a wall of digest mismatches.
+pub const GOLDEN_SCHEMA: &str = "2";
 
 /// The controller variants golden digests are recorded for.
 ///
@@ -43,6 +51,7 @@ pub fn golden_variants() -> Vec<(&'static str, Box<ControllerBuilder>)> {
     vec![
         ("facs-exact", Box::new(facs_builder(FacsConfig::default()))),
         ("facs-compiled", Box::new(facs_builder(FacsConfig::compiled()))),
+        ("facs-degrade", Box::new(facs_degrade_builder(FacsConfig::default()))),
         ("complete-sharing", Box::new(cs_builder())),
         ("scc", Box::new(scc_builder(SccConfig::default()))),
     ]
@@ -86,6 +95,9 @@ pub fn checked_run(
 pub struct ScenarioDigests {
     /// The catalog entry name (also the JSON file stem).
     pub scenario: String,
+    /// The [`GOLDEN_SCHEMA`] the digests were recorded under. Baselines
+    /// written before the field existed parse as `"1"`.
+    pub schema: String,
     /// `(variant name, digest hex)` in [`golden_variants`] order.
     pub digests: Vec<(String, String)>,
 }
@@ -96,6 +108,7 @@ impl ScenarioDigests {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"scenario\": \"{}\"", self.scenario));
+        out.push_str(&format!(",\n  \"schema\": \"{}\"", self.schema));
         for (variant, digest) in &self.digests {
             out.push_str(&format!(",\n  \"{variant}\": \"{digest}\""));
         }
@@ -106,20 +119,27 @@ impl ScenarioDigests {
     /// Parses a golden JSON document written by [`ScenarioDigests::to_json`].
     ///
     /// The format is a flat object of string fields; every key except
-    /// `scenario` is a variant digest. Returns `None` when no
-    /// `scenario` field is present.
+    /// `scenario` and `schema` is a variant digest. Returns `None` when
+    /// no `scenario` field is present.
     #[must_use]
     pub fn from_json(json: &str) -> Option<Self> {
         let mut scenario = None;
+        let mut schema = None;
         let mut digests = Vec::new();
         for (key, value) in string_fields(json) {
             if key == "scenario" {
                 scenario = Some(value);
+            } else if key == "schema" {
+                schema = Some(value);
             } else {
                 digests.push((key, value));
             }
         }
-        Some(Self { scenario: scenario?, digests })
+        Some(Self {
+            scenario: scenario?,
+            schema: schema.unwrap_or_else(|| "1".to_owned()),
+            digests,
+        })
     }
 
     /// The digest recorded for `variant`, if any.
@@ -174,7 +194,11 @@ pub fn golden_digests() -> Vec<ScenarioDigests> {
                     ((*name).to_owned(), digest.hex())
                 })
                 .collect();
-            ScenarioDigests { scenario: entry.name.to_owned(), digests }
+            ScenarioDigests {
+                scenario: entry.name.to_owned(),
+                schema: GOLDEN_SCHEMA.to_owned(),
+                digests,
+            }
         })
         .collect()
 }
@@ -199,6 +223,17 @@ pub fn golden_diff(dir: &str, fresh: &[ScenarioDigests]) -> Vec<String> {
             diffs.push(format!("{path}: unparseable baseline; re-bless it"));
             continue;
         };
+        // A schema bump means the digest payload changed shape: the
+        // baseline digests are incomparable by construction, so fail
+        // loudly with the remedy instead of diffing them.
+        if baseline.schema != scenario.schema {
+            diffs.push(format!(
+                "{path}: golden schema bumped ({} -> {}); digests are not comparable — \
+                 re-bless with `--exp golden --bless`",
+                baseline.schema, scenario.schema
+            ));
+            continue;
+        }
         for (variant, got) in &scenario.digests {
             match baseline.digest(variant) {
                 None => diffs.push(format!(
@@ -342,15 +377,14 @@ pub fn audit_backend_divergence(
         let cell = grid.locate(spec.start.position);
         let observation = spec.start.observe(grid.center_of(cell));
         for kind in [CallKind::New, CallKind::Handoff] {
-            let request = CallRequest::new(CallId(0), spec.class, kind, observation);
+            let request = CallRequest::new(CallId(0), spec.profile.class, kind, observation)
+                .with_profile(spec.profile);
             for fraction in AUDIT_OCCUPANCY_FRACTIONS {
                 let occupied = (f64::from(config.capacity_bu) * fraction).round() as u32;
-                let snapshot = CellSnapshot {
-                    capacity: BandwidthUnits::new(config.capacity_bu),
-                    occupied: BandwidthUnits::new(occupied.min(config.capacity_bu)),
-                    real_time_calls: 0,
-                    non_real_time_calls: 0,
-                };
+                let snapshot = CellSnapshot::loaded(
+                    BandwidthUnits::new(config.capacity_bu),
+                    BandwidthUnits::new(occupied.min(config.capacity_bu)),
+                );
                 let e = exact.evaluate(&request, &snapshot);
                 let c = compiled.evaluate(&request, &snapshot);
                 samples += 1;
@@ -368,7 +402,7 @@ pub fn audit_backend_divergence(
                             observation.speed_kmh,
                             observation.angle_deg,
                             observation.distance_km,
-                            spec.class
+                            spec.profile.class
                         ));
                     }
                 }
@@ -582,6 +616,7 @@ mod tests {
     fn golden_json_round_trips() {
         let digests = ScenarioDigests {
             scenario: "hotspot".to_owned(),
+            schema: GOLDEN_SCHEMA.to_owned(),
             digests: vec![
                 ("facs-exact".to_owned(), "aa11".to_owned()),
                 ("scc".to_owned(), "bb22".to_owned()),
@@ -590,9 +625,22 @@ mod tests {
         let json = digests.to_json();
         let parsed = ScenarioDigests::from_json(&json).expect("parses");
         assert_eq!(parsed.scenario, "hotspot");
+        assert_eq!(parsed.schema, GOLDEN_SCHEMA);
         assert_eq!(parsed.digest("facs-exact"), Some("aa11"));
         assert_eq!(parsed.digest("scc"), Some("bb22"));
         assert_eq!(parsed.digest("missing"), None);
+        // `schema` must never leak into the variant list.
+        assert_eq!(parsed.digest("schema"), None);
+    }
+
+    #[test]
+    fn schemaless_baselines_parse_as_schema_one() {
+        let parsed = ScenarioDigests::from_json(
+            "{\n  \"scenario\": \"old\",\n  \"facs-exact\": \"cc33\"\n}\n",
+        )
+        .expect("parses");
+        assert_eq!(parsed.schema, "1");
+        assert_eq!(parsed.digest("facs-exact"), Some("cc33"));
     }
 
     #[test]
@@ -618,18 +666,24 @@ mod tests {
         let dir = scratch_dir("mismatch");
         let committed = ScenarioDigests {
             scenario: "demo".to_owned(),
+            schema: GOLDEN_SCHEMA.to_owned(),
             digests: vec![("facs-exact".to_owned(), "0000".to_owned())],
         };
         std::fs::write(format!("{dir}/demo.json"), committed.to_json()).expect("write baseline");
         let fresh = vec![
             ScenarioDigests {
                 scenario: "demo".to_owned(),
+                schema: GOLDEN_SCHEMA.to_owned(),
                 digests: vec![
                     ("facs-exact".to_owned(), "ffff".to_owned()),
                     ("scc".to_owned(), "1234".to_owned()),
                 ],
             },
-            ScenarioDigests { scenario: "absent".to_owned(), digests: vec![] },
+            ScenarioDigests {
+                scenario: "absent".to_owned(),
+                schema: GOLDEN_SCHEMA.to_owned(),
+                digests: vec![],
+            },
         ];
         let diffs = golden_diff(&dir, &fresh);
         assert_eq!(diffs.len(), 3, "{diffs:?}");
@@ -639,9 +693,33 @@ mod tests {
         assert!(diffs[2].contains("missing baseline"), "{diffs:?}");
         let clean = vec![ScenarioDigests {
             scenario: "demo".to_owned(),
+            schema: GOLDEN_SCHEMA.to_owned(),
             digests: vec![("facs-exact".to_owned(), "0000".to_owned())],
         }];
         assert!(golden_diff(&dir, &clean).is_empty());
+    }
+
+    #[test]
+    fn golden_diff_fails_loudly_on_a_schema_bump() {
+        let dir = scratch_dir("schema-bump");
+        // A baseline recorded before the schema field existed (parses as
+        // schema "1") whose digest happens to match: the bump alone must
+        // fail the check, and the digest diff must be suppressed.
+        std::fs::write(
+            format!("{dir}/demo.json"),
+            "{\n  \"scenario\": \"demo\",\n  \"facs-exact\": \"aaaa\"\n}\n",
+        )
+        .expect("write baseline");
+        let fresh = vec![ScenarioDigests {
+            scenario: "demo".to_owned(),
+            schema: GOLDEN_SCHEMA.to_owned(),
+            digests: vec![("facs-exact".to_owned(), "ffff".to_owned())],
+        }];
+        let diffs = golden_diff(&dir, &fresh);
+        assert_eq!(diffs.len(), 1, "{diffs:?}");
+        assert!(diffs[0].contains("schema bumped (1 -> 2)"), "{diffs:?}");
+        assert!(diffs[0].contains("re-bless"), "{diffs:?}");
+        assert!(!diffs[0].contains("digest mismatch"), "{diffs:?}");
     }
 
     #[test]
@@ -650,6 +728,7 @@ mod tests {
         // A baseline file for a scenario the catalog no longer has...
         let orphan = ScenarioDigests {
             scenario: "renamed-away".to_owned(),
+            schema: GOLDEN_SCHEMA.to_owned(),
             digests: vec![("facs-exact".to_owned(), "0000".to_owned())],
         };
         std::fs::write(format!("{dir}/renamed-away.json"), orphan.to_json()).expect("write");
@@ -657,6 +736,7 @@ mod tests {
         // that no longer runs.
         let live = ScenarioDigests {
             scenario: "demo".to_owned(),
+            schema: GOLDEN_SCHEMA.to_owned(),
             digests: vec![
                 ("facs-exact".to_owned(), "aaaa".to_owned()),
                 ("retired-variant".to_owned(), "bbbb".to_owned()),
@@ -665,6 +745,7 @@ mod tests {
         std::fs::write(format!("{dir}/demo.json"), live.to_json()).expect("write");
         let fresh = vec![ScenarioDigests {
             scenario: "demo".to_owned(),
+            schema: GOLDEN_SCHEMA.to_owned(),
             digests: vec![("facs-exact".to_owned(), "aaaa".to_owned())],
         }];
         let diffs = golden_diff(&dir, &fresh);

@@ -1,17 +1,83 @@
 //! The admission-controller abstraction every CAC policy implements.
 
 use crate::decision::Decision;
-use crate::ledger::CellSnapshot;
+use crate::ledger::{BandwidthLedger, CellSnapshot, Reallocation};
 use crate::traffic::{CallId, CallRequest, ServiceClass};
+use crate::units::BandwidthUnits;
+
+/// The outcome of an admission decision: not just admit/reject, but *how*
+/// to admit — at full quality, or by degrading existing elastic calls
+/// toward their QoS floors to make room.
+///
+/// A plan is a proposal; the caller (simulator shard, distributed actor)
+/// applies it against the live [`BandwidthLedger`] atomically and
+/// downgrades a plan that no longer fits to a rejection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionPlan {
+    /// Admit at the profile's nominal bandwidth; nobody else is touched.
+    Admit(Decision),
+    /// Admit at `grant` bandwidth units (somewhere in the request
+    /// profile's `[floor, nominal]` band) after applying `squeezes` to
+    /// existing calls. An empty squeeze list means only the entering
+    /// call itself is degraded.
+    AdmitDegraded {
+        /// The fuzzy/policy decision that backed the admission.
+        decision: Decision,
+        /// Per-call degradations to apply before allocating.
+        squeezes: Vec<Reallocation>,
+        /// Bandwidth granted to the entering call.
+        grant: BandwidthUnits,
+    },
+    /// Turn the request away.
+    Reject(Decision),
+}
+
+impl AdmissionPlan {
+    /// Lifts a plain [`Decision`] into a plan: admit-as-is or reject.
+    /// This is the bridge for classic (inelastic) policies.
+    #[must_use]
+    pub fn gate(decision: Decision) -> Self {
+        if decision.admits() {
+            AdmissionPlan::Admit(decision)
+        } else {
+            AdmissionPlan::Reject(decision)
+        }
+    }
+
+    /// Whether the plan admits the request (possibly degraded).
+    #[must_use]
+    pub fn admits(&self) -> bool {
+        !matches!(self, AdmissionPlan::Reject(_))
+    }
+
+    /// Whether admission involves degradation (of the entering call or
+    /// of existing calls).
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, AdmissionPlan::AdmitDegraded { .. })
+    }
+
+    /// The underlying policy decision.
+    #[must_use]
+    pub fn decision(&self) -> Decision {
+        match self {
+            AdmissionPlan::Admit(d)
+            | AdmissionPlan::AdmitDegraded { decision: d, .. }
+            | AdmissionPlan::Reject(d) => *d,
+        }
+    }
+}
 
 /// A call admission control policy for one cell.
 ///
 /// The simulator calls [`decide`](AdmissionController::decide) for every
-/// arriving request (new or handoff) and then notifies the controller of
-/// the outcome via [`on_admitted`](AdmissionController::on_admitted) /
-/// [`on_released`](AdmissionController::on_released), letting stateful
-/// policies (guard channels, fractional policies, SCC projections, FACS
-/// counters) track the cell.
+/// arriving request (new or handoff) with read access to the cell's full
+/// [`BandwidthLedger`] — so elastic policies can plan per-call squeezes —
+/// and then notifies the controller of the outcome via
+/// [`on_admitted`](AdmissionController::on_admitted) /
+/// [`on_released`](AdmissionController::on_released). The time-stepped
+/// [`observe`](AdmissionController::observe) hook fires once per epoch
+/// sample, letting stateful policies track load trends between requests.
 ///
 /// Implementations must be deterministic given the same call sequence —
 /// the reproduction relies on seeded, repeatable runs. Policies that need
@@ -24,14 +90,20 @@ pub trait AdmissionController: Send {
     /// A short human-readable policy name (e.g. `"FACS"`, `"SCC"`).
     fn name(&self) -> &str;
 
-    /// Decides whether to admit `request` given the current `cell` load.
+    /// Plans the admission of `request` given the current `cell` ledger.
     ///
-    /// Returning an admitting [`Decision`] does **not** allocate bandwidth;
-    /// the caller performs the allocation and only then calls
-    /// [`on_admitted`](AdmissionController::on_admitted). A decision to
-    /// admit a request that no longer fits is downgraded to a rejection by
-    /// the caller.
-    fn decide(&mut self, request: &CallRequest, cell: &CellSnapshot) -> Decision;
+    /// Returning an admitting [`AdmissionPlan`] does **not** allocate
+    /// bandwidth; the caller applies the plan atomically and only then
+    /// calls [`on_admitted`](AdmissionController::on_admitted). A plan
+    /// that no longer fits (stale squeezes, raced capacity) is downgraded
+    /// to a rejection by the caller.
+    fn decide(&mut self, request: &CallRequest, cell: &BandwidthLedger) -> AdmissionPlan;
+
+    /// Called once per simulation epoch sample with the cell's current
+    /// ledger, before any same-instant admissions. Default: no-op.
+    fn observe(&mut self, now_s: f64, cell: &BandwidthLedger) {
+        let _ = (now_s, cell);
+    }
 
     /// Called after `request` was admitted and its bandwidth allocated.
     fn on_admitted(&mut self, request: &CallRequest, cell: &CellSnapshot) {
@@ -63,8 +135,12 @@ impl AdmissionController for BoxedController {
         self.as_ref().name()
     }
 
-    fn decide(&mut self, request: &CallRequest, cell: &CellSnapshot) -> Decision {
+    fn decide(&mut self, request: &CallRequest, cell: &BandwidthLedger) -> AdmissionPlan {
         self.as_mut().decide(request, cell)
+    }
+
+    fn observe(&mut self, now_s: f64, cell: &BandwidthLedger) {
+        self.as_mut().observe(now_s, cell);
     }
 
     fn on_admitted(&mut self, request: &CallRequest, cell: &CellSnapshot) {
@@ -107,7 +183,6 @@ where
 mod tests {
     use super::*;
     use crate::decision::Decision;
-    use crate::ledger::CellSnapshot;
     use crate::traffic::{CallId, CallKind, CallRequest, MobilityInfo, ServiceClass};
     use crate::units::BandwidthUnits;
 
@@ -115,6 +190,7 @@ mod tests {
     struct CountingController {
         admitted: usize,
         released: usize,
+        observed: usize,
     }
 
     impl AdmissionController for CountingController {
@@ -122,8 +198,12 @@ mod tests {
             "counting"
         }
 
-        fn decide(&mut self, _request: &CallRequest, _cell: &CellSnapshot) -> Decision {
-            Decision::binary(true)
+        fn decide(&mut self, _request: &CallRequest, _cell: &BandwidthLedger) -> AdmissionPlan {
+            AdmissionPlan::gate(Decision::binary(true))
+        }
+
+        fn observe(&mut self, _now_s: f64, _cell: &BandwidthLedger) {
+            self.observed += 1;
         }
 
         fn on_admitted(&mut self, _request: &CallRequest, _cell: &CellSnapshot) {
@@ -139,20 +219,27 @@ mod tests {
         CallRequest::new(CallId(1), ServiceClass::Voice, CallKind::New, MobilityInfo::stationary())
     }
 
+    fn empty_cell() -> BandwidthLedger {
+        BandwidthLedger::new(BandwidthUnits::new(40))
+    }
+
     #[test]
     fn boxed_controller_delegates() {
-        let mut boxed: BoxedController = Box::new(CountingController { admitted: 0, released: 0 });
-        let cell = CellSnapshot::empty(BandwidthUnits::new(40));
+        let mut boxed: BoxedController =
+            Box::new(CountingController { admitted: 0, released: 0, observed: 0 });
+        let cell = empty_cell();
         assert_eq!(boxed.name(), "counting");
         assert!(boxed.decide(&request(), &cell).admits());
-        boxed.on_admitted(&request(), &cell);
-        boxed.on_released(CallId(1), ServiceClass::Voice, &cell);
+        boxed.observe(0.0, &cell);
+        boxed.on_admitted(&request(), &cell.snapshot());
+        boxed.on_released(CallId(1), ServiceClass::Voice, &cell.snapshot());
     }
 
     #[test]
     fn closures_are_factories() {
-        let factory =
-            || -> BoxedController { Box::new(CountingController { admitted: 0, released: 0 }) };
+        let factory = || -> BoxedController {
+            Box::new(CountingController { admitted: 0, released: 0, observed: 0 })
+        };
         let a = factory.build();
         let b = factory.build();
         assert_eq!(a.name(), "counting");
@@ -167,14 +254,30 @@ mod tests {
             fn name(&self) -> &str {
                 "minimal"
             }
-            fn decide(&mut self, _r: &CallRequest, _c: &CellSnapshot) -> Decision {
-                Decision::binary(false)
+            fn decide(&mut self, _r: &CallRequest, _c: &BandwidthLedger) -> AdmissionPlan {
+                AdmissionPlan::gate(Decision::binary(false))
             }
         }
         let mut m = Minimal;
-        let cell = CellSnapshot::empty(BandwidthUnits::new(40));
-        m.on_admitted(&request(), &cell);
-        m.on_released(CallId(1), ServiceClass::Text, &cell);
+        let cell = empty_cell();
+        m.observe(1.0, &cell);
+        m.on_admitted(&request(), &cell.snapshot());
+        m.on_released(CallId(1), ServiceClass::Text, &cell.snapshot());
         assert!(!m.decide(&request(), &cell).admits());
+    }
+
+    #[test]
+    fn plan_accessors() {
+        let admit = AdmissionPlan::gate(Decision::binary(true));
+        assert!(admit.admits() && !admit.is_degraded());
+        assert!(admit.decision().admits());
+        let reject = AdmissionPlan::gate(Decision::binary(false));
+        assert!(!reject.admits() && !reject.is_degraded());
+        let degraded = AdmissionPlan::AdmitDegraded {
+            decision: Decision::binary(true),
+            squeezes: Vec::new(),
+            grant: BandwidthUnits::new(3),
+        };
+        assert!(degraded.admits() && degraded.is_degraded());
     }
 }

@@ -61,6 +61,19 @@ impl fmt::Display for Verdict {
 
 /// The outcome of one admission decision: the binary gate plus the
 /// controller's soft evidence.
+///
+/// # Margin sign convention
+///
+/// The `margin` is the signed distance of the soft score from the
+/// boundary the decision was gated on, and its sign is always
+/// *verdict-consistent*: `margin > 0` exactly when the decision admits
+/// (up to the measure-zero boundary case `margin == 0`). Every
+/// constructor upholds this — [`Decision::from_score`] carries
+/// `score - threshold`, while the boundary-free constructors
+/// ([`Decision::accept`], [`Decision::reject`], [`Decision::binary`])
+/// carry `±|score|`, so a rejection at a high score still reports a
+/// non-positive margin. The invariant is `debug_assert`ed in the
+/// constructors.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Decision {
     admit: bool,
@@ -74,14 +87,18 @@ impl Decision {
     #[must_use]
     pub fn accept(score: f64) -> Self {
         let score = score.clamp(-1.0, 1.0);
-        Self { admit: true, score, margin: score.abs(), verdict: Verdict::from_score(score) }
+        let margin = score.abs();
+        debug_assert!(margin >= 0.0, "acceptance margin must be non-negative");
+        Self { admit: true, score, margin, verdict: Verdict::from_score(score) }
     }
 
     /// A rejection with the given soft score in `[-1, 1]`.
     #[must_use]
     pub fn reject(score: f64) -> Self {
         let score = score.clamp(-1.0, 1.0);
-        Self { admit: false, score, margin: -score.abs(), verdict: Verdict::from_score(score) }
+        let margin = -score.abs();
+        debug_assert!(margin <= 0.0, "rejection margin must be non-positive");
+        Self { admit: false, score, margin, verdict: Verdict::from_score(score) }
     }
 
     /// Gates a soft score with an acceptance threshold: admit iff
@@ -90,12 +107,13 @@ impl Decision {
     #[must_use]
     pub fn from_score(score: f64, threshold: f64) -> Self {
         let score = score.clamp(-1.0, 1.0);
-        Self {
-            admit: score > threshold,
-            score,
-            margin: score - threshold,
-            verdict: Verdict::from_score(score),
-        }
+        let admit = score > threshold;
+        let margin = score - threshold;
+        debug_assert!(
+            admit == (margin > 0.0),
+            "margin sign must track the verdict: admit={admit}, margin={margin}"
+        );
+        Self { admit, score, margin, verdict: Verdict::from_score(score) }
     }
 
     /// A crisp binary decision with canonical scores ±1.
@@ -126,15 +144,9 @@ impl Decision {
         self.verdict
     }
 
-    /// The decision margin: the signed distance of the soft score from
-    /// the acceptance boundary the decision was gated on, with the sign
-    /// always encoding the verdict (`margin > 0` exactly when the
-    /// controller admits, up to the measure-zero boundary case). For
-    /// decisions built with [`Decision::from_score`] this is
-    /// `score - threshold`; the boundary-free constructors
-    /// ([`Decision::accept`], [`Decision::reject`], [`Decision::binary`])
-    /// carry `±|score|`, so a probabilistic rejection at a high score
-    /// still reports a negative margin.
+    /// The decision margin — see the [type-level sign
+    /// convention](Decision#margin-sign-convention): `margin > 0` exactly
+    /// when the decision admits, up to the boundary case.
     #[must_use]
     pub fn margin(&self) -> f64 {
         self.margin

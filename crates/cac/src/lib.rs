@@ -11,6 +11,12 @@
 //! Cluster Concept baseline in `facs-scc`; the simulator driving them in
 //! `facs-cellsim`.
 //!
+//! Calls carry a [`ServiceProfile`] — a `[floor, nominal]` bandwidth
+//! band — and controllers answer with an [`AdmissionPlan`]: admit at
+//! nominal, admit degraded (listing the per-call squeezes that make
+//! room), or reject. Rigid paper-style profiles (`floor == nominal`)
+//! make the elastic machinery degenerate to classic unit-cost CAC.
+//!
 //! ## Example: a guard-channel cell
 //!
 //! ```
@@ -30,9 +36,9 @@
 //!     CallKind::New,
 //!     MobilityInfo::new(30.0, 0.0, 2.0),
 //! );
-//! let decision = policy.decide(&request, &ledger.snapshot());
-//! if decision.admits() {
-//!     ledger.allocate(request.id, request.class)?;
+//! let plan = policy.decide(&request, &ledger);
+//! if plan.admits() {
+//!     ledger.allocate(request.id, request.profile)?;
 //! }
 //! assert_eq!(ledger.occupied().get(), 10);
 //! # Ok(())
@@ -50,19 +56,23 @@ pub mod policies;
 pub mod traffic;
 pub mod units;
 
-pub use controller::{AdmissionController, BoxedController, ControllerFactory};
+pub use controller::{AdmissionController, AdmissionPlan, BoxedController, ControllerFactory};
 pub use decision::{Decision, Verdict};
-pub use ledger::{BandwidthLedger, CellSnapshot, LedgerError};
+pub use ledger::{Allocation, BandwidthLedger, CellSnapshot, LedgerError, Reallocation};
 pub use traffic::{
-    normalize_angle, CallId, CallKind, CallRequest, CellId, MobilityInfo, ServiceClass,
+    normalize_angle, CallId, CallKind, CallRequest, CellId, ClassCounts, MobilityInfo,
+    ServiceClass, ServiceProfile, ServiceProfileSet,
 };
 pub use units::BandwidthUnits;
 
 /// Commonly used items, for glob import in applications and examples.
 pub mod prelude {
-    pub use crate::controller::{AdmissionController, BoxedController};
+    pub use crate::controller::{AdmissionController, AdmissionPlan, BoxedController};
     pub use crate::decision::{Decision, Verdict};
-    pub use crate::ledger::{BandwidthLedger, CellSnapshot};
-    pub use crate::traffic::{CallId, CallKind, CallRequest, CellId, MobilityInfo, ServiceClass};
+    pub use crate::ledger::{BandwidthLedger, CellSnapshot, Reallocation};
+    pub use crate::traffic::{
+        CallId, CallKind, CallRequest, CellId, ClassCounts, MobilityInfo, ServiceClass,
+        ServiceProfile, ServiceProfileSet,
+    };
     pub use crate::units::BandwidthUnits;
 }

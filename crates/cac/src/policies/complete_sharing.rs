@@ -6,9 +6,9 @@
 //! This technique is easy to implement but it suffers from the fact that
 //! it is not fair to customers with large bandwidth requirements."*
 
-use crate::controller::AdmissionController;
+use crate::controller::{AdmissionController, AdmissionPlan};
 use crate::decision::Decision;
-use crate::ledger::CellSnapshot;
+use crate::ledger::BandwidthLedger;
 use crate::traffic::CallRequest;
 
 /// Admits any request that fits in the free bandwidth; no reservation, no
@@ -19,12 +19,12 @@ use crate::traffic::CallRequest;
 /// ```
 /// use facs_cac::policies::CompleteSharing;
 /// use facs_cac::{
-///     AdmissionController, BandwidthUnits, CallId, CallKind, CallRequest, CellSnapshot,
+///     AdmissionController, BandwidthLedger, BandwidthUnits, CallId, CallKind, CallRequest,
 ///     MobilityInfo, ServiceClass,
 /// };
 ///
 /// let mut cs = CompleteSharing::new();
-/// let cell = CellSnapshot::empty(BandwidthUnits::new(40));
+/// let cell = BandwidthLedger::new(BandwidthUnits::new(40));
 /// let req = CallRequest::new(CallId(1), ServiceClass::Video, CallKind::New,
 ///                            MobilityInfo::stationary());
 /// assert!(cs.decide(&req, &cell).admits());
@@ -45,28 +45,31 @@ impl AdmissionController for CompleteSharing {
         "CS"
     }
 
-    fn decide(&mut self, request: &CallRequest, cell: &CellSnapshot) -> Decision {
-        Decision::binary(cell.can_fit(request.demand()))
+    fn decide(&mut self, request: &CallRequest, cell: &BandwidthLedger) -> AdmissionPlan {
+        AdmissionPlan::gate(Decision::binary(cell.can_fit(request.demand())))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traffic::{CallId, CallKind, MobilityInfo, ServiceClass};
+    use crate::traffic::{CallId, CallKind, MobilityInfo, ServiceClass, ServiceProfile};
     use crate::units::BandwidthUnits;
 
     fn req(class: ServiceClass) -> CallRequest {
         CallRequest::new(CallId(1), class, CallKind::New, MobilityInfo::stationary())
     }
 
-    fn cell(occupied: u32) -> CellSnapshot {
-        CellSnapshot {
-            capacity: BandwidthUnits::new(40),
-            occupied: BandwidthUnits::new(occupied),
-            real_time_calls: 0,
-            non_real_time_calls: 0,
+    fn cell(occupied: u32) -> BandwidthLedger {
+        let mut l = BandwidthLedger::new(BandwidthUnits::new(40));
+        if occupied > 0 {
+            l.allocate(
+                CallId(999),
+                ServiceProfile::fixed(ServiceClass::Text, BandwidthUnits::new(occupied)),
+            )
+            .unwrap();
         }
+        l
     }
 
     #[test]

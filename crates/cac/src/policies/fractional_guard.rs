@@ -11,9 +11,9 @@
 //! arrival sequence the admitted fraction converges to the configured
 //! probability exactly, with the lowest possible variance.
 
-use crate::controller::AdmissionController;
+use crate::controller::{AdmissionController, AdmissionPlan};
 use crate::decision::Decision;
-use crate::ledger::CellSnapshot;
+use crate::ledger::BandwidthLedger;
 use crate::traffic::{CallKind, CallRequest};
 
 /// Fractional guard channel with linear admission-probability decay.
@@ -70,11 +70,11 @@ impl AdmissionController for FractionalGuardChannel {
         "FractionalGuard"
     }
 
-    fn decide(&mut self, request: &CallRequest, cell: &CellSnapshot) -> Decision {
+    fn decide(&mut self, request: &CallRequest, cell: &BandwidthLedger) -> AdmissionPlan {
         if !cell.can_fit(request.demand()) {
-            return Decision::binary(false);
+            return AdmissionPlan::gate(Decision::binary(false));
         }
-        match request.kind {
+        AdmissionPlan::gate(match request.kind {
             CallKind::Handoff => Decision::binary(true),
             CallKind::New => {
                 let p = self.admission_probability(cell.utilization());
@@ -87,27 +87,30 @@ impl AdmissionController for FractionalGuardChannel {
                     Decision::reject(2.0 * p - 1.0)
                 }
             }
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traffic::{CallId, MobilityInfo, ServiceClass};
+    use crate::traffic::{CallId, MobilityInfo, ServiceClass, ServiceProfile};
     use crate::units::BandwidthUnits;
 
     fn req(kind: CallKind) -> CallRequest {
         CallRequest::new(CallId(1), ServiceClass::Text, kind, MobilityInfo::stationary())
     }
 
-    fn cell(occupied: u32) -> CellSnapshot {
-        CellSnapshot {
-            capacity: BandwidthUnits::new(40),
-            occupied: BandwidthUnits::new(occupied),
-            real_time_calls: 0,
-            non_real_time_calls: 0,
+    fn cell(occupied: u32) -> BandwidthLedger {
+        let mut l = BandwidthLedger::new(BandwidthUnits::new(40));
+        if occupied > 0 {
+            l.allocate(
+                CallId(999),
+                ServiceProfile::fixed(ServiceClass::Text, BandwidthUnits::new(occupied)),
+            )
+            .unwrap();
         }
+        l
     }
 
     #[test]

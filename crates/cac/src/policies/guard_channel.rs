@@ -6,9 +6,9 @@
 //! by denying new calls once free capacity falls to a reserved guard
 //! band, while handoffs may use the full capacity.
 
-use crate::controller::AdmissionController;
+use crate::controller::{AdmissionController, AdmissionPlan};
 use crate::decision::Decision;
-use crate::ledger::CellSnapshot;
+use crate::ledger::BandwidthLedger;
 use crate::traffic::{CallKind, CallRequest};
 use crate::units::BandwidthUnits;
 
@@ -40,7 +40,7 @@ impl AdmissionController for GuardChannel {
         "GuardChannel"
     }
 
-    fn decide(&mut self, request: &CallRequest, cell: &CellSnapshot) -> Decision {
+    fn decide(&mut self, request: &CallRequest, cell: &BandwidthLedger) -> AdmissionPlan {
         let free = cell.free();
         let admit = match request.kind {
             CallKind::Handoff => request.demand() <= free,
@@ -49,26 +49,29 @@ impl AdmissionController for GuardChannel {
                 request.demand() <= usable
             }
         };
-        Decision::binary(admit)
+        AdmissionPlan::gate(Decision::binary(admit))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traffic::{CallId, MobilityInfo, ServiceClass};
+    use crate::traffic::{CallId, MobilityInfo, ServiceClass, ServiceProfile};
 
     fn req(class: ServiceClass, kind: CallKind) -> CallRequest {
         CallRequest::new(CallId(1), class, kind, MobilityInfo::stationary())
     }
 
-    fn cell(occupied: u32) -> CellSnapshot {
-        CellSnapshot {
-            capacity: BandwidthUnits::new(40),
-            occupied: BandwidthUnits::new(occupied),
-            real_time_calls: 0,
-            non_real_time_calls: 0,
+    fn cell(occupied: u32) -> BandwidthLedger {
+        let mut l = BandwidthLedger::new(BandwidthUnits::new(40));
+        if occupied > 0 {
+            l.allocate(
+                CallId(999),
+                ServiceProfile::fixed(ServiceClass::Text, BandwidthUnits::new(occupied)),
+            )
+            .unwrap();
         }
+        l
     }
 
     #[test]

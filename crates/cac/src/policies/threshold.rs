@@ -6,9 +6,9 @@
 //! occupancy (after admission) stays below a per-class threshold
 //! `T_c <= capacity`, giving high-priority classes the larger headroom.
 
-use crate::controller::AdmissionController;
+use crate::controller::{AdmissionController, AdmissionPlan};
 use crate::decision::Decision;
-use crate::ledger::CellSnapshot;
+use crate::ledger::BandwidthLedger;
 use crate::traffic::{CallKind, CallRequest, ServiceClass};
 use crate::units::BandwidthUnits;
 
@@ -52,17 +52,17 @@ impl AdmissionController for ThresholdPolicy {
         "Threshold"
     }
 
-    fn decide(&mut self, request: &CallRequest, cell: &CellSnapshot) -> Decision {
+    fn decide(&mut self, request: &CallRequest, cell: &BandwidthLedger) -> AdmissionPlan {
         if !cell.can_fit(request.demand()) {
-            return Decision::binary(false);
+            return AdmissionPlan::gate(Decision::binary(false));
         }
         let mut limit = self.threshold(request.class);
         if request.kind == CallKind::Handoff {
             limit += self.handoff_bonus;
         }
-        let limit = limit.min(cell.capacity);
-        let after = cell.occupied + request.demand();
-        Decision::binary(after <= limit)
+        let limit = limit.min(cell.capacity());
+        let after = cell.occupied() + request.demand();
+        AdmissionPlan::gate(Decision::binary(after <= limit))
     }
 }
 
@@ -120,19 +120,22 @@ impl ThresholdPolicyBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traffic::{CallId, MobilityInfo};
+    use crate::traffic::{CallId, MobilityInfo, ServiceProfile};
 
     fn req(class: ServiceClass, kind: CallKind) -> CallRequest {
         CallRequest::new(CallId(1), class, kind, MobilityInfo::stationary())
     }
 
-    fn cell(occupied: u32) -> CellSnapshot {
-        CellSnapshot {
-            capacity: BandwidthUnits::new(40),
-            occupied: BandwidthUnits::new(occupied),
-            real_time_calls: 0,
-            non_real_time_calls: 0,
+    fn cell(occupied: u32) -> BandwidthLedger {
+        let mut l = BandwidthLedger::new(BandwidthUnits::new(40));
+        if occupied > 0 {
+            l.allocate(
+                CallId(999),
+                ServiceProfile::fixed(ServiceClass::Text, BandwidthUnits::new(occupied)),
+            )
+            .unwrap();
         }
+        l
     }
 
     fn policy() -> ThresholdPolicy {

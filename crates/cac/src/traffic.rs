@@ -59,6 +59,259 @@ impl fmt::Display for ServiceClass {
     }
 }
 
+/// The bandwidth contract of one call: how much it asks for, how far it
+/// can be squeezed, and how long it is expected to last.
+///
+/// The paper's calls are rigid — a voice call costs 5 BU, full stop. An
+/// *elastic* profile (cf. Chowdhury et al., arXiv:1412.3630) instead
+/// spans `[rb_cost_min, rb_cost_nominal]`: the ledger grants the nominal
+/// cost when it can, and may degrade the allocation down to — but never
+/// below — the floor to squeeze in higher-priority traffic, re-upgrading
+/// when bandwidth frees up. A profile with `rb_cost_min ==
+/// rb_cost_nominal` (every [`ServiceProfile::paper`] profile) degenerates
+/// to the paper's rigid behavior bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceProfile {
+    /// The service class this profile belongs to.
+    pub class: ServiceClass,
+    /// The QoS floor in bandwidth units: the least allocation the call
+    /// can run on. Never violated by degradation.
+    pub rb_cost_min: BandwidthUnits,
+    /// The nominal (full-quality) allocation, granted when capacity
+    /// allows.
+    pub rb_cost_nominal: BandwidthUnits,
+    /// The floor as a fraction of nominal in `(0, 1]` — kept alongside
+    /// `rb_cost_min` as the declarative knob it was derived from.
+    pub qos_floor: f64,
+    /// Expected call duration in seconds (drives per-class holding-time
+    /// draws in workload generation; advisory elsewhere).
+    pub mean_duration_s: f64,
+}
+
+impl ServiceProfile {
+    /// Mean call duration assumed when a request is built without an
+    /// explicit profile (the paper does not pin one; 180 s is the
+    /// classical 3-minute call).
+    pub const DEFAULT_MEAN_DURATION_S: f64 = 180.0;
+
+    /// The paper's rigid profile for `class`: floor == nominal ==
+    /// [`ServiceClass::demand`], so degradation is impossible.
+    #[must_use]
+    pub fn paper(class: ServiceClass) -> Self {
+        Self::fixed(class, class.demand())
+    }
+
+    /// A rigid (inelastic) profile with an arbitrary cost.
+    #[must_use]
+    pub fn fixed(class: ServiceClass, cost: BandwidthUnits) -> Self {
+        Self {
+            class,
+            rb_cost_min: cost,
+            rb_cost_nominal: cost,
+            qos_floor: 1.0,
+            mean_duration_s: Self::DEFAULT_MEAN_DURATION_S,
+        }
+    }
+
+    /// An elastic profile: `qos_floor` (clamped to `(0, 1]`) scales the
+    /// nominal cost down to the floor, which is rounded up and kept in
+    /// `[1, nominal]` so every call always holds at least 1 BU.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nominal` is zero or `mean_duration_s` is not finite
+    /// and positive.
+    #[must_use]
+    pub fn elastic(
+        class: ServiceClass,
+        nominal: BandwidthUnits,
+        qos_floor: f64,
+        mean_duration_s: f64,
+    ) -> Self {
+        assert!(!nominal.is_zero(), "zero-bandwidth profile");
+        assert!(
+            mean_duration_s.is_finite() && mean_duration_s > 0.0,
+            "bad mean duration {mean_duration_s}"
+        );
+        let qos_floor = if qos_floor.is_finite() { qos_floor.clamp(0.0, 1.0) } else { 1.0 };
+        let floor_bu =
+            ((f64::from(nominal.get()) * qos_floor).ceil() as u32).clamp(1, nominal.get());
+        Self {
+            class,
+            rb_cost_min: BandwidthUnits::new(floor_bu),
+            rb_cost_nominal: nominal,
+            qos_floor,
+            mean_duration_s,
+        }
+    }
+
+    /// Whether the profile has any room to degrade (`floor < nominal`).
+    #[must_use]
+    pub fn is_elastic(&self) -> bool {
+        self.rb_cost_min < self.rb_cost_nominal
+    }
+
+    /// The degradable width `nominal - floor`.
+    #[must_use]
+    pub fn slack(&self) -> BandwidthUnits {
+        self.rb_cost_nominal - self.rb_cost_min
+    }
+}
+
+impl fmt::Display for ServiceProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}..{}]", self.class, self.rb_cost_min.get(), self.rb_cost_nominal.get())
+    }
+}
+
+/// One [`ServiceProfile`] per service class — the service contract a
+/// whole workload runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceProfileSet {
+    /// Profile for text calls.
+    pub text: ServiceProfile,
+    /// Profile for voice calls.
+    pub voice: ServiceProfile,
+    /// Profile for video calls.
+    pub video: ServiceProfile,
+}
+
+impl ServiceProfileSet {
+    /// Builds a set from three per-class profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a profile sits in the wrong slot.
+    #[must_use]
+    pub fn new(text: ServiceProfile, voice: ServiceProfile, video: ServiceProfile) -> Self {
+        assert_eq!(text.class, ServiceClass::Text, "text slot holds {}", text.class);
+        assert_eq!(voice.class, ServiceClass::Voice, "voice slot holds {}", voice.class);
+        assert_eq!(video.class, ServiceClass::Video, "video slot holds {}", video.class);
+        Self { text, voice, video }
+    }
+
+    /// The paper's rigid 1/5/10 BU profiles — workloads on this set
+    /// behave exactly like the pre-elastic simulator.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            text: ServiceProfile::paper(ServiceClass::Text),
+            voice: ServiceProfile::paper(ServiceClass::Voice),
+            video: ServiceProfile::paper(ServiceClass::Video),
+        }
+    }
+
+    /// Elastic variants of the paper's costs: voice and video accept
+    /// degradation down to `qos_floor` of nominal; text (1 BU) has no
+    /// room to shrink. Per-class mean durations are staggered
+    /// (60/120/180 s) so classes also differ in holding time.
+    #[must_use]
+    pub fn elastic_paper(qos_floor: f64) -> Self {
+        Self {
+            text: ServiceProfile::elastic(
+                ServiceClass::Text,
+                ServiceClass::Text.demand(),
+                1.0,
+                60.0,
+            ),
+            voice: ServiceProfile::elastic(
+                ServiceClass::Voice,
+                ServiceClass::Voice.demand(),
+                qos_floor,
+                120.0,
+            ),
+            video: ServiceProfile::elastic(
+                ServiceClass::Video,
+                ServiceClass::Video.demand(),
+                qos_floor,
+                180.0,
+            ),
+        }
+    }
+
+    /// The profile for `class`.
+    #[must_use]
+    pub fn profile_of(&self, class: ServiceClass) -> ServiceProfile {
+        match class {
+            ServiceClass::Text => self.text,
+            ServiceClass::Voice => self.voice,
+            ServiceClass::Video => self.video,
+        }
+    }
+}
+
+impl Default for ServiceProfileSet {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Per-class active-call counts of one cell — the multi-class
+/// replacement for the paper's scalar RTC/NRTC pair (which it still
+/// derives, via [`ClassCounts::real_time`] / [`ClassCounts::non_real_time`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClassCounts {
+    /// Active text calls.
+    pub text: u32,
+    /// Active voice calls.
+    pub voice: u32,
+    /// Active video calls.
+    pub video: u32,
+}
+
+impl ClassCounts {
+    /// The count for `class`.
+    #[must_use]
+    pub fn of(&self, class: ServiceClass) -> u32 {
+        match class {
+            ServiceClass::Text => self.text,
+            ServiceClass::Voice => self.voice,
+            ServiceClass::Video => self.video,
+        }
+    }
+
+    /// Bumps the count for `class`.
+    pub fn increment(&mut self, class: ServiceClass) {
+        match class {
+            ServiceClass::Text => self.text += 1,
+            ServiceClass::Voice => self.voice += 1,
+            ServiceClass::Video => self.video += 1,
+        }
+    }
+
+    /// Drops the count for `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds, wraps in release) when the count is
+    /// already zero — a bookkeeping bug upstream.
+    pub fn decrement(&mut self, class: ServiceClass) {
+        match class {
+            ServiceClass::Text => self.text -= 1,
+            ServiceClass::Voice => self.voice -= 1,
+            ServiceClass::Video => self.video -= 1,
+        }
+    }
+
+    /// The paper's Real Time Counter (RTC): voice + video calls.
+    #[must_use]
+    pub fn real_time(&self) -> u32 {
+        self.voice + self.video
+    }
+
+    /// The paper's Non Real Time Counter (NRTC): text calls.
+    #[must_use]
+    pub fn non_real_time(&self) -> u32 {
+        self.text
+    }
+
+    /// Total active calls.
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        self.text + self.voice + self.video
+    }
+}
+
 /// Whether a request is a brand-new call or an ongoing call handed off
 /// from a neighboring cell. Handoffs are dropped (not blocked) on
 /// rejection, which users perceive as far worse — CAC schemes treat them
@@ -176,19 +429,32 @@ pub struct CallRequest {
     pub kind: CallKind,
     /// GPS mobility observation at request time.
     pub mobility: MobilityInfo,
+    /// The call's bandwidth contract. Defaults to the paper's rigid
+    /// per-class profile; elastic workloads attach their own via
+    /// [`CallRequest::with_profile`].
+    pub profile: ServiceProfile,
 }
 
 impl CallRequest {
-    /// Convenience constructor.
+    /// Convenience constructor using the paper's rigid profile for
+    /// `class` (floor == nominal == the class demand).
     #[must_use]
     pub fn new(id: CallId, class: ServiceClass, kind: CallKind, mobility: MobilityInfo) -> Self {
-        Self { id, class, kind, mobility }
+        Self { id, class, kind, mobility, profile: ServiceProfile::paper(class) }
     }
 
-    /// Bandwidth this request needs.
+    /// Replaces the bandwidth contract (and aligns `class` with it).
+    #[must_use]
+    pub fn with_profile(mut self, profile: ServiceProfile) -> Self {
+        self.class = profile.class;
+        self.profile = profile;
+        self
+    }
+
+    /// Nominal bandwidth this request asks for.
     #[must_use]
     pub fn demand(&self) -> BandwidthUnits {
-        self.class.demand()
+        self.profile.rb_cost_nominal
     }
 }
 
@@ -256,5 +522,74 @@ mod tests {
             MobilityInfo::stationary(),
         );
         assert_eq!(req.demand().get(), 10);
+        assert_eq!(req.profile, ServiceProfile::paper(ServiceClass::Video));
+        assert!(!req.profile.is_elastic());
+    }
+
+    #[test]
+    fn elastic_profile_floor_rounds_up_within_band() {
+        let p = ServiceProfile::elastic(ServiceClass::Video, BandwidthUnits::new(10), 0.5, 180.0);
+        assert_eq!(p.rb_cost_min.get(), 5);
+        assert_eq!(p.rb_cost_nominal.get(), 10);
+        assert!(p.is_elastic());
+        assert_eq!(p.slack().get(), 5);
+        // ceil(5 * 0.3) = 2
+        let voice = ServiceProfile::elastic(ServiceClass::Voice, BandwidthUnits::new(5), 0.3, 60.0);
+        assert_eq!(voice.rb_cost_min.get(), 2);
+        // 1-BU nominal cannot shrink below 1 even with a tiny floor.
+        let text = ServiceProfile::elastic(ServiceClass::Text, BandwidthUnits::new(1), 0.1, 30.0);
+        assert_eq!(text.rb_cost_min.get(), 1);
+        assert!(!text.is_elastic());
+        // Out-of-range floors clamp into (0, 1].
+        let clamped =
+            ServiceProfile::elastic(ServiceClass::Video, BandwidthUnits::new(10), 7.0, 30.0);
+        assert_eq!(clamped.rb_cost_min.get(), 10);
+    }
+
+    #[test]
+    fn with_profile_aligns_class() {
+        let elastic =
+            ServiceProfile::elastic(ServiceClass::Voice, BandwidthUnits::new(5), 0.4, 120.0);
+        let req = CallRequest::new(
+            CallId(1),
+            ServiceClass::Video,
+            CallKind::Handoff,
+            MobilityInfo::stationary(),
+        )
+        .with_profile(elastic);
+        assert_eq!(req.class, ServiceClass::Voice);
+        assert_eq!(req.demand().get(), 5);
+        assert_eq!(req.profile.rb_cost_min.get(), 2);
+    }
+
+    #[test]
+    fn profile_set_dispatches_by_class() {
+        let set = ServiceProfileSet::paper();
+        for class in ServiceClass::ALL {
+            assert_eq!(set.profile_of(class).class, class);
+            assert_eq!(set.profile_of(class).rb_cost_nominal, class.demand());
+            assert!(!set.profile_of(class).is_elastic());
+        }
+        let elastic = ServiceProfileSet::elastic_paper(0.5);
+        assert!(elastic.voice.is_elastic());
+        assert!(elastic.video.is_elastic());
+        assert!(!elastic.text.is_elastic(), "1-BU text has no room to degrade");
+        assert!(elastic.text.mean_duration_s < elastic.video.mean_duration_s);
+    }
+
+    #[test]
+    fn class_counts_roundtrip() {
+        let mut counts = ClassCounts::default();
+        counts.increment(ServiceClass::Voice);
+        counts.increment(ServiceClass::Voice);
+        counts.increment(ServiceClass::Video);
+        counts.increment(ServiceClass::Text);
+        assert_eq!(counts.of(ServiceClass::Voice), 2);
+        assert_eq!(counts.real_time(), 3);
+        assert_eq!(counts.non_real_time(), 1);
+        assert_eq!(counts.total(), 4);
+        counts.decrement(ServiceClass::Voice);
+        assert_eq!(counts.real_time(), 2);
+        assert_eq!(counts.total(), 3);
     }
 }

@@ -3,7 +3,7 @@
 use facs_cac::policies::{CompleteSharing, FractionalGuardChannel, GuardChannel, ThresholdPolicy};
 use facs_cac::{
     AdmissionController, BandwidthLedger, BandwidthUnits, CallId, CallKind, CallRequest,
-    CellSnapshot, MobilityInfo, ServiceClass, Verdict,
+    MobilityInfo, ServiceClass, ServiceProfile, Verdict,
 };
 use proptest::prelude::*;
 
@@ -13,6 +13,19 @@ fn arb_class() -> impl Strategy<Value = ServiceClass> {
 
 fn arb_kind() -> impl Strategy<Value = CallKind> {
     prop::sample::select(vec![CallKind::New, CallKind::Handoff])
+}
+
+/// A 40-BU cell pre-loaded to `occupied` via one rigid filler call.
+fn cell(occupied: u32) -> BandwidthLedger {
+    let mut l = BandwidthLedger::new(BandwidthUnits::new(40));
+    if occupied > 0 {
+        l.allocate(
+            CallId(999),
+            ServiceProfile::fixed(ServiceClass::Text, BandwidthUnits::new(occupied)),
+        )
+        .unwrap();
+    }
+    l
 }
 
 #[derive(Debug, Clone)]
@@ -31,6 +44,26 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
     )
 }
 
+#[derive(Debug, Clone)]
+enum ElasticOp {
+    Allocate(u64, ServiceClass, u8),
+    Release(u64),
+    DegradeToFit(u8),
+    Reupgrade,
+}
+
+fn arb_elastic_ops() -> impl Strategy<Value = Vec<ElasticOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..32, arb_class(), 0u8..=10).prop_map(|(id, c, f)| ElasticOp::Allocate(id, c, f)),
+            (0u64..32).prop_map(ElasticOp::Release),
+            (1u8..=20).prop_map(ElasticOp::DegradeToFit),
+            proptest::strategy::Just(ElasticOp::Reupgrade),
+        ],
+        0..200,
+    )
+}
+
 proptest! {
     /// The ledger conserves bandwidth under any operation sequence:
     /// occupied + free == capacity, and occupied equals the sum of live
@@ -43,7 +76,7 @@ proptest! {
         for op in ops {
             match op {
                 Op::Allocate(id, class) => {
-                    let ok = ledger.allocate(CallId(id), class).is_ok();
+                    let ok = ledger.allocate(CallId(id), ServiceProfile::paper(class)).is_ok();
                     let expect_ok = !live.contains_key(&id)
                         && class.demand() <= capacity - live.values().map(|c| c.demand()).sum::<BandwidthUnits>();
                     prop_assert_eq!(ok, expect_ok, "allocate({}, {:?})", id, class);
@@ -62,24 +95,72 @@ proptest! {
             prop_assert_eq!(ledger.occupied() + ledger.free(), capacity);
             prop_assert_eq!(ledger.active_calls(), live.len());
             let rt = live.values().filter(|c| c.is_real_time()).count() as u32;
-            prop_assert_eq!(ledger.real_time_calls(), rt);
-            prop_assert_eq!(ledger.non_real_time_calls(), live.len() as u32 - rt);
+            prop_assert_eq!(ledger.counts().real_time(), rt);
+            prop_assert_eq!(ledger.counts().non_real_time(), live.len() as u32 - rt);
+        }
+    }
+
+    /// The elastic ledger keeps every allocation inside its profile band
+    /// and conserves bandwidth under arbitrary interleavings of
+    /// allocation, release, degradation, and re-upgrade.
+    #[test]
+    fn elastic_ledger_respects_floors(ops in arb_elastic_ops(), capacity in 10u32..100) {
+        let capacity = BandwidthUnits::new(capacity);
+        let mut ledger = BandwidthLedger::new(capacity);
+        for op in ops {
+            match op {
+                ElasticOp::Allocate(id, class, floor_tenths) => {
+                    let profile = ServiceProfile::elastic(
+                        class,
+                        class.demand(),
+                        f64::from(floor_tenths) / 10.0,
+                        60.0,
+                    );
+                    let _ = ledger.allocate(CallId(id), profile);
+                }
+                ElasticOp::Release(id) => {
+                    let _ = ledger.release(CallId(id));
+                }
+                ElasticOp::DegradeToFit(demand) => {
+                    let demand = BandwidthUnits::new(u32::from(demand));
+                    let before_free = ledger.free();
+                    match ledger.degrade_to_fit(demand) {
+                        Some(_) => prop_assert!(ledger.free() >= demand),
+                        None => prop_assert_eq!(ledger.free(), before_free, "failed degrade mutated"),
+                    }
+                }
+                ElasticOp::Reupgrade => {
+                    let _ = ledger.reupgrade_on_release();
+                }
+            }
+            // Invariants after every step.
+            prop_assert_eq!(ledger.occupied() + ledger.free(), capacity);
+            let total: BandwidthUnits = ledger.iter().map(|(_, a)| a.allocated).sum();
+            prop_assert_eq!(total, ledger.occupied());
+            for (id, alloc) in ledger.iter() {
+                prop_assert!(
+                    alloc.allocated >= alloc.profile.rb_cost_min
+                        && alloc.allocated <= alloc.profile.rb_cost_nominal,
+                    "{} left its band: {} not in [{}, {}]",
+                    id, alloc.allocated, alloc.profile.rb_cost_min, alloc.profile.rb_cost_nominal
+                );
+            }
+        }
+        // After a final re-upgrade with everything settled, no call may
+        // stay degraded while free bandwidth remains.
+        ledger.reupgrade_on_release();
+        if !ledger.free().is_zero() {
+            prop_assert!(ledger.iter().all(|(_, a)| !a.is_degraded()));
         }
     }
 
     /// Complete sharing admits exactly when the demand fits.
     #[test]
     fn complete_sharing_is_fit_test(occupied in 0u32..=40, class in arb_class(), kind in arb_kind()) {
-        let cell = CellSnapshot {
-            capacity: BandwidthUnits::new(40),
-            occupied: BandwidthUnits::new(occupied),
-            real_time_calls: 0,
-            non_real_time_calls: 0,
-        };
         let req = CallRequest::new(CallId(0), class, kind, MobilityInfo::stationary());
         let mut cs = CompleteSharing::new();
         prop_assert_eq!(
-            cs.decide(&req, &cell).admits(),
+            cs.decide(&req, &cell(occupied)).admits(),
             class.demand().get() + occupied <= 40
         );
     }
@@ -92,12 +173,7 @@ proptest! {
         guard in 0u32..=40,
         class in arb_class(),
     ) {
-        let cell = CellSnapshot {
-            capacity: BandwidthUnits::new(40),
-            occupied: BandwidthUnits::new(occupied),
-            real_time_calls: 0,
-            non_real_time_calls: 0,
-        };
+        let cell = cell(occupied);
         let mut gc = GuardChannel::new(BandwidthUnits::new(guard));
         let new = CallRequest::new(CallId(0), class, CallKind::New, MobilityInfo::stationary());
         let ho = CallRequest::new(CallId(1), class, CallKind::Handoff, MobilityInfo::stationary());
@@ -117,12 +193,7 @@ proptest! {
         n in 1usize..500,
     ) {
         let mut fg = FractionalGuardChannel::new(0.25, 0.95);
-        let cell = CellSnapshot {
-            capacity: BandwidthUnits::new(40),
-            occupied: BandwidthUnits::new(occupied),
-            real_time_calls: 0,
-            non_real_time_calls: 0,
-        };
+        let cell = cell(occupied);
         let req = CallRequest::new(
             CallId(0), ServiceClass::Text, CallKind::New, MobilityInfo::stationary());
         prop_assume!(cell.can_fit(req.demand()));
@@ -151,14 +222,8 @@ proptest! {
             .video(BandwidthUnits::new(t_video))
             .handoff_bonus(BandwidthUnits::new(bonus))
             .build();
-        let cell = CellSnapshot {
-            capacity: BandwidthUnits::new(40),
-            occupied: BandwidthUnits::new(occupied),
-            real_time_calls: 0,
-            non_real_time_calls: 0,
-        };
         let req = CallRequest::new(CallId(0), class, kind, MobilityInfo::stationary());
-        if p.decide(&req, &cell).admits() {
+        if p.decide(&req, &cell(occupied)).admits() {
             let after = occupied + class.demand().get();
             prop_assert!(after <= 40);
             let mut limit = p.threshold(class).get();

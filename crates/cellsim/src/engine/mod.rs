@@ -44,7 +44,7 @@ mod shard;
 
 use facs_cac::{
     AdmissionController, BandwidthLedger, BandwidthUnits, BoxedController, CellId,
-    ControllerFactory, ServiceClass,
+    ControllerFactory, ServiceProfile,
 };
 
 use crate::events::UserId;
@@ -99,8 +99,10 @@ impl MobilityModel for MobilityKind {
 pub struct UserSpec {
     /// Request instant, seconds from simulation start.
     pub arrival_s: f64,
-    /// Requested service class.
-    pub class: ServiceClass,
+    /// Requested service profile — the class plus its `[floor, nominal]`
+    /// bandwidth band. `ServiceProfile::paper(class)` reproduces the
+    /// paper's rigid unit costs.
+    pub profile: ServiceProfile,
     /// Kinematic state at request time.
     pub start: MobileState,
     /// Mobility model for the call's lifetime.
@@ -443,7 +445,7 @@ mod tests {
     use crate::geometry::Point;
     use crate::metrics::CellLoadSeries;
     use facs_cac::policies::CompleteSharing;
-    use facs_cac::{AdmissionController, CallRequest, Decision};
+    use facs_cac::{AdmissionController, AdmissionPlan, CallRequest, Decision, ServiceClass};
 
     fn controllers(n: usize) -> Vec<BoxedController> {
         (0..n).map(|_| Box::new(CompleteSharing::new()) as BoxedController).collect()
@@ -452,7 +454,7 @@ mod tests {
     fn stationary_spec(arrival_s: f64, class: ServiceClass, holding_s: f64) -> UserSpec {
         UserSpec {
             arrival_s,
-            class,
+            profile: ServiceProfile::paper(class),
             start: MobileState::new(Point::new(0.5, 0.0), 0.0, 0.0),
             mobility: MobilityKind::StraightLine,
             holding_s,
@@ -504,7 +506,7 @@ mod tests {
         // cross into the east neighbor well within its holding time.
         let spec = UserSpec {
             arrival_s: 1.0,
-            class: ServiceClass::Voice,
+            profile: ServiceProfile::paper(ServiceClass::Voice),
             start: MobileState::new(Point::new(0.0, 0.0), 0.0, 120.0),
             mobility: MobilityKind::StraightLine,
             holding_s: 120.0,
@@ -540,7 +542,7 @@ mod tests {
         let mut workload: Vec<UserSpec> = (0..4)
             .map(|i| UserSpec {
                 arrival_s: 0.5 + i as f64 * 0.01,
-                class: ServiceClass::Video,
+                profile: ServiceProfile::paper(ServiceClass::Video),
                 start: MobileState::new(east, 0.0, 0.0),
                 mobility: MobilityKind::StraightLine,
                 holding_s: 10_000.0,
@@ -548,7 +550,7 @@ mod tests {
             .collect();
         workload.push(UserSpec {
             arrival_s: 1.0,
-            class: ServiceClass::Voice,
+            profile: ServiceProfile::paper(ServiceClass::Voice),
             start: MobileState::new(Point::new(0.0, 0.0), 0.0, 120.0),
             mobility: MobilityKind::StraightLine,
             holding_s: 10_000.0,
@@ -578,7 +580,7 @@ mod tests {
         // 4.5 ticks from the border: the crossing step is step 5.
         let spec = |holding_s: f64| UserSpec {
             arrival_s: 0.0,
-            class: ServiceClass::Voice,
+            profile: ServiceProfile::paper(ServiceClass::Voice),
             start: MobileState::new(
                 Point::new(boundary - 4.5 * km_per_tick, 0.0),
                 0.0,
@@ -619,7 +621,7 @@ mod tests {
         let km_per_tick = 0.04;
         let spec = UserSpec {
             arrival_s: 0.0,
-            class: ServiceClass::Voice,
+            profile: ServiceProfile::paper(ServiceClass::Voice),
             // 1.5 ticks from the border: crosses on step 2.
             start: MobileState::new(
                 Point::new(boundary - 1.5 * km_per_tick, 0.0),
@@ -667,7 +669,7 @@ mod tests {
         let mut workload: Vec<UserSpec> = (0..4)
             .map(|i| UserSpec {
                 arrival_s: 0.5 + i as f64 * 0.01,
-                class: ServiceClass::Video,
+                profile: ServiceProfile::paper(ServiceClass::Video),
                 start: MobileState::new(east, 0.0, 0.0),
                 mobility: MobilityKind::StraightLine,
                 holding_s: 10_000.0,
@@ -675,7 +677,7 @@ mod tests {
             .collect();
         workload.push(UserSpec {
             arrival_s: 1.0,
-            class: ServiceClass::Voice,
+            profile: ServiceProfile::paper(ServiceClass::Voice),
             start: MobileState::new(Point::new(0.0, 0.0), 0.0, 120.0),
             mobility: MobilityKind::StraightLine,
             holding_s: 10_000.0,
@@ -704,7 +706,11 @@ mod tests {
         (0..n)
             .map(|i| UserSpec {
                 arrival_s: i as f64,
-                class: if i % 3 == 0 { ServiceClass::Video } else { ServiceClass::Text },
+                profile: ServiceProfile::paper(if i % 3 == 0 {
+                    ServiceClass::Video
+                } else {
+                    ServiceClass::Text
+                }),
                 start: MobileState::new(Point::new(0.1 * i as f64 % 1.5, 0.0), 45.0, 30.0),
                 mobility: MobilityKind::Walker(Walker::paper_default()),
                 holding_s: 60.0 + i as f64,
@@ -765,8 +771,8 @@ mod tests {
             fn name(&self) -> &str {
                 "deny"
             }
-            fn decide(&mut self, _r: &CallRequest, _c: &facs_cac::CellSnapshot) -> Decision {
-                Decision::binary(false)
+            fn decide(&mut self, _r: &CallRequest, _c: &BandwidthLedger) -> AdmissionPlan {
+                AdmissionPlan::gate(Decision::binary(false))
             }
         }
         let grid = HexGrid::single_cell(10.0);
@@ -785,8 +791,8 @@ mod tests {
         fn name(&self) -> &str {
             "shared"
         }
-        fn decide(&mut self, _r: &CallRequest, _c: &facs_cac::CellSnapshot) -> Decision {
-            Decision::binary(true)
+        fn decide(&mut self, _r: &CallRequest, _c: &BandwidthLedger) -> AdmissionPlan {
+            AdmissionPlan::gate(Decision::binary(true))
         }
         fn is_cell_local(&self) -> bool {
             false

@@ -11,12 +11,13 @@
 use std::collections::BTreeMap;
 
 use facs_cac::{
-    BandwidthLedger, BoxedController, CallId, CallKind, CallRequest, CellId, ServiceClass,
+    AdmissionPlan, BandwidthLedger, BandwidthUnits, BoxedController, CallId, CallKind, CallRequest,
+    CellId, ServiceProfile,
 };
 
 use crate::events::{EngineEvent, EngineQueue, UserId};
 use crate::geometry::{HexGrid, Point};
-use crate::metrics::MetricsSink;
+use crate::metrics::{DecisionRecord, MetricsSink};
 use crate::mobility::{MobileState, MobilityModel};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -81,7 +82,7 @@ impl CellUnit {
 struct ActiveUser {
     state: MobileState,
     mobility: MobilityKind,
-    class: ServiceClass,
+    profile: ServiceProfile,
     rng: SimRng,
     cell: CellId,
     call: CallId,
@@ -97,7 +98,7 @@ pub(crate) struct Migrant {
     pub(crate) to: CellId,
     state: MobileState,
     mobility: MobilityKind,
-    class: ServiceClass,
+    profile: ServiceProfile,
     rng: SimRng,
     call: CallId,
     end_time: SimTime,
@@ -174,34 +175,83 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
         cell
     }
 
-    /// Consults the controller, then the ledger; both must agree before
-    /// the call is admitted. A controller "admit" that no longer fits is
-    /// downgraded to a denial.
-    fn try_admit(&mut self, now: SimTime, cell_id: CellId, request: &CallRequest) -> bool {
+    /// Consults the controller, then applies its [`AdmissionPlan`]
+    /// against the ledger; both must agree before the call is admitted.
+    /// A plan the ledger can no longer honor (allocation stopped
+    /// fitting, a squeeze went stale) is downgraded to a denial without
+    /// mutating anything. Returns the granted bandwidth on admission.
+    fn try_admit(
+        &mut self,
+        now: SimTime,
+        cell_id: CellId,
+        request: &CallRequest,
+    ) -> Option<BandwidthUnits> {
         let cell = self.cell_mut(cell_id);
-        let snapshot = cell.ledger.snapshot();
-        let decision = cell.controller.decide(request, &snapshot);
-        if !decision.admits() {
-            return false;
-        }
-        cell.integrate_to(now);
-        if cell.ledger.allocate(request.id, request.class).is_err() {
-            return false;
-        }
+        let plan = cell.controller.decide(request, &cell.ledger);
+        let (granted, squeezed) = match plan {
+            AdmissionPlan::Reject(_) => return None,
+            AdmissionPlan::Admit(_) => {
+                cell.integrate_to(now);
+                if cell.ledger.allocate(request.id, request.profile).is_err() {
+                    return None;
+                }
+                (request.profile.rb_cost_nominal, Vec::new())
+            }
+            AdmissionPlan::AdmitDegraded { squeezes, grant, .. } => {
+                cell.integrate_to(now);
+                if cell
+                    .ledger
+                    .admit_with_plan(request.id, request.profile, grant, &squeezes)
+                    .is_err()
+                {
+                    return None;
+                }
+                let squeezed: Vec<(CallId, BandwidthUnits, BandwidthUnits)> = squeezes
+                    .iter()
+                    .map(|s| {
+                        let floor = cell
+                            .ledger
+                            .profile_of(s.call)
+                            .map_or(BandwidthUnits::ZERO, |p| p.rb_cost_min);
+                        (s.call, s.to, floor)
+                    })
+                    .collect();
+                (grant, squeezed)
+            }
+        };
         let after = cell.ledger.snapshot();
         cell.controller.on_admitted(request, &after);
-        true
+        for (call, to, floor) in squeezed {
+            self.sink.on_reallocation(now, cell_id, UserId(call.0), to, floor);
+        }
+        Some(granted)
     }
 
     fn release(&mut self, now: SimTime, cell_id: CellId, call: CallId) {
         let cell = self.cell_mut(cell_id);
         cell.integrate_to(now);
-        let class = cell
+        let profile = cell
             .ledger
             .release(call)
             .expect("release of a call the ledger does not hold is a simulator bug");
+        // Freed bandwidth flows back to degraded calls before anything
+        // else can claim it (fair-share re-upgrade, deepest deficit
+        // first).
+        let upgrades: Vec<(CallId, BandwidthUnits, BandwidthUnits)> = cell
+            .ledger
+            .reupgrade_on_release()
+            .into_iter()
+            .map(|r| {
+                let floor =
+                    cell.ledger.profile_of(r.call).map_or(BandwidthUnits::ZERO, |p| p.rb_cost_min);
+                (r.call, r.to, floor)
+            })
+            .collect();
         let after = cell.ledger.snapshot();
-        cell.controller.on_released(call, class, &after);
+        cell.controller.on_released(call, profile.class, &after);
+        for (upgraded, to, floor) in upgrades {
+            self.sink.on_reallocation(now, cell_id, UserId(upgraded.0), to, floor);
+        }
     }
 
     /// Phase A: processes every queued event with `time <= limit` —
@@ -226,19 +276,30 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
         let position = spec.start.position;
         if self.grid.out_of_coverage(position) {
             // Off-map request: counts as blocked offered traffic.
-            self.sink.on_decision(now, cell_id, user, spec.class, CallKind::New, false);
+            self.sink.on_decision(
+                now,
+                cell_id,
+                &DecisionRecord::denied(user, spec.profile, CallKind::New),
+            );
             return;
         }
         let call = CallId(user.0);
         let request = CallRequest::new(
             call,
-            spec.class,
+            spec.profile.class,
             CallKind::New,
             spec.start.observe(self.cell(cell_id).center),
-        );
-        let admitted = self.try_admit(now, cell_id, &request);
-        self.sink.on_decision(now, cell_id, user, spec.class, CallKind::New, admitted);
-        if admitted {
+        )
+        .with_profile(spec.profile);
+        let granted = self.try_admit(now, cell_id, &request);
+        let record = match granted {
+            Some(allocated) => {
+                DecisionRecord::admitted(user, spec.profile, CallKind::New, allocated)
+            }
+            None => DecisionRecord::denied(user, spec.profile, CallKind::New),
+        };
+        self.sink.on_decision(now, cell_id, &record);
+        if granted.is_some() {
             let end_time = now + SimDuration::from_secs_f64(spec.holding_s);
             self.queue.schedule(end_time, EngineEvent::CallEnd { user, generation: 0 });
             self.active.insert(
@@ -246,7 +307,7 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
                 ActiveUser {
                     state: spec.start,
                     mobility: spec.mobility,
-                    class: spec.class,
+                    profile: spec.profile,
                     rng: user_rng(self.config.seed, user.0),
                     cell: cell_id,
                     call,
@@ -314,7 +375,7 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
                             to,
                             state: user.state,
                             mobility: user.mobility,
-                            class: user.class,
+                            profile: user.profile,
                             rng: user.rng,
                             call: user.call,
                             end_time: user.end_time,
@@ -335,13 +396,20 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
             debug_assert_eq!(m.to.0 as usize % self.shard_count, self.index, "misrouted migrant");
             let request = CallRequest::new(
                 m.call,
-                m.class,
+                m.profile.class,
                 CallKind::Handoff,
                 m.state.observe(self.cell(m.to).center),
-            );
-            let admitted = self.try_admit(now, m.to, &request);
-            self.sink.on_decision(now, m.to, m.user, m.class, CallKind::Handoff, admitted);
-            if admitted {
+            )
+            .with_profile(m.profile);
+            let granted = self.try_admit(now, m.to, &request);
+            let record = match granted {
+                Some(allocated) => {
+                    DecisionRecord::admitted(m.user, m.profile, CallKind::Handoff, allocated)
+                }
+                None => DecisionRecord::denied(m.user, m.profile, CallKind::Handoff),
+            };
+            self.sink.on_decision(now, m.to, &record);
+            if granted.is_some() {
                 self.queue.schedule(
                     m.end_time,
                     EngineEvent::CallEnd { user: m.user, generation: m.generation },
@@ -351,7 +419,7 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
                     ActiveUser {
                         state: m.state,
                         mobility: m.mobility,
-                        class: m.class,
+                        profile: m.profile,
                         rng: m.rng,
                         cell: m.to,
                         call: m.call,
@@ -365,9 +433,14 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
         }
     }
 
-    /// Epoch-barrier occupancy samples for the time-series sinks.
+    /// Epoch-barrier occupancy samples for the time-series sinks, plus
+    /// the controllers' time-step [`observe`] hook — the once-per-epoch
+    /// pulse that makes stateful/elastic policies possible.
+    ///
+    /// [`observe`]: facs_cac::AdmissionController::observe
     pub(crate) fn sample_cells(&mut self, now: SimTime) {
-        for cell in &self.cells {
+        for cell in &mut self.cells {
+            cell.controller.observe(now.as_secs_f64(), &cell.ledger);
             self.sink.on_cell_sample(
                 now,
                 cell.id,

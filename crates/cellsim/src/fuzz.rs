@@ -15,6 +15,8 @@
 //! fails, using [`complexity`] as a strictly decreasing measure, and
 //! returns the minimal reproducer to print next to the seed.
 
+use facs_cac::{BandwidthUnits, ServiceClass, ServiceProfile, ServiceProfileSet};
+
 use crate::rng::SimRng;
 use crate::scenario::ScenarioConfig;
 use crate::traffic::TrafficMix;
@@ -144,6 +146,41 @@ impl WorkloadFuzzer {
         // above the cell count, which the kernel clamps).
         let shards = [2, 3, 4, 7][rng.index(4)];
 
+        // Multi-class elastic sampling, appended *after* every original
+        // draw so the pre-elastic fields of a given (seed, index) case
+        // are unchanged by the elastic redesign.
+        let profiles = if rng.chance(0.5) {
+            let qos_floor = rng.uniform_range(0.3, 0.9);
+            let text_nominal = 1 + rng.index(2) as u32; // 1..=2
+            let voice_nominal = 3 + rng.index(4) as u32; // 3..=6
+            let video_nominal = 8 + rng.index(5) as u32; // 8..=12
+            let text_dur = rng.uniform_range(20.0, 120.0);
+            let voice_dur = rng.uniform_range(60.0, 240.0);
+            let video_dur = rng.uniform_range(60.0, 360.0);
+            Some(ServiceProfileSet::new(
+                ServiceProfile::elastic(
+                    ServiceClass::Text,
+                    BandwidthUnits::new(text_nominal),
+                    qos_floor,
+                    text_dur,
+                ),
+                ServiceProfile::elastic(
+                    ServiceClass::Voice,
+                    BandwidthUnits::new(voice_nominal),
+                    qos_floor,
+                    voice_dur,
+                ),
+                ServiceProfile::elastic(
+                    ServiceClass::Video,
+                    BandwidthUnits::new(video_nominal),
+                    qos_floor,
+                    video_dur,
+                ),
+            ))
+        } else {
+            None
+        };
+
         let config = ScenarioConfig {
             requests,
             window_s,
@@ -157,6 +194,7 @@ impl WorkloadFuzzer {
             spawn,
             mobility,
             mix,
+            profiles,
             arrivals,
             movement_tick_s,
             shards,
@@ -201,6 +239,10 @@ pub fn complexity(config: &ScenarioConfig) -> u64 {
     c += match config.distance {
         DistanceSpec::Fixed(_) => 0,
         DistanceSpec::UniformInCell | DistanceSpec::Uniform(..) => 5,
+    };
+    c += match config.profiles {
+        Some(_) => 15,
+        None => 0,
     };
     c
 }
@@ -255,6 +297,9 @@ pub fn shrink_candidates(config: &ScenarioConfig) -> Vec<ScenarioConfig> {
             distance: DistanceSpec::Fixed(config.cell_radius_km / 2.0),
             ..config.clone()
         });
+    }
+    if config.profiles.is_some() {
+        push(ScenarioConfig { profiles: None, ..config.clone() });
     }
     out
 }
@@ -319,6 +364,15 @@ mod tests {
             if let DistanceSpec::Uniform(lo, hi) = config.distance {
                 assert!(lo <= hi);
             }
+            if let Some(set) = config.profiles {
+                for class in ServiceClass::ALL {
+                    let p = set.profile_of(class);
+                    assert_eq!(p.class, class);
+                    assert!(!p.rb_cost_min.is_zero(), "zero floor in {p}");
+                    assert!(p.rb_cost_min <= p.rb_cost_nominal, "inverted band in {p}");
+                    assert!(p.mean_duration_s > 0.0);
+                }
+            }
             // The workload must actually expand without panicking.
             let specs = config.generate_workload(config.seed);
             assert_eq!(specs.len(), config.requests);
@@ -343,6 +397,12 @@ mod tests {
         for shards in [2, 3, 4, 7] {
             assert!(any(&|c| c.shards == shards), "shard comparand {shards} never sampled");
         }
+        assert!(any(&|c| c.profiles.is_some()), "elastic multi-class cases never sampled");
+        assert!(any(&|c| c.profiles.is_none()), "rigid paper-profile cases never sampled");
+        assert!(
+            any(&|c| c.profiles.is_some_and(|set| set.voice.is_elastic())),
+            "no sampled profile set has degradation room"
+        );
     }
 
     #[test]

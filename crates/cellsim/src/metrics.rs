@@ -10,11 +10,72 @@
 
 use std::collections::BTreeMap;
 
-use facs_cac::{CallKind, CellId, ServiceClass};
+use facs_cac::{BandwidthUnits, CallKind, CellId, ServiceClass, ServiceProfile};
 use serde::{Deserialize, Serialize};
 
 use crate::events::UserId;
 use crate::time::SimTime;
+
+/// Everything the engine knows about one admission decision, handed to
+/// [`MetricsSink::on_decision`] as a unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionRecord {
+    /// The requesting user.
+    pub user: UserId,
+    /// Service class of the request.
+    pub class: ServiceClass,
+    /// New call or handoff.
+    pub kind: CallKind,
+    /// Whether the call was admitted (at any allocation).
+    pub admitted: bool,
+    /// Bandwidth actually granted (zero when denied).
+    pub allocated: BandwidthUnits,
+    /// The profile's nominal bandwidth.
+    pub nominal: BandwidthUnits,
+    /// The profile's QoS floor.
+    pub floor: BandwidthUnits,
+}
+
+impl DecisionRecord {
+    /// A denial of `user`'s request: nothing allocated.
+    #[must_use]
+    pub fn denied(user: UserId, profile: ServiceProfile, kind: CallKind) -> Self {
+        Self {
+            user,
+            class: profile.class,
+            kind,
+            admitted: false,
+            allocated: BandwidthUnits::ZERO,
+            nominal: profile.rb_cost_nominal,
+            floor: profile.rb_cost_min,
+        }
+    }
+
+    /// An admission of `user`'s request at `allocated` BU.
+    #[must_use]
+    pub fn admitted(
+        user: UserId,
+        profile: ServiceProfile,
+        kind: CallKind,
+        allocated: BandwidthUnits,
+    ) -> Self {
+        Self {
+            user,
+            class: profile.class,
+            kind,
+            admitted: true,
+            allocated,
+            nominal: profile.rb_cost_nominal,
+            floor: profile.rb_cost_min,
+        }
+    }
+
+    /// True when the call was admitted below its nominal bandwidth.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.admitted && self.allocated < self.nominal
+    }
+}
 
 /// A streaming observer of simulation events.
 ///
@@ -39,18 +100,26 @@ pub trait MetricsSink: Send {
     where
         Self: Sized;
 
-    /// An admission decision (new call or handoff) for `user` was made
-    /// at `cell`.
-    fn on_decision(
+    /// An admission decision (new call or handoff) was made at `cell`;
+    /// the record carries the class, the granted allocation and the
+    /// profile band it was granted within.
+    fn on_decision(&mut self, now: SimTime, cell: CellId, record: &DecisionRecord) {
+        let _ = (now, cell, record);
+    }
+
+    /// The ledger of `cell` changed `user`'s in-call allocation — a
+    /// degradation squeeze making room for a handoff, or a re-upgrade
+    /// after a release. `allocated` is the new grant; `floor` the
+    /// profile's QoS floor it must never cross.
+    fn on_reallocation(
         &mut self,
         now: SimTime,
         cell: CellId,
         user: UserId,
-        class: ServiceClass,
-        kind: CallKind,
-        admitted: bool,
+        allocated: BandwidthUnits,
+        floor: BandwidthUnits,
     ) {
-        let _ = (now, cell, user, class, kind, admitted);
+        let _ = (now, cell, user, allocated, floor);
     }
 
     /// `user`'s call completed its holding time at `cell`.
@@ -91,17 +160,21 @@ impl<A: MetricsSink, B: MetricsSink> MetricsSink for (A, B) {
         self.1.absorb(other.1);
     }
 
-    fn on_decision(
+    fn on_decision(&mut self, now: SimTime, cell: CellId, record: &DecisionRecord) {
+        self.0.on_decision(now, cell, record);
+        self.1.on_decision(now, cell, record);
+    }
+
+    fn on_reallocation(
         &mut self,
         now: SimTime,
         cell: CellId,
         user: UserId,
-        class: ServiceClass,
-        kind: CallKind,
-        admitted: bool,
+        allocated: BandwidthUnits,
+        floor: BandwidthUnits,
     ) {
-        self.0.on_decision(now, cell, user, class, kind, admitted);
-        self.1.on_decision(now, cell, user, class, kind, admitted);
+        self.0.on_reallocation(now, cell, user, allocated, floor);
+        self.1.on_reallocation(now, cell, user, allocated, floor);
     }
 
     fn on_completion(&mut self, now: SimTime, cell: CellId, user: UserId) {
@@ -175,8 +248,17 @@ pub struct Metrics {
     /// Mobility steps applied to in-call users (one per active user per
     /// movement epoch).
     pub mobility_steps: u64,
+    /// Admissions granted below their nominal bandwidth (degraded entry).
+    pub degraded_admissions: u64,
+    /// In-call allocation changes applied by the ledgers (degradation
+    /// squeezes plus post-release re-upgrades).
+    pub reallocations: u64,
     /// Per-class new-call counters, indexed text/voice/video.
     pub per_class: [ClassCounters; 3],
+    /// Sum of BU granted at admission time, across all admissions.
+    allocated_bu_sum: u64,
+    /// Sum of nominal BU over the same admissions.
+    nominal_bu_sum: u64,
     /// Integral of (occupied BU · seconds) across all cells, for
     /// time-averaged utilization.
     utilization_bu_seconds: f64,
@@ -280,6 +362,17 @@ impl Metrics {
         self.per_class[Self::class_index(class)].acceptance_percentage()
     }
 
+    /// Mean allocated/nominal fraction at admission time in `(0, 1]`
+    /// (1 when every call entered at nominal, or nothing was admitted).
+    #[must_use]
+    pub fn mean_allocation_fraction(&self) -> f64 {
+        if self.nominal_bu_sum == 0 {
+            1.0
+        } else {
+            self.allocated_bu_sum as f64 / self.nominal_bu_sum as f64
+        }
+    }
+
     /// Total kernel events behind this run: admission decisions (new +
     /// handoff), completions, coverage exits and mobility steps. The
     /// denominator of the throughput benches' events/sec figure.
@@ -305,6 +398,10 @@ impl Metrics {
         self.completed += other.completed;
         self.exited_coverage += other.exited_coverage;
         self.mobility_steps += other.mobility_steps;
+        self.degraded_admissions += other.degraded_admissions;
+        self.reallocations += other.reallocations;
+        self.allocated_bu_sum += other.allocated_bu_sum;
+        self.nominal_bu_sum += other.nominal_bu_sum;
         for i in 0..3 {
             self.per_class[i].offered += other.per_class[i].offered;
             self.per_class[i].accepted += other.per_class[i].accepted;
@@ -324,16 +421,26 @@ impl MetricsSink for Metrics {
         self.merge(&other);
     }
 
-    fn on_decision(
+    fn on_decision(&mut self, _now: SimTime, _cell: CellId, record: &DecisionRecord) {
+        self.record_decision(record.class, record.kind, record.admitted);
+        if record.admitted {
+            self.allocated_bu_sum += u64::from(record.allocated.get());
+            self.nominal_bu_sum += u64::from(record.nominal.get());
+            if record.is_degraded() {
+                self.degraded_admissions += 1;
+            }
+        }
+    }
+
+    fn on_reallocation(
         &mut self,
         _now: SimTime,
         _cell: CellId,
         _user: UserId,
-        class: ServiceClass,
-        kind: CallKind,
-        admitted: bool,
+        _allocated: BandwidthUnits,
+        _floor: BandwidthUnits,
     ) {
-        self.record_decision(class, kind, admitted);
+        self.reallocations += 1;
     }
 
     fn on_completion(&mut self, _now: SimTime, _cell: CellId, _user: UserId) {
@@ -530,6 +637,36 @@ mod tests {
         assert_eq!(m.class_acceptance(ServiceClass::Video), 50.0);
         assert_eq!(m.class_acceptance(ServiceClass::Text), 100.0);
         assert_eq!(m.class_acceptance(ServiceClass::Voice), 100.0, "nothing offered => 100");
+    }
+
+    #[test]
+    fn degraded_admissions_and_allocation_fraction() {
+        let mut m = Metrics::new();
+        let profile =
+            ServiceProfile::elastic(ServiceClass::Video, BandwidthUnits::new(10), 0.5, 180.0);
+        let t = SimTime::ZERO;
+        let cell = CellId(0);
+        // Nominal entry, degraded entry (6/10), and a denial.
+        m.on_decision(
+            t,
+            cell,
+            &DecisionRecord::admitted(UserId(1), profile, CallKind::New, BandwidthUnits::new(10)),
+        );
+        m.on_decision(
+            t,
+            cell,
+            &DecisionRecord::admitted(
+                UserId(2),
+                profile,
+                CallKind::Handoff,
+                BandwidthUnits::new(6),
+            ),
+        );
+        m.on_decision(t, cell, &DecisionRecord::denied(UserId(3), profile, CallKind::New));
+        m.on_reallocation(t, cell, UserId(1), BandwidthUnits::new(7), BandwidthUnits::new(5));
+        assert_eq!(m.degraded_admissions, 1);
+        assert_eq!(m.reallocations, 1);
+        assert!((m.mean_allocation_fraction() - 16.0 / 20.0).abs() < 1e-12);
     }
 
     #[test]

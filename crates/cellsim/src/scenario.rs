@@ -20,7 +20,7 @@
 //! used, so results are bit-identical to a sequential run; only
 //! wall-clock time changes.
 
-use facs_cac::{BandwidthUnits, BoxedController};
+use facs_cac::{BandwidthUnits, BoxedController, ServiceProfileSet};
 
 use crate::geometry::HexGrid;
 use crate::metrics::{Metrics, Series};
@@ -70,6 +70,9 @@ pub struct ScenarioConfig {
     pub mobility: MobilityChoice,
     /// Traffic class mix.
     pub mix: TrafficMix,
+    /// Per-class service profiles (`None` = the paper's rigid unit
+    /// costs; see [`Workload::profiles`]).
+    pub profiles: Option<ServiceProfileSet>,
     /// Arrival-time pattern inside the window.
     pub arrivals: ArrivalPattern,
     /// Movement/handoff cadence (seconds).
@@ -98,6 +101,7 @@ impl Default for ScenarioConfig {
             spawn: SpawnSpec::CenterCell,
             mobility: MobilityChoice::Auto,
             mix: TrafficMix::PAPER,
+            profiles: None,
             arrivals: ArrivalPattern::Uniform,
             movement_tick_s: 5.0,
             shards: 1,
@@ -126,6 +130,7 @@ impl ScenarioConfig {
             distance: self.distance,
             mobility: self.mobility,
             mix: self.mix,
+            profiles: self.profiles,
         }
     }
 
@@ -369,7 +374,7 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.arrival_s, y.arrival_s);
             assert_eq!(x.start, y.start);
-            assert_eq!(x.class, y.class);
+            assert_eq!(x.profile, y.profile);
             assert_eq!(x.holding_s, y.holding_s);
         }
     }

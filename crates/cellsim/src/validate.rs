@@ -32,10 +32,10 @@
 
 use std::collections::BTreeMap;
 
-use facs_cac::{CallKind, CellId, ServiceClass};
+use facs_cac::{BandwidthUnits, CallKind, CellId, ServiceClass};
 
 use crate::events::UserId;
-use crate::metrics::{Metrics, MetricsSink};
+use crate::metrics::{DecisionRecord, Metrics, MetricsSink};
 use crate::time::SimTime;
 
 /// SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation. Every
@@ -123,21 +123,28 @@ impl MetricsSink for TraceDigest {
         self.count += other.count;
     }
 
-    fn on_decision(
+    fn on_decision(&mut self, now: SimTime, cell: CellId, record: &DecisionRecord) {
+        let kind_code = match record.kind {
+            CallKind::New => 1u64,
+            CallKind::Handoff => 2,
+        };
+        let payload = class_code(record.class)
+            | (kind_code << 8)
+            | (u64::from(record.admitted) << 16)
+            | (u64::from(record.allocated.get()) << 24);
+        self.event(0xDEC1, now, cell, record.user, payload);
+    }
+
+    fn on_reallocation(
         &mut self,
         now: SimTime,
         cell: CellId,
         user: UserId,
-        class: ServiceClass,
-        kind: CallKind,
-        admitted: bool,
+        allocated: BandwidthUnits,
+        floor: BandwidthUnits,
     ) {
-        let kind_code = match kind {
-            CallKind::New => 1u64,
-            CallKind::Handoff => 2,
-        };
-        let payload = class_code(class) | (kind_code << 8) | (u64::from(admitted) << 16);
-        self.event(0xDEC1, now, cell, user, payload);
+        let payload = u64::from(allocated.get()) | (u64::from(floor.get()) << 16);
+        self.event(0xEA11, now, cell, user, payload);
     }
 
     fn on_completion(&mut self, now: SimTime, cell: CellId, user: UserId) {
@@ -177,9 +184,14 @@ struct UserTrace {
 ///    further events.
 /// 2. **Handoff accounting** — per user and in total, handoff attempts
 ///    = accepts + drops, and no handoff precedes admission.
-/// 3. **Capacity** — no epoch occupancy sample ever exceeds the cell's
-///    capacity.
-/// 4. **Metrics consistency** — [`InvariantSink::cross_check`] compares
+/// 3. **Bandwidth conservation** — no epoch occupancy sample ever
+///    exceeds the cell's capacity (Σ allocations ≤ capacity, since the
+///    occupancy *is* the sum of per-call allocations).
+/// 4. **QoS floor** — every admission's grant lies inside the profile's
+///    `[floor, nominal]` band, denials allocate nothing, and no in-call
+///    reallocation (degradation squeeze or re-upgrade) ever dips below
+///    the floor.
+/// 5. **Metrics consistency** — [`InvariantSink::cross_check`] compares
 ///    the sink's own totals against the [`Metrics`] counters collected
 ///    over the same run.
 #[derive(Debug, Clone, Default)]
@@ -336,33 +348,73 @@ impl MetricsSink for InvariantSink {
         self.samples += other.samples;
     }
 
-    fn on_decision(
-        &mut self,
-        now: SimTime,
-        _cell: CellId,
-        user: UserId,
-        _class: ServiceClass,
-        kind: CallKind,
-        admitted: bool,
-    ) {
+    fn on_decision(&mut self, now: SimTime, _cell: CellId, record: &DecisionRecord) {
+        let user = record.user;
+        if record.admitted {
+            if record.allocated < record.floor {
+                self.capacity_violations.push(format!(
+                    "user#{}: admitted at {} BU below QoS floor {} at t={:.1}s",
+                    user.0,
+                    record.allocated.get(),
+                    record.floor.get(),
+                    now.as_secs_f64()
+                ));
+            }
+            if record.allocated > record.nominal {
+                self.capacity_violations.push(format!(
+                    "user#{}: admitted at {} BU above nominal {} at t={:.1}s",
+                    user.0,
+                    record.allocated.get(),
+                    record.nominal.get(),
+                    now.as_secs_f64()
+                ));
+            }
+        } else if !record.allocated.is_zero() {
+            self.capacity_violations.push(format!(
+                "user#{}: denied but holds {} BU at t={:.1}s",
+                user.0,
+                record.allocated.get(),
+                now.as_secs_f64()
+            ));
+        }
         let t = self.trace(user);
-        match kind {
+        match record.kind {
             CallKind::New => {
                 t.new_offered += 1;
-                if admitted {
+                if record.admitted {
                     t.new_admitted += 1;
                     t.admit_us = now.as_micros();
                 }
             }
             CallKind::Handoff => {
                 t.handoff_attempts += 1;
-                if admitted {
+                if record.admitted {
                     t.handoff_accepted += 1;
                 } else {
                     t.handoff_dropped += 1;
                     t.last_end_us = now.as_micros();
                 }
             }
+        }
+    }
+
+    fn on_reallocation(
+        &mut self,
+        now: SimTime,
+        cell: CellId,
+        user: UserId,
+        allocated: BandwidthUnits,
+        floor: BandwidthUnits,
+    ) {
+        if allocated < floor {
+            self.capacity_violations.push(format!(
+                "user#{}: reallocated to {} BU below QoS floor {} in cell {} at t={:.1}s",
+                user.0,
+                allocated.get(),
+                floor.get(),
+                cell.0,
+                now.as_secs_f64()
+            ));
         }
     }
 
@@ -393,9 +445,20 @@ impl MetricsSink for InvariantSink {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use facs_cac::ServiceProfile;
 
     fn t(s: f64) -> SimTime {
         SimTime::from_secs_f64(s)
+    }
+
+    /// A rigid paper-profile decision record at nominal allocation.
+    fn rec(user: u64, class: ServiceClass, kind: CallKind, admitted: bool) -> DecisionRecord {
+        let profile = ServiceProfile::paper(class);
+        if admitted {
+            DecisionRecord::admitted(UserId(user), profile, kind, profile.rb_cost_nominal)
+        } else {
+            DecisionRecord::denied(UserId(user), profile, kind)
+        }
     }
 
     #[test]
@@ -404,10 +467,10 @@ mod tests {
         let mut b = TraceDigest::new();
         let events = [(1.0, 0u32, 1u64, true), (2.0, 1, 2, false), (3.0, 2, 3, true)];
         for &(s, cell, user, ok) in &events {
-            a.on_decision(t(s), CellId(cell), UserId(user), ServiceClass::Voice, CallKind::New, ok);
+            a.on_decision(t(s), CellId(cell), &rec(user, ServiceClass::Voice, CallKind::New, ok));
         }
         for &(s, cell, user, ok) in events.iter().rev() {
-            b.on_decision(t(s), CellId(cell), UserId(user), ServiceClass::Voice, CallKind::New, ok);
+            b.on_decision(t(s), CellId(cell), &rec(user, ServiceClass::Voice, CallKind::New, ok));
         }
         assert_eq!(a, b);
         assert_eq!(a.hex(), b.hex());
@@ -423,15 +486,54 @@ mod tests {
                 d.on_decision(
                     t(u as f64),
                     CellId(0),
-                    UserId(u),
-                    ServiceClass::Text,
-                    CallKind::New,
-                    admitted,
+                    &rec(u, ServiceClass::Text, CallKind::New, admitted),
                 );
             }
             d
         };
         assert_ne!(fill(false), fill(true));
+    }
+
+    #[test]
+    fn digest_flips_on_a_degraded_allocation() {
+        // Same verdict, different grant: the digest must tell a nominal
+        // admission from a degraded one.
+        let profile =
+            ServiceProfile::elastic(ServiceClass::Video, BandwidthUnits::new(10), 0.5, 180.0);
+        let at = |bu: u32| {
+            let mut d = TraceDigest::new();
+            let record = DecisionRecord::admitted(
+                UserId(1),
+                profile,
+                CallKind::Handoff,
+                BandwidthUnits::new(bu),
+            );
+            d.on_decision(t(1.0), CellId(0), &record);
+            d
+        };
+        assert_ne!(at(10), at(6));
+    }
+
+    #[test]
+    fn digest_folds_reallocations() {
+        let mut base = TraceDigest::new();
+        base.on_reallocation(
+            t(2.0),
+            CellId(0),
+            UserId(3),
+            BandwidthUnits::new(7),
+            BandwidthUnits::new(5),
+        );
+        assert_eq!(base.events(), 1);
+        let mut other = TraceDigest::new();
+        other.on_reallocation(
+            t(2.0),
+            CellId(0),
+            UserId(3),
+            BandwidthUnits::new(6),
+            BandwidthUnits::new(5),
+        );
+        assert_ne!(base, other, "the new grant must be hashed");
     }
 
     #[test]
@@ -468,17 +570,10 @@ mod tests {
     #[test]
     fn clean_lifecycle_has_no_violations() {
         let mut sink = InvariantSink::new();
-        sink.on_decision(t(1.0), CellId(0), UserId(7), ServiceClass::Voice, CallKind::New, true);
-        sink.on_decision(
-            t(5.0),
-            CellId(1),
-            UserId(7),
-            ServiceClass::Voice,
-            CallKind::Handoff,
-            true,
-        );
+        sink.on_decision(t(1.0), CellId(0), &rec(7, ServiceClass::Voice, CallKind::New, true));
+        sink.on_decision(t(5.0), CellId(1), &rec(7, ServiceClass::Voice, CallKind::Handoff, true));
         sink.on_completion(t(9.0), CellId(1), UserId(7));
-        sink.on_decision(t(2.0), CellId(0), UserId(8), ServiceClass::Video, CallKind::New, false);
+        sink.on_decision(t(2.0), CellId(0), &rec(8, ServiceClass::Video, CallKind::New, false));
         sink.on_cell_sample(t(5.0), CellId(0), 10, 40);
         assert_eq!(sink.violations(), Vec::<String>::new());
         assert_eq!(sink.active_at_horizon(), 0);
@@ -493,7 +588,7 @@ mod tests {
     #[test]
     fn double_completion_is_a_violation() {
         let mut sink = InvariantSink::new();
-        sink.on_decision(t(1.0), CellId(0), UserId(3), ServiceClass::Text, CallKind::New, true);
+        sink.on_decision(t(1.0), CellId(0), &rec(3, ServiceClass::Text, CallKind::New, true));
         sink.on_completion(t(2.0), CellId(0), UserId(3));
         sink.on_completion(t(3.0), CellId(0), UserId(3));
         let violations = sink.violations();
@@ -520,9 +615,63 @@ mod tests {
     }
 
     #[test]
+    fn below_floor_admission_is_a_violation() {
+        let profile =
+            ServiceProfile::elastic(ServiceClass::Video, BandwidthUnits::new(10), 0.5, 180.0);
+        let mut sink = InvariantSink::new();
+        sink.on_decision(
+            t(1.0),
+            CellId(0),
+            &DecisionRecord::admitted(UserId(1), profile, CallKind::New, BandwidthUnits::new(4)),
+        );
+        let violations = sink.violations();
+        assert!(violations.iter().any(|v| v.contains("below QoS floor")), "{violations:?}");
+    }
+
+    #[test]
+    fn above_nominal_admission_is_a_violation() {
+        let profile = ServiceProfile::paper(ServiceClass::Voice);
+        let mut sink = InvariantSink::new();
+        sink.on_decision(
+            t(1.0),
+            CellId(0),
+            &DecisionRecord::admitted(UserId(2), profile, CallKind::New, BandwidthUnits::new(6)),
+        );
+        let violations = sink.violations();
+        assert!(violations.iter().any(|v| v.contains("above nominal")), "{violations:?}");
+    }
+
+    #[test]
+    fn below_floor_reallocation_is_a_violation() {
+        let mut sink = InvariantSink::new();
+        sink.on_reallocation(
+            t(3.0),
+            CellId(1),
+            UserId(5),
+            BandwidthUnits::new(4),
+            BandwidthUnits::new(5),
+        );
+        let violations = sink.violations();
+        assert!(
+            violations.iter().any(|v| v.contains("reallocated") && v.contains("below QoS floor")),
+            "{violations:?}"
+        );
+        // A legal squeeze down to exactly the floor is clean.
+        let mut clean = InvariantSink::new();
+        clean.on_reallocation(
+            t(3.0),
+            CellId(1),
+            UserId(5),
+            BandwidthUnits::new(5),
+            BandwidthUnits::new(5),
+        );
+        assert_eq!(clean.violations(), Vec::<String>::new());
+    }
+
+    #[test]
     fn survivor_balances_conservation() {
         let mut sink = InvariantSink::new();
-        sink.on_decision(t(1.0), CellId(0), UserId(1), ServiceClass::Text, CallKind::New, true);
+        sink.on_decision(t(1.0), CellId(0), &rec(1, ServiceClass::Text, CallKind::New, true));
         assert_eq!(sink.violations(), Vec::<String>::new());
         assert_eq!(sink.active_at_horizon(), 1);
         let mut metrics = Metrics::new();
@@ -535,7 +684,7 @@ mod tests {
         // Admission seen by shard A, completion by shard B: only the
         // merged view can prove conservation.
         let mut a = InvariantSink::new();
-        a.on_decision(t(1.0), CellId(0), UserId(4), ServiceClass::Voice, CallKind::New, true);
+        a.on_decision(t(1.0), CellId(0), &rec(4, ServiceClass::Voice, CallKind::New, true));
         let mut b = InvariantSink::new();
         b.on_completion(t(6.0), CellId(1), UserId(4));
         assert!(!b.violations().is_empty(), "lone completion should look broken");
@@ -549,7 +698,7 @@ mod tests {
     #[test]
     fn cross_check_catches_counter_drift() {
         let mut sink = InvariantSink::new();
-        sink.on_decision(t(1.0), CellId(0), UserId(1), ServiceClass::Text, CallKind::New, true);
+        sink.on_decision(t(1.0), CellId(0), &rec(1, ServiceClass::Text, CallKind::New, true));
         let metrics = Metrics::new(); // never saw the decision
         let drift = sink.cross_check(&metrics);
         assert!(drift.iter().any(|v| v.contains("offered_new")), "{drift:?}");

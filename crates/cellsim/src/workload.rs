@@ -14,6 +14,7 @@
 //! service-class mixes (cf. arXiv:1412.3630, arXiv:1004.4444) and
 //! highway-corridor mobility.
 
+use facs_cac::{ServiceProfile, ServiceProfileSet};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{MobilityKind, UserSpec};
@@ -192,6 +193,12 @@ pub struct Workload {
     pub mobility: MobilityChoice,
     /// Traffic class mix.
     pub mix: TrafficMix,
+    /// Per-class service profiles. `None` reproduces the paper's rigid
+    /// unit costs ([`ServiceProfile::paper`]) with holding times drawn
+    /// from the scenario-level mean — bit-identical to the pre-elastic
+    /// random stream. `Some` attaches elastic profiles and draws each
+    /// call's holding time from its class's mean duration instead.
+    pub profiles: Option<ServiceProfileSet>,
 }
 
 impl Default for Workload {
@@ -207,6 +214,7 @@ impl Default for Workload {
             distance: DistanceSpec::UniformInCell,
             mobility: MobilityChoice::Auto,
             mix: TrafficMix::PAPER,
+            profiles: None,
         }
     }
 }
@@ -313,12 +321,23 @@ impl Workload {
                         _ => MobilityKind::Walker(walker.clone()),
                     },
                 };
+                let profile = match &self.profiles {
+                    Some(set) => set.profile_of(class),
+                    None => ServiceProfile::paper(class),
+                };
+                // Same draw count either way, so attaching profiles only
+                // reparameterizes the holding draw — every earlier draw
+                // in the stream is untouched.
+                let holding_s = match &self.profiles {
+                    Some(_) => HoldingTimes::new(profile.mean_duration_s).sample_s(&mut rng),
+                    None => holding.sample_s(&mut rng),
+                };
                 UserSpec {
                     arrival_s,
-                    class,
+                    profile,
                     start: MobileState::new(position, heading, speed),
                     mobility,
-                    holding_s: holding.sample_s(&mut rng),
+                    holding_s,
                 }
             })
             .collect()
@@ -410,6 +429,20 @@ pub fn catalog() -> Vec<CatalogEntry> {
                 ..ScenarioConfig::default()
             },
         },
+        CatalogEntry {
+            name: "congested",
+            summary: "overloaded elastic multi-class mix on a 7-cell cluster (degradation stress)",
+            config: ScenarioConfig {
+                requests: 420,
+                grid_radius: 1,
+                spawn: SpawnSpec::AnyCell,
+                mix: TrafficMix { text: 0.3, voice: 0.4, video: 0.3 },
+                mobility: MobilityChoice::Walker,
+                holding_mean_s: 120.0,
+                profiles: Some(ServiceProfileSet::elastic_paper(0.5)),
+                ..ScenarioConfig::default()
+            },
+        },
     ]
 }
 
@@ -434,7 +467,15 @@ mod tests {
         let names = catalog_names();
         assert_eq!(
             names,
-            vec!["paper-baseline", "hotspot", "flash-crowd", "rush-hour", "hetero-mix", "highway"]
+            vec![
+                "paper-baseline",
+                "hotspot",
+                "flash-crowd",
+                "rush-hour",
+                "hetero-mix",
+                "highway",
+                "congested"
+            ]
         );
         for name in names {
             assert!(scenario_by_name(name).is_some(), "missing {name}");
@@ -504,7 +545,7 @@ mod tests {
             for (x, y) in a.iter().zip(&b) {
                 assert_eq!(x.arrival_s, y.arrival_s, "{}", entry.name);
                 assert_eq!(x.start, y.start, "{}", entry.name);
-                assert_eq!(x.class, y.class, "{}", entry.name);
+                assert_eq!(x.profile, y.profile, "{}", entry.name);
                 assert_eq!(x.holding_s, y.holding_s, "{}", entry.name);
             }
         }

@@ -1,8 +1,8 @@
 //! The FACS admission controller: FLC1 → FLC2 cascade (paper Fig. 4).
 
 use facs_cac::{
-    AdmissionController, BoxedController, CallKind, CallRequest, CellSnapshot, Decision,
-    MobilityInfo,
+    AdmissionController, AdmissionPlan, BandwidthLedger, BandwidthUnits, BoxedController, CallKind,
+    CallRequest, CellSnapshot, Decision, MobilityInfo,
 };
 use facs_fuzzy::{BackendKind, FuzzyError, InferenceConfig};
 
@@ -85,13 +85,13 @@ pub struct FacsEvaluation {
 /// ```
 /// use facs::FacsController;
 /// use facs_cac::{
-///     AdmissionController, BandwidthUnits, CallId, CallKind, CallRequest, CellSnapshot,
+///     AdmissionController, BandwidthLedger, BandwidthUnits, CallId, CallKind, CallRequest,
 ///     MobilityInfo, ServiceClass,
 /// };
 ///
 /// # fn main() -> Result<(), facs_fuzzy::FuzzyError> {
 /// let mut facs = FacsController::new()?;
-/// let cell = CellSnapshot::empty(BandwidthUnits::new(40));
+/// let mut cell = BandwidthLedger::new(BandwidthUnits::new(40));
 /// // A vehicle heading straight at the BS asking for voice: admitted.
 /// let req = CallRequest::new(
 ///     CallId(1),
@@ -99,7 +99,9 @@ pub struct FacsEvaluation {
 ///     CallKind::New,
 ///     MobilityInfo::new(60.0, 0.0, 2.0),
 /// );
-/// assert!(facs.decide(&req, &cell).admits());
+/// let plan = facs.decide(&req, &cell);
+/// assert!(plan.admits());
+/// cell.allocate(req.id, req.profile).expect("the plan fits");
 /// # Ok(())
 /// # }
 /// ```
@@ -248,27 +250,160 @@ impl AdmissionController for FacsController {
         "FACS"
     }
 
-    fn decide(&mut self, request: &CallRequest, cell: &CellSnapshot) -> Decision {
-        self.evaluate(request, cell).decision
+    fn decide(&mut self, request: &CallRequest, cell: &BandwidthLedger) -> AdmissionPlan {
+        AdmissionPlan::gate(self.evaluate(request, &cell.snapshot()).decision)
+    }
+}
+
+/// FACS with elastic-bandwidth degradation (cf. Chowdhury et al.,
+/// arXiv:1412.3630): the fuzzy cascade still gates every request, but a
+/// fuzzy-accepted call that does not fit at nominal bandwidth is not
+/// immediately lost.
+///
+/// * Any accepted call may enter **self-degraded** — allocated whatever
+///   free bandwidth remains, down to its own QoS floor — squeezing
+///   nobody else.
+/// * Only **handoffs** may additionally trigger degradation of existing
+///   elastic calls toward their floors to make room (users tolerate a
+///   quality dip far better than a dropped call); new calls never
+///   squeeze anyone.
+/// * The cascade is consulted at the **effective occupancy** — live
+///   occupancy net of the slack degradation could reclaim. Occupancy is
+///   an FLC2 input, so an elastic cell full of nominal-rate calls is
+///   genuinely less congested than the raw counter suggests; feeding
+///   the raw value would make the gate reject at exactly the loads
+///   where degradation matters. With rigid profiles nothing is
+///   reclaimable and the effective occupancy *is* the live occupancy.
+///
+/// Degraded calls are re-upgraded toward nominal by the ledger as
+/// bandwidth frees up. With rigid paper profiles (floor == nominal)
+/// every elastic branch above is unreachable and the set of effectively
+/// admitted calls (fuzzy-accepted *and* fitting) is identical to
+/// [`FacsController`]'s — the degradation variant merely folds the
+/// does-it-fit check into the plan instead of leaving it to the
+/// ledger's allocation failure.
+#[derive(Debug, Clone)]
+pub struct FacsDegradeController {
+    inner: FacsController,
+}
+
+impl FacsDegradeController {
+    /// Builds the degradation-aware controller with the default
+    /// (paper-faithful) fuzzy configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FuzzyError`] if the FLCs fail to compile.
+    pub fn new() -> Result<Self, FuzzyError> {
+        Self::with_config(FacsConfig::default())
+    }
+
+    /// Builds the degradation-aware controller over a custom FACS
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FuzzyError`] if the FLCs fail to compile.
+    pub fn with_config(config: FacsConfig) -> Result<Self, FuzzyError> {
+        Ok(Self { inner: FacsController::with_config(config)? })
+    }
+
+    /// A cloneable per-cell factory sharing one compiled prototype — the
+    /// degradation-aware sibling of [`FacsController::factory`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FuzzyError`] if the prototype fails to build.
+    pub fn factory(
+        config: FacsConfig,
+    ) -> Result<impl Fn() -> BoxedController + Send + Sync + Clone, FuzzyError> {
+        let prototype = Self::with_config(config)?;
+        Ok(move || Box::new(prototype.clone()) as BoxedController)
+    }
+
+    /// The wrapped plain FACS controller.
+    #[must_use]
+    pub fn inner(&self) -> &FacsController {
+        &self.inner
+    }
+}
+
+impl AdmissionController for FacsDegradeController {
+    fn name(&self) -> &str {
+        "FACS-degrade"
+    }
+
+    fn decide(&mut self, request: &CallRequest, cell: &BandwidthLedger) -> AdmissionPlan {
+        let snapshot = cell.snapshot();
+        // Gate at the effective occupancy: live occupancy minus the
+        // slack a degradation plan could reclaim. Elastic headroom is
+        // real capacity, and hiding it from FLC2's occupancy input
+        // would make the gate reject at exactly the loads where
+        // degradation matters. Rigid profiles have zero slack, so this
+        // is the live snapshot and the controller degenerates to FACS.
+        let effective = CellSnapshot {
+            occupied: BandwidthUnits::new(
+                snapshot.occupied.get().saturating_sub(cell.reclaimable().get()),
+            ),
+            ..snapshot
+        };
+        let eval = self.inner.evaluate(request, &effective);
+        let profile = request.profile;
+        if !eval.decision.admits() {
+            return AdmissionPlan::Reject(eval.decision);
+        }
+        let free = cell.free();
+        if profile.rb_cost_nominal <= free {
+            return AdmissionPlan::Admit(eval.decision);
+        }
+        // Enter self-degraded on the remaining free bandwidth (>= own
+        // floor). Allowed for new calls too: nobody else is squeezed.
+        if profile.rb_cost_min <= free {
+            return AdmissionPlan::AdmitDegraded {
+                decision: eval.decision,
+                squeezes: Vec::new(),
+                grant: free,
+            };
+        }
+        // Squeezing existing calls toward their floors is reserved for
+        // handoffs, which would otherwise be dropped mid-call.
+        if request.kind == CallKind::Handoff {
+            if let Some(squeezes) = cell.degradation_squeezes(profile.rb_cost_min) {
+                return AdmissionPlan::AdmitDegraded {
+                    decision: eval.decision,
+                    squeezes,
+                    grant: profile.rb_cost_min,
+                };
+            }
+        }
+        AdmissionPlan::Reject(Decision::reject(eval.score))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use facs_cac::{BandwidthUnits, CallId, ServiceClass};
+    use facs_cac::{BandwidthUnits, CallId, ServiceClass, ServiceProfile};
 
     fn facs() -> FacsController {
         FacsController::new().expect("FACS builds")
     }
 
     fn cell(occupied: u32) -> CellSnapshot {
-        CellSnapshot {
-            capacity: BandwidthUnits::new(40),
-            occupied: BandwidthUnits::new(occupied),
-            real_time_calls: 0,
-            non_real_time_calls: 0,
+        CellSnapshot::loaded(BandwidthUnits::new(40), BandwidthUnits::new(occupied))
+    }
+
+    /// A 40-BU ledger pre-loaded to `occupied` via one rigid filler call.
+    fn ledger(occupied: u32) -> BandwidthLedger {
+        let mut l = BandwidthLedger::new(BandwidthUnits::new(40));
+        if occupied > 0 {
+            l.allocate(
+                CallId(999),
+                ServiceProfile::fixed(ServiceClass::Text, BandwidthUnits::new(occupied)),
+            )
+            .unwrap();
         }
+        l
     }
 
     fn req(class: ServiceClass, kind: CallKind, mobility: MobilityInfo) -> CallRequest {
@@ -279,15 +414,15 @@ mod tests {
     fn admits_good_users_into_light_cell() {
         let mut facs = facs();
         let r = req(ServiceClass::Voice, CallKind::New, MobilityInfo::new(60.0, 0.0, 2.0));
-        assert!(facs.decide(&r, &cell(0)).admits());
-        assert!(facs.decide(&r, &cell(5)).admits());
+        assert!(facs.decide(&r, &ledger(0)).admits());
+        assert!(facs.decide(&r, &ledger(5)).admits());
     }
 
     #[test]
     fn rejects_video_into_full_cell_even_with_perfect_mobility() {
         let mut facs = facs();
         let r = req(ServiceClass::Video, CallKind::New, MobilityInfo::new(60.0, 0.0, 1.0));
-        assert!(!facs.decide(&r, &cell(39)).admits());
+        assert!(!facs.decide(&r, &ledger(39)).admits());
     }
 
     #[test]
@@ -296,8 +431,8 @@ mod tests {
         let good = req(ServiceClass::Voice, CallKind::New, MobilityInfo::new(60.0, 0.0, 2.0));
         let bad = req(ServiceClass::Voice, CallKind::New, MobilityInfo::new(5.0, 170.0, 9.0));
         // Moderate occupancy: good mobility admitted, bad denied.
-        assert!(facs.decide(&good, &cell(20)).admits());
-        assert!(!facs.decide(&bad, &cell(20)).admits());
+        assert!(facs.decide(&good, &ledger(20)).admits());
+        assert!(!facs.decide(&bad, &ledger(20)).admits());
     }
 
     #[test]
@@ -390,23 +525,13 @@ mod tests {
         let big =
             FacsController::with_config(FacsConfig { capacity_bu: 80, ..FacsConfig::default() })
                 .unwrap();
-        let big_cell = CellSnapshot {
-            capacity: BandwidthUnits::new(80),
-            occupied: BandwidthUnits::new(40),
-            real_time_calls: 0,
-            non_real_time_calls: 0,
-        };
+        let big_cell = CellSnapshot::loaded(BandwidthUnits::new(80), BandwidthUnits::new(40));
         let r = req(ServiceClass::Voice, CallKind::New, MobilityInfo::new(60.0, 0.0, 2.0));
         let eval = big.evaluate(&r, &big_cell);
         // Good cv at middle occupancy -> accept (G ? M -> A).
         assert!(eval.decision.admits());
         // Same controller, nearly full big cell -> reject.
-        let full_cell = CellSnapshot {
-            capacity: BandwidthUnits::new(80),
-            occupied: BandwidthUnits::new(78),
-            real_time_calls: 0,
-            non_real_time_calls: 0,
-        };
+        let full_cell = CellSnapshot::loaded(BandwidthUnits::new(80), BandwidthUnits::new(78));
         let r_vid = req(ServiceClass::Video, CallKind::New, MobilityInfo::new(60.0, 0.0, 2.0));
         assert!(!big.evaluate(&r_vid, &full_cell).decision.admits());
     }
@@ -415,17 +540,140 @@ mod tests {
     fn decide_matches_evaluate() {
         let mut facs = facs();
         let r = req(ServiceClass::Text, CallKind::New, MobilityInfo::new(45.0, 30.0, 5.0));
-        let c = cell(12);
-        let eval = facs.evaluate(&r, &c);
-        let decision = facs.decide(&r, &c);
-        assert_eq!(eval.decision.admits(), decision.admits());
-        assert_eq!(eval.decision.score(), decision.score());
+        let l = ledger(12);
+        let eval = facs.evaluate(&r, &l.snapshot());
+        let plan = facs.decide(&r, &l);
+        assert_eq!(eval.decision.admits(), plan.admits());
+        assert_eq!(eval.decision.score(), plan.decision().score());
+        assert!(!plan.is_degraded(), "plain FACS never degrades");
     }
 
     #[test]
     fn controller_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<FacsController>();
+        assert_send::<FacsDegradeController>();
+    }
+
+    /// A fuzzy gate that always accepts, isolating the elastic logic.
+    fn lax_degrade() -> FacsDegradeController {
+        FacsDegradeController::with_config(FacsConfig { threshold: -2.0, ..FacsConfig::default() })
+            .unwrap()
+    }
+
+    /// 40 BU fully occupied by four elastic video calls at nominal
+    /// (each 10 BU nominal, 5 BU floor — 20 BU reclaimable).
+    fn elastic_full_ledger() -> BandwidthLedger {
+        let mut l = BandwidthLedger::new(BandwidthUnits::new(40));
+        for i in 0..4 {
+            l.allocate(
+                CallId(100 + i),
+                ServiceProfile::elastic(ServiceClass::Video, BandwidthUnits::new(10), 0.5, 180.0),
+            )
+            .unwrap();
+        }
+        l
+    }
+
+    fn elastic_voice() -> ServiceProfile {
+        // Nominal 5 BU, floor ceil(5 * 0.4) = 2 BU.
+        ServiceProfile::elastic(ServiceClass::Voice, BandwidthUnits::new(5), 0.4, 120.0)
+    }
+
+    #[test]
+    fn handoff_squeezes_elastic_calls_into_a_full_cell() {
+        let mut deg = lax_degrade();
+        let mut l = elastic_full_ledger();
+        let r = req(ServiceClass::Voice, CallKind::Handoff, MobilityInfo::new(60.0, 0.0, 2.0))
+            .with_profile(elastic_voice());
+        let plan = deg.decide(&r, &l);
+        match plan {
+            AdmissionPlan::AdmitDegraded { ref squeezes, grant, .. } => {
+                assert!(!squeezes.is_empty(), "a full cell needs squeezes");
+                assert_eq!(grant, r.profile.rb_cost_min);
+                // The plan must actually be applicable.
+                l.admit_with_plan(r.id, r.profile, grant, squeezes).unwrap();
+                assert_eq!(l.allocated_to(r.id).unwrap().get(), 2);
+            }
+            other => panic!("expected AdmitDegraded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn new_calls_never_squeeze_existing_calls() {
+        let mut deg = lax_degrade();
+        let l = elastic_full_ledger();
+        let r = req(ServiceClass::Voice, CallKind::New, MobilityInfo::new(60.0, 0.0, 2.0))
+            .with_profile(elastic_voice());
+        let plan = deg.decide(&r, &l);
+        assert!(!plan.admits(), "new calls may not degrade others: {plan:?}");
+    }
+
+    #[test]
+    fn entering_call_self_degrades_onto_free_bandwidth() {
+        let mut deg = lax_degrade();
+        // 37 occupied: 3 BU free, below voice nominal (5) but >= floor (2).
+        let l = ledger(37);
+        let r = req(ServiceClass::Voice, CallKind::New, MobilityInfo::new(60.0, 0.0, 2.0))
+            .with_profile(elastic_voice());
+        match deg.decide(&r, &l) {
+            AdmissionPlan::AdmitDegraded { squeezes, grant, .. } => {
+                assert!(squeezes.is_empty(), "self-degradation squeezes nobody");
+                assert_eq!(grant.get(), 3);
+            }
+            other => panic!("expected AdmitDegraded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn congested_handoff_is_squeezed_in_rather_than_dropped() {
+        // Default threshold: the fuzzy gate genuinely rejects at full
+        // occupancy but accepts at the post-squeeze occupancy, so the
+        // relief branch converts a drop into a floor-grant admission.
+        let mut deg = FacsDegradeController::new().unwrap();
+        let mut plain = facs();
+        let l = elastic_full_ledger();
+        let r = req(ServiceClass::Voice, CallKind::Handoff, MobilityInfo::new(60.0, 0.0, 2.0))
+            .with_profile(elastic_voice());
+        assert!(!plain.decide(&r, &l).admits(), "plain FACS drops this handoff");
+        match deg.decide(&r, &l) {
+            AdmissionPlan::AdmitDegraded { ref squeezes, grant, decision } => {
+                assert!(!squeezes.is_empty(), "a full cell needs squeezes");
+                assert_eq!(grant, r.profile.rb_cost_min);
+                assert!(decision.admits(), "the plan carries the accepting post-squeeze verdict");
+            }
+            other => panic!("expected AdmitDegraded, got {other:?}"),
+        }
+        // The same congested cell still rejects a *new* call: squeezing
+        // existing users is reserved for calls that would be dropped.
+        let n = req(ServiceClass::Voice, CallKind::New, MobilityInfo::new(60.0, 0.0, 2.0))
+            .with_profile(elastic_voice());
+        assert!(!deg.decide(&n, &l).admits(), "new calls may not trigger relief squeezes");
+    }
+
+    #[test]
+    fn rigid_profiles_degenerate_to_plain_facs() {
+        let mut plain = facs();
+        let mut deg = FacsDegradeController::new().unwrap();
+        for occupied in 0..=40 {
+            let l = ledger(occupied);
+            for class in ServiceClass::ALL {
+                for kind in [CallKind::New, CallKind::Handoff] {
+                    let r = req(class, kind, MobilityInfo::new(45.0, 20.0, 4.0));
+                    let a = plain.decide(&r, &l);
+                    let b = deg.decide(&r, &l);
+                    // Effective admission (fuzzy-accepted AND fitting)
+                    // must match; the paper profile leaves no slack so
+                    // nothing may ever be degraded.
+                    assert_eq!(
+                        a.admits() && l.can_fit(r.demand()),
+                        b.admits(),
+                        "{class} {kind:?} at occupancy {occupied}"
+                    );
+                    assert!(!b.is_degraded());
+                }
+            }
+        }
     }
 
     #[test]

@@ -14,29 +14,31 @@
 //! * [`FacsController`] cascades the two (paper Fig. 4) and implements
 //!   the [`facs_cac::AdmissionController`] trait, so the simulator and
 //!   the distributed runtime can drive it interchangeably with the
-//!   baselines.
+//!   baselines. [`FacsDegradeController`] wraps it with elastic-bandwidth
+//!   degradation: handoffs that do not fit at nominal bandwidth may
+//!   squeeze existing elastic calls toward their QoS floors.
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use facs::FacsController;
 //! use facs_cac::{
-//!     AdmissionController, BandwidthUnits, CallId, CallKind, CallRequest, CellSnapshot,
+//!     AdmissionController, BandwidthLedger, BandwidthUnits, CallId, CallKind, CallRequest,
 //!     MobilityInfo, ServiceClass,
 //! };
 //!
 //! # fn main() -> Result<(), facs_fuzzy::FuzzyError> {
 //! let mut controller = FacsController::new()?;
-//! let cell = CellSnapshot::empty(BandwidthUnits::new(40));
+//! let mut cell = BandwidthLedger::new(BandwidthUnits::new(40));
 //! let request = CallRequest::new(
 //!     CallId(7),
 //!     ServiceClass::Video,
 //!     CallKind::New,
 //!     MobilityInfo::new(45.0, 15.0, 3.0), // 45 km/h, 15° off-bearing, 3 km out
 //! );
-//! let decision = controller.decide(&request, &cell);
-//! assert!(decision.admits());
-//! println!("{decision}");
+//! let plan = controller.decide(&request, &cell);
+//! assert!(plan.admits());
+//! cell.allocate(request.id, request.profile).expect("10 BU fit in an empty cell");
 //! # Ok(())
 //! # }
 //! ```
@@ -51,14 +53,16 @@ pub mod flc2;
 mod surface_cache;
 pub mod tables;
 
-pub use controller::{FacsConfig, FacsController, FacsEvaluation};
+pub use controller::{FacsConfig, FacsController, FacsDegradeController, FacsEvaluation};
 pub use flc1::Flc1;
 pub use flc2::Flc2;
 pub use tables::{FRB1, FRB2};
 
 /// Commonly used items, for glob import in applications and examples.
 pub mod prelude {
-    pub use crate::controller::{FacsConfig, FacsController, FacsEvaluation};
+    pub use crate::controller::{
+        FacsConfig, FacsController, FacsDegradeController, FacsEvaluation,
+    };
     pub use crate::flc1::Flc1;
     pub use crate::flc2::Flc2;
 }

@@ -50,12 +50,7 @@ const FLC1_TOLERANCE: f64 = 0.15;
 const FLC2_TOLERANCE: f64 = 0.10;
 
 fn snapshot(occupied: u32) -> CellSnapshot {
-    CellSnapshot {
-        capacity: BandwidthUnits::new(40),
-        occupied: BandwidthUnits::new(occupied.min(40)),
-        real_time_calls: 0,
-        non_real_time_calls: 0,
-    }
+    CellSnapshot::loaded(BandwidthUnits::new(40), BandwidthUnits::new(occupied.min(40)))
 }
 
 proptest! {

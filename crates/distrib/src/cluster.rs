@@ -15,8 +15,8 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{bounded, unbounded, Sender};
 use facs::{FacsConfig, FacsController};
 use facs_cac::{
-    AdmissionController, BandwidthLedger, BandwidthUnits, BoxedController, CallId, CallRequest,
-    CellId,
+    AdmissionController, AdmissionPlan, BandwidthLedger, BandwidthUnits, BoxedController, CallId,
+    CallRequest, CellId,
 };
 use facs_cellsim::HexGrid;
 use facs_fuzzy::FuzzyError;
@@ -54,10 +54,30 @@ impl BsActor {
         while let Ok(message) = rx.recv() {
             match message {
                 BsMessage::Admission { request, reply } => {
-                    let snapshot = self.ledger.snapshot();
-                    let decision = self.controller.decide(&request, &snapshot);
-                    let admitted = decision.admits()
-                        && self.ledger.allocate(request.id, request.class).is_ok();
+                    let plan = self.controller.decide(&request, &self.ledger);
+                    let decision = plan.decision();
+                    let allocated = match plan {
+                        AdmissionPlan::Reject(_) => BandwidthUnits::ZERO,
+                        AdmissionPlan::Admit(_) => {
+                            if self.ledger.allocate(request.id, request.profile).is_ok() {
+                                request.profile.rb_cost_nominal
+                            } else {
+                                BandwidthUnits::ZERO
+                            }
+                        }
+                        AdmissionPlan::AdmitDegraded { squeezes, grant, .. } => {
+                            if self
+                                .ledger
+                                .admit_with_plan(request.id, request.profile, grant, &squeezes)
+                                .is_ok()
+                            {
+                                grant
+                            } else {
+                                BandwidthUnits::ZERO
+                            }
+                        }
+                    };
+                    let admitted = !allocated.is_zero();
                     if admitted {
                         let after = self.ledger.snapshot();
                         self.controller.on_admitted(&request, &after);
@@ -68,13 +88,15 @@ impl BsActor {
                         admitted,
                         margin: decision.margin(),
                         decision,
+                        allocated,
                         occupied_after: self.ledger.occupied(),
                     });
                 }
                 BsMessage::Release { call } => {
-                    if let Ok(class) = self.ledger.release(call) {
+                    if let Ok(profile) = self.ledger.release(call) {
+                        let _ = self.ledger.reupgrade_on_release();
                         let after = self.ledger.snapshot();
-                        self.controller.on_released(call, class, &after);
+                        self.controller.on_released(call, profile.class, &after);
                     }
                 }
                 BsMessage::Occupancy { reply } => {
@@ -276,10 +298,11 @@ impl Cluster {
             let call = CallId(i as u64);
             let request = CallRequest::new(
                 call,
-                spec.class,
+                spec.profile.class,
                 facs_cac::CallKind::New,
                 spec.start.observe(grid.center_of(cell)),
-            );
+            )
+            .with_profile(spec.profile);
             let outcome = self.request_admission(cell, request)?;
             if outcome.admitted {
                 let end_s = spec.arrival_s + spec.holding_s;

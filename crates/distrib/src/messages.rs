@@ -17,6 +17,10 @@ pub struct AdmissionOutcome {
     /// The controller's soft decision (may admit even when allocation
     /// failed; `admitted` is authoritative).
     pub decision: Decision,
+    /// Bandwidth actually granted: the profile's nominal on a plain
+    /// admit, the degraded grant on an elastic squeeze-in, zero on
+    /// denial (or when the allocation no longer fit).
+    pub allocated: BandwidthUnits,
     /// The cell's occupancy after processing.
     pub occupied_after: BandwidthUnits,
 }

@@ -2,7 +2,8 @@
 //! shadow cluster, with a survivability-style utilization threshold.
 
 use facs_cac::{
-    AdmissionController, CallId, CallRequest, CellId, CellSnapshot, Decision, ServiceClass,
+    AdmissionController, AdmissionPlan, BandwidthLedger, CallId, CallRequest, CellId, CellSnapshot,
+    Decision, ServiceClass,
 };
 use facs_cellsim::HexGrid;
 
@@ -98,11 +99,12 @@ impl AdmissionController for SccController {
         false
     }
 
-    fn decide(&mut self, request: &CallRequest, cell: &CellSnapshot) -> Decision {
+    fn decide(&mut self, request: &CallRequest, cell: &BandwidthLedger) -> AdmissionPlan {
+        let cell = cell.snapshot();
         let demand = f64::from(request.demand().get());
         let capacity = f64::from(cell.capacity.get());
         let budget = capacity * self.config.threshold;
-        let projected = self.projected_demand_bu(cell);
+        let projected = self.projected_demand_bu(&cell);
         // Soft score: remaining budget after this call, as a fraction of
         // the budget, mapped onto [-1, 1].
         let headroom = (budget - projected - demand) / budget.max(f64::MIN_POSITIVE);
@@ -123,11 +125,11 @@ impl AdmissionController for SccController {
                 }
             }
         }
-        if admit {
+        AdmissionPlan::gate(if admit {
             Decision::accept(headroom.clamp(0.0, 1.0))
         } else {
             Decision::reject(headroom.clamp(-1.0, 0.0))
-        }
+        })
     }
 
     fn on_admitted(&mut self, request: &CallRequest, cell: &CellSnapshot) {
@@ -195,15 +197,23 @@ impl SccNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use facs_cac::{BandwidthUnits, CallKind, MobilityInfo};
+    use facs_cac::{BandwidthUnits, CallKind, MobilityInfo, ServiceProfile};
 
     fn snapshot(occupied: u32) -> CellSnapshot {
-        CellSnapshot {
-            capacity: BandwidthUnits::new(40),
-            occupied: BandwidthUnits::new(occupied),
-            real_time_calls: 0,
-            non_real_time_calls: 0,
+        CellSnapshot::loaded(BandwidthUnits::new(40), BandwidthUnits::new(occupied))
+    }
+
+    /// A 40-BU ledger pre-loaded to `occupied` via one rigid filler call.
+    fn ledger(occupied: u32) -> BandwidthLedger {
+        let mut l = BandwidthLedger::new(BandwidthUnits::new(40));
+        if occupied > 0 {
+            l.allocate(
+                CallId(999),
+                ServiceProfile::fixed(ServiceClass::Text, BandwidthUnits::new(occupied)),
+            )
+            .unwrap();
         }
+        l
     }
 
     fn request(id: u64, class: ServiceClass, mobility: MobilityInfo) -> CallRequest {
@@ -223,8 +233,8 @@ mod tests {
     fn admits_below_threshold_budget() {
         let mut scc = single_cell_controller(0.65); // budget 26 BU
         let req = request(1, ServiceClass::Video, MobilityInfo::stationary());
-        assert!(scc.decide(&req, &snapshot(10)).admits()); // 10+10=20 <= 26
-        assert!(!scc.decide(&req, &snapshot(20)).admits()); // 20+10=30 > 26
+        assert!(scc.decide(&req, &ledger(10)).admits()); // 10+10=20 <= 26
+        assert!(!scc.decide(&req, &ledger(20)).admits()); // 20+10=30 > 26
     }
 
     #[test]
@@ -233,7 +243,7 @@ mod tests {
         // well before that.
         let mut scc = single_cell_controller(0.65);
         let req = request(1, ServiceClass::Text, MobilityInfo::stationary());
-        assert!(!scc.decide(&req, &snapshot(30)).admits());
+        assert!(!scc.decide(&req, &ledger(30)).admits());
     }
 
     #[test]
@@ -243,7 +253,7 @@ mod tests {
             for class in ServiceClass::ALL {
                 let req = request(1, class, MobilityInfo::stationary());
                 let cs = occupied + class.demand().get() <= 40;
-                assert_eq!(scc.decide(&req, &snapshot(occupied)).admits(), cs);
+                assert_eq!(scc.decide(&req, &ledger(occupied)).admits(), cs);
             }
         }
     }
@@ -258,10 +268,10 @@ mod tests {
             SccConfig { threshold: 0.65, ..SccConfig::default() },
         );
         let req = request(7, ServiceClass::Video, MobilityInfo::stationary());
-        assert!(scc.decide(&req, &snapshot(10)).admits());
+        assert!(scc.decide(&req, &ledger(10)).admits());
         // A neighbor's actives now project 8 BU onto this cell.
         board.post(CallId(99), vec![(CellId(0), 8.0)]);
-        assert!(!scc.decide(&req, &snapshot(10)).admits());
+        assert!(!scc.decide(&req, &ledger(10)).admits());
     }
 
     #[test]
@@ -300,16 +310,16 @@ mod tests {
     fn capacity_always_binds() {
         let mut scc = single_cell_controller(1.0);
         let req = request(1, ServiceClass::Video, MobilityInfo::stationary());
-        assert!(!scc.decide(&req, &snapshot(35)).admits());
+        assert!(!scc.decide(&req, &ledger(35)).admits());
     }
 
     #[test]
     fn decision_scores_reflect_headroom() {
         let mut scc = single_cell_controller(1.0);
         let req = request(1, ServiceClass::Text, MobilityInfo::stationary());
-        let roomy = scc.decide(&req, &snapshot(0));
-        let tight = scc.decide(&req, &snapshot(38));
-        assert!(roomy.score() > tight.score());
+        let roomy = scc.decide(&req, &ledger(0));
+        let tight = scc.decide(&req, &ledger(38));
+        assert!(roomy.decision().score() > tight.decision().score());
     }
 
     #[test]

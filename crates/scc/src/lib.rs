@@ -28,15 +28,15 @@
 //! ## Example
 //!
 //! ```
-//! use facs_cac::{AdmissionController, BandwidthUnits, CallId, CallKind, CallRequest,
-//!               CellSnapshot, MobilityInfo, ServiceClass};
+//! use facs_cac::{AdmissionController, BandwidthLedger, BandwidthUnits, CallId, CallKind,
+//!               CallRequest, MobilityInfo, ServiceClass};
 //! use facs_cellsim::HexGrid;
 //! use facs_scc::{SccConfig, SccNetwork};
 //!
 //! let grid = HexGrid::new(1, 10.0);
 //! let network = SccNetwork::new(SccConfig::default());
 //! let mut controllers = network.controllers(&grid);
-//! let cell = CellSnapshot::empty(BandwidthUnits::new(40));
+//! let cell = BandwidthLedger::new(BandwidthUnits::new(40));
 //! let request = CallRequest::new(
 //!     CallId(1),
 //!     ServiceClass::Voice,

@@ -29,16 +29,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             evaluation.correction_value, evaluation.decision
         );
         if evaluation.decision.admits() {
-            ledger.allocate(request.id, request.class)?;
+            ledger.allocate(request.id, request.profile)?;
         }
     }
 
+    let counts = ledger.counts();
     println!(
-        "\ncell state: {} / {} occupied, {} real-time call(s), {} non-real-time",
+        "\ncell state: {} / {} occupied, {} text / {} voice / {} video call(s)",
         ledger.occupied(),
         ledger.capacity(),
-        ledger.real_time_calls(),
-        ledger.non_real_time_calls(),
+        counts.text,
+        counts.voice,
+        counts.video,
     );
     Ok(())
 }

@@ -19,14 +19,14 @@
 //!
 //! ```
 //! use facs_suite::cac::{
-//!     AdmissionController, BandwidthUnits, CallId, CallKind, CallRequest, CellSnapshot,
+//!     AdmissionController, BandwidthLedger, BandwidthUnits, CallId, CallKind, CallRequest,
 //!     MobilityInfo, ServiceClass,
 //! };
 //! use facs_suite::core::FacsController;
 //!
 //! # fn main() -> Result<(), facs_suite::fuzzy::FuzzyError> {
 //! let mut facs = FacsController::new()?;
-//! let cell = CellSnapshot::empty(BandwidthUnits::new(40));
+//! let cell = BandwidthLedger::new(BandwidthUnits::new(40));
 //! let request = CallRequest::new(
 //!     CallId(1),
 //!     ServiceClass::Voice,

@@ -10,12 +10,7 @@ use facs_cac::{
 use facs_cellsim::SimRng;
 
 fn snapshot(occupied: u32) -> CellSnapshot {
-    CellSnapshot {
-        capacity: BandwidthUnits::new(40),
-        occupied: BandwidthUnits::new(occupied),
-        real_time_calls: 0,
-        non_real_time_calls: 0,
-    }
+    CellSnapshot::loaded(BandwidthUnits::new(40), BandwidthUnits::new(occupied))
 }
 
 #[test]

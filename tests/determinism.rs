@@ -4,7 +4,7 @@
 //! the parallel replication/sweep runners must be bit-identical to a
 //! sequential fold.
 
-use facs::{FacsConfig, FacsController};
+use facs::{FacsConfig, FacsController, FacsDegradeController};
 use facs_cac::policies::{CompleteSharing, GuardChannel};
 use facs_cac::{BandwidthUnits, BoxedController};
 use facs_cellsim::prelude::*;
@@ -51,6 +51,14 @@ fn builders() -> Vec<(&'static str, BoxedBuilder)> {
             }),
         ),
         ("facs-compiled", compiled_facs_builder()),
+        (
+            "facs-degrade",
+            Box::new(|grid: &HexGrid| {
+                grid.cell_ids()
+                    .map(|_| Box::new(FacsDegradeController::new().unwrap()) as BoxedController)
+                    .collect()
+            }),
+        ),
         ("scc", Box::new(|grid: &HexGrid| SccNetwork::new(SccConfig::default()).controllers(grid))),
         (
             "cs",
@@ -98,7 +106,7 @@ fn workload_is_policy_independent() {
     assert_eq!(w1.len(), w2.len());
     for (a, b) in w1.iter().zip(&w2) {
         assert_eq!(a.arrival_s, b.arrival_s);
-        assert_eq!(a.class, b.class);
+        assert_eq!(a.profile, b.profile);
         assert_eq!(a.start, b.start);
         assert_eq!(a.holding_s, b.holding_s);
     }
@@ -184,7 +192,7 @@ fn catalog_shards_are_bit_identical_on_both_backends() {
                 cfg.run_once(cfg.seed, build.as_ref())
             };
             let single = run(1);
-            for shards in [2, 4] {
+            for shards in [2, 4, 7] {
                 assert_eq!(
                     single,
                     run(shards),

@@ -3,8 +3,8 @@
 
 use facs::FacsController;
 use facs_cac::{
-    AdmissionController, BandwidthLedger, BandwidthUnits, BoxedController, CallId, CallKind,
-    CallRequest, CellId, MobilityInfo, ServiceClass,
+    AdmissionController, AdmissionPlan, BandwidthLedger, BandwidthUnits, BoxedController, CallId,
+    CallKind, CallRequest, CellId, MobilityInfo, ServiceClass,
 };
 use facs_cellsim::{HexGrid, SimRng};
 use facs_distrib::Cluster;
@@ -61,17 +61,23 @@ fn cluster_matches_in_process_controller() {
     for step in &steps {
         match step {
             ScriptStep::Admit(request) => {
-                let decision = controller.decide(request, &ledger.snapshot());
-                let admitted =
-                    decision.admits() && ledger.allocate(request.id, request.class).is_ok();
+                // Mirrors the BS actor's plan handling exactly.
+                let admitted = match controller.decide(request, &ledger) {
+                    AdmissionPlan::Reject(_) => false,
+                    AdmissionPlan::Admit(_) => ledger.allocate(request.id, request.profile).is_ok(),
+                    AdmissionPlan::AdmitDegraded { squeezes, grant, .. } => ledger
+                        .admit_with_plan(request.id, request.profile, grant, &squeezes)
+                        .is_ok(),
+                };
                 if admitted {
                     controller.on_admitted(request, &ledger.snapshot());
                 }
                 reference.push(Some(admitted));
             }
             ScriptStep::Release(call) => {
-                if let Ok(class) = ledger.release(*call) {
-                    controller.on_released(*call, class, &ledger.snapshot());
+                if let Ok(profile) = ledger.release(*call) {
+                    let _ = ledger.reupgrade_on_release();
+                    controller.on_released(*call, profile.class, &ledger.snapshot());
                 }
                 reference.push(None);
             }

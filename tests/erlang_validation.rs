@@ -3,7 +3,7 @@
 //! block at the analytical rate.
 
 use facs_cac::policies::CompleteSharing;
-use facs_cac::{BandwidthUnits, BoxedController, ServiceClass};
+use facs_cac::{BandwidthUnits, BoxedController, ServiceClass, ServiceProfile};
 use facs_cellsim::erlang::erlang_b;
 use facs_cellsim::geometry::{HexGrid, Point};
 use facs_cellsim::mobility::MobileState;
@@ -24,7 +24,8 @@ fn mm_c_c_workload(rate_per_s: f64, holding_s: f64, window_s: f64, seed: u64) ->
         }
         specs.push(UserSpec {
             arrival_s: t,
-            class: ServiceClass::Voice, // 5 BU => capacity 40 BU = 8 servers
+            // Rigid paper profile: 5 BU => capacity 40 BU = 8 servers.
+            profile: ServiceProfile::paper(ServiceClass::Voice),
             start: MobileState::new(Point::new(1.0, 0.0), 0.0, 0.0),
             mobility: MobilityKind::StraightLine,
             holding_s: rng.exponential(holding_s),

@@ -5,7 +5,10 @@
 //! hand back a strictly smaller failing workload.
 
 use facs_cac::policies::CompleteSharing;
-use facs_cac::{AdmissionController, BoxedController, CallId, CallRequest, CellSnapshot, Decision};
+use facs_cac::{
+    AdmissionController, AdmissionPlan, BandwidthLedger, BoxedController, CallId, CallRequest,
+    Decision,
+};
 use facs_cellsim::prelude::*;
 use facs_cellsim::{
     catalog, complexity, shrink, shrink_candidates, HexGrid, InvariantSink, TraceDigest,
@@ -79,9 +82,9 @@ impl AdmissionController for DenyOne {
         "deny-one"
     }
 
-    fn decide(&mut self, request: &CallRequest, cell: &CellSnapshot) -> Decision {
+    fn decide(&mut self, request: &CallRequest, cell: &BandwidthLedger) -> AdmissionPlan {
         if request.id == self.victim {
-            Decision::binary(false)
+            AdmissionPlan::Reject(Decision::binary(false))
         } else {
             self.inner.decide(request, cell)
         }

@@ -4,34 +4,33 @@
 //! empty cell, reached exclusively through `facs_suite::` re-exports.
 
 use facs_suite::cac::{
-    AdmissionController, BandwidthUnits, CallId, CallKind, CallRequest, CellSnapshot, MobilityInfo,
-    ServiceClass,
+    AdmissionController, BandwidthLedger, BandwidthUnits, CallId, CallKind, CallRequest,
+    MobilityInfo, ServiceClass, ServiceProfile,
 };
 use facs_suite::core::FacsController;
 
 #[test]
 fn quickstart_admits_on_empty_cell() {
     let mut facs = FacsController::new().expect("default FACS controller builds");
-    let cell = CellSnapshot::empty(BandwidthUnits::new(40));
+    let cell = BandwidthLedger::new(BandwidthUnits::new(40));
     let request = CallRequest::new(
         CallId(1),
         ServiceClass::Voice,
         CallKind::New,
         MobilityInfo::new(60.0, 10.0, 2.5),
     );
-    let decision = facs.decide(&request, &cell);
-    assert!(decision.admits(), "empty cell must admit the quickstart request: {decision}");
+    let plan = facs.decide(&request, &cell);
+    assert!(plan.admits(), "empty cell must admit the quickstart request: {:?}", plan.decision());
 }
 
 #[test]
 fn quickstart_rejects_on_full_cell() {
     let mut facs = FacsController::new().unwrap();
-    let full = CellSnapshot {
-        capacity: BandwidthUnits::new(40),
-        occupied: BandwidthUnits::new(40),
-        real_time_calls: 8,
-        non_real_time_calls: 0,
-    };
+    // 8 rigid voice calls fill the 40-BU cell completely.
+    let mut full = BandwidthLedger::new(BandwidthUnits::new(40));
+    for i in 0..8 {
+        full.allocate(CallId(100 + i), ServiceProfile::paper(ServiceClass::Voice)).unwrap();
+    }
     let request = CallRequest::new(
         CallId(2),
         ServiceClass::Video,

@@ -7,6 +7,7 @@
 //! experiments --exp fig10 --reps 6
 //! experiments --exp catalog --out-dir results/catalog   # JSON per scenario
 //! experiments --exp throughput --shards 1,4             # 1M-user smoke
+//! experiments --exp trajectory --label "my change"      # record history
 //! experiments --exp validate --cases 50                 # fuzzed invariants
 //! experiments --exp golden --check                      # golden digests
 //! experiments --list
@@ -45,6 +46,7 @@ const EXPERIMENTS: &[&str] = &[
     "backend",
     "catalog",
     "throughput",
+    "trajectory",
     "validate",
     "golden",
 ];
@@ -77,6 +79,10 @@ fn main() {
     let mut check = false;
     let mut baseline_path: Option<String> = None;
     let mut tolerance: f64 = 0.5;
+    let mut trajectory_path = "BENCH_trajectory.json".to_owned();
+    let mut workers: usize = 0;
+    let mut label: Option<String> = None;
+    let mut sizes: Vec<usize> = vec![10_000, 100_000, 1_000_000];
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -149,6 +155,37 @@ fn main() {
             }
             "--baseline" if i + 1 < args.len() => {
                 baseline_path = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--workers" if i + 1 < args.len() => {
+                workers = args[i + 1].parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --workers value `{}`", args[i + 1]);
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--trajectory" if i + 1 < args.len() => {
+                trajectory_path = args[i + 1].clone();
+                i += 2;
+            }
+            "--label" if i + 1 < args.len() => {
+                label = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--sizes" if i + 1 < args.len() => {
+                sizes = args[i + 1]
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("invalid --sizes value `{}`", args[i + 1]);
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                if sizes.contains(&0) || sizes.is_empty() {
+                    eprintln!("--sizes values must be >= 1, got `{}`", args[i + 1]);
+                    std::process::exit(2);
+                }
                 i += 2;
             }
             "--tolerance" if i + 1 < args.len() => {
@@ -348,7 +385,8 @@ fn main() {
         let mut walls: Vec<(usize, f64)> = Vec::new();
         let mut rates: Vec<(usize, f64)> = Vec::new();
         for &n in &shards {
-            let config = stress_scenario(requests, n);
+            let mut config = stress_scenario(requests, n);
+            config.workers = workers;
             let mut best = throughput_run(&config);
             let rerun = throughput_run(&config);
             if rerun.wall < best.wall {
@@ -413,6 +451,65 @@ fn main() {
                 }
             }
         }
+        println!();
+    }
+
+    // Trajectory recording runs only when selected explicitly: it
+    // appends to a checked-in history file.
+    if exp == "trajectory" {
+        ran_any = true;
+        let Some(label) = label else {
+            eprintln!("--exp trajectory needs --label (what change is being measured?)");
+            std::process::exit(2);
+        };
+        let existing = std::fs::read_to_string(&trajectory_path).unwrap_or_default();
+        let Some(mut log) = TrajectoryLog::from_json(&existing) else {
+            eprintln!(
+                "{trajectory_path} exists but is not a trajectory log; refusing to overwrite"
+            );
+            std::process::exit(1);
+        };
+        println!(
+            "== trajectory: kernel throughput matrix, appending `{label}` to {trajectory_path} =="
+        );
+        println!("requests,shards,wall_s,events/s,calls/s");
+        let mut rows: Vec<(u64, usize, f64)> = Vec::new();
+        for &requests in &sizes {
+            for &n in &shards {
+                // Best-of-two, same policy as the throughput smoke.
+                let mut config = stress_scenario(requests, n);
+                config.workers = workers;
+                let mut best = throughput_run(&config);
+                let rerun = throughput_run(&config);
+                if rerun.wall < best.wall {
+                    best = rerun;
+                }
+                println!(
+                    "{requests},{n},{:.2},{:.0},{:.0}",
+                    best.wall.as_secs_f64(),
+                    best.events_per_sec(),
+                    best.calls_per_sec(),
+                );
+                rows.push((requests as u64, n, best.events_per_sec()));
+            }
+        }
+        if let Some(previous) = log.entries.last() {
+            for &(requests, n, eps) in &rows {
+                if let Some(reference) = previous.events_per_sec(requests, n) {
+                    println!(
+                        "# {requests} requests x {n} shards: {:.2}x of `{}` ({reference:.0} events/s)",
+                        eps / reference.max(1e-9),
+                        previous.label,
+                    );
+                }
+            }
+        }
+        log.entries.push(TrajectoryEntry { date: today_iso(), label, rows });
+        std::fs::write(&trajectory_path, log.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {trajectory_path}: {e}");
+            std::process::exit(1);
+        });
+        println!("# recorded entry {} in {trajectory_path}", log.entries.len());
         println!();
     }
 
@@ -559,6 +656,24 @@ fn compare_against_baseline(path: &str, requests: u64, rates: &[(usize, f64)], t
             );
         }
     }
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (no chrono in the tree; this is
+/// the standard days-to-civil-date conversion).
+fn today_iso() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    format!("{year:04}-{month:02}-{day:02}")
 }
 
 fn print_series(series: &[facs_cellsim::Series], y_min: f64, y_max: f64) {

@@ -608,9 +608,132 @@ impl ThroughputBaseline {
     }
 }
 
+/// One dated measurement sweep of the kernel throughput matrix
+/// (workload sizes × shard counts), as appended to
+/// `BENCH_trajectory.json` by `experiments --exp trajectory`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryEntry {
+    /// ISO date (YYYY-MM-DD) the sweep ran.
+    pub date: String,
+    /// Human label, e.g. the PR or change being measured.
+    pub label: String,
+    /// `(requests, shards, events/s)` per configuration measured.
+    pub rows: Vec<(u64, usize, f64)>,
+}
+
+impl TrajectoryEntry {
+    /// The recorded events/s for `(requests, shards)`, if measured.
+    #[must_use]
+    pub fn events_per_sec(&self, requests: u64, shards: usize) -> Option<f64> {
+        self.rows.iter().find(|&&(r, n, _)| r == requests && n == shards).map(|&(_, _, eps)| eps)
+    }
+}
+
+/// The kernel-throughput history (`BENCH_trajectory.json`): one entry
+/// per recorded sweep, oldest first. Unlike [`ThroughputBaseline`] —
+/// which holds the single reference CI compares against — this file
+/// only accumulates, so the before/after of every kernel change stays
+/// reviewable in one place.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrajectoryLog {
+    /// Recorded sweeps, append order preserved.
+    pub entries: Vec<TrajectoryEntry>,
+}
+
+impl TrajectoryLog {
+    /// Renders the log JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out =
+            String::from("{\n  \"experiment\": \"throughput-trajectory\",\n  \"entries\": [\n");
+        for (i, entry) in self.entries.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"date\": \"{}\",\n", entry.date));
+            out.push_str(&format!("      \"label\": \"{}\"", entry.label));
+            for (requests, shards, eps) in &entry.rows {
+                out.push_str(&format!(",\n      \"r{requests}-s{shards}\": \"{eps:.0}\""));
+            }
+            out.push_str(if i + 1 == self.entries.len() { "\n    }\n" } else { "\n    },\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a log written by [`TrajectoryLog::to_json`]. Returns an
+    /// empty log for an empty/blank document (first recording), `None`
+    /// for anything that does not look like a trajectory file — the
+    /// caller should refuse to overwrite such a file.
+    #[must_use]
+    pub fn from_json(json: &str) -> Option<Self> {
+        if json.trim().is_empty() {
+            return Some(Self::default());
+        }
+        // Entries are flat objects, so brace-matching is just splitting
+        // on the inner `{ ... }` blocks after the `entries` key.
+        let (head, body) = json.split_once("\"entries\"")?;
+        if !string_fields(head)
+            .iter()
+            .any(|(k, v)| k == "experiment" && v == "throughput-trajectory")
+        {
+            return None;
+        }
+        let mut entries = Vec::new();
+        let mut rest = body;
+        while let Some(open) = rest.find('{') {
+            let close = rest[open..].find('}')? + open;
+            let mut date = None;
+            let mut label = None;
+            let mut rows = Vec::new();
+            for (key, value) in string_fields(&rest[open..=close]) {
+                match key.as_str() {
+                    "date" => date = Some(value),
+                    "label" => label = Some(value),
+                    _ => {
+                        if let Some((r, s)) = key.strip_prefix('r').and_then(|k| k.split_once("-s"))
+                        {
+                            if let (Ok(r), Ok(s), Ok(eps)) = (r.parse(), s.parse(), value.parse()) {
+                                rows.push((r, s, eps));
+                            }
+                        }
+                    }
+                }
+            }
+            entries.push(TrajectoryEntry { date: date?, label: label?, rows });
+            rest = &rest[close + 1..];
+        }
+        Some(Self { entries })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trajectory_json_round_trips() {
+        let log = TrajectoryLog {
+            entries: vec![
+                TrajectoryEntry {
+                    date: "2026-08-01".to_owned(),
+                    label: "before".to_owned(),
+                    rows: vec![(10_000, 1, 2_826_034.0), (1_000_000, 4, 1_050_944.0)],
+                },
+                TrajectoryEntry {
+                    date: "2026-08-09".to_owned(),
+                    label: "after".to_owned(),
+                    rows: vec![(10_000, 1, 8_000_000.0)],
+                },
+            ],
+        };
+        let parsed = TrajectoryLog::from_json(&log.to_json()).expect("parses");
+        assert_eq!(parsed, log);
+        assert_eq!(parsed.entries[0].events_per_sec(1_000_000, 4), Some(1_050_944.0));
+        assert_eq!(parsed.entries[0].events_per_sec(1_000_000, 2), None);
+        // First recording: an empty document is an empty log…
+        assert_eq!(TrajectoryLog::from_json("").expect("empty ok").entries.len(), 0);
+        // …but an unrelated JSON file is refused, not clobbered.
+        assert!(TrajectoryLog::from_json("{\"experiment\": \"throughput\"}").is_none());
+    }
 
     #[test]
     fn golden_json_round_trips() {

@@ -2,7 +2,7 @@
 
 use crate::decision::Decision;
 use crate::ledger::{BandwidthLedger, CellSnapshot, Reallocation};
-use crate::traffic::{CallId, CallRequest, ServiceClass};
+use crate::traffic::{CallId, CallRequest, ServiceClass, ServiceProfile};
 use crate::units::BandwidthUnits;
 
 /// The outcome of an admission decision: not just admit/reject, but *how*
@@ -99,6 +99,19 @@ pub trait AdmissionController: Send {
     /// to a rejection by the caller.
     fn decide(&mut self, request: &CallRequest, cell: &BandwidthLedger) -> AdmissionPlan;
 
+    /// A conservative pre-screen: returns `true` only when the
+    /// controller can prove, from the service profile and the ledger
+    /// alone, that [`decide`](AdmissionController::decide) would deny a
+    /// request carrying `profile` — for any mobility and either call
+    /// kind. The engine then records the denial without building the
+    /// full request, which on saturated cells skips the dominant
+    /// per-arrival cost. Must never return `true` when admission is
+    /// possible; the default claims nothing.
+    fn fast_reject(&self, profile: &ServiceProfile, cell: &BandwidthLedger) -> bool {
+        let _ = (profile, cell);
+        false
+    }
+
     /// Called once per simulation epoch sample with the cell's current
     /// ledger, before any same-instant admissions. Default: no-op.
     fn observe(&mut self, now_s: f64, cell: &BandwidthLedger) {
@@ -137,6 +150,10 @@ impl AdmissionController for BoxedController {
 
     fn decide(&mut self, request: &CallRequest, cell: &BandwidthLedger) -> AdmissionPlan {
         self.as_mut().decide(request, cell)
+    }
+
+    fn fast_reject(&self, profile: &ServiceProfile, cell: &BandwidthLedger) -> bool {
+        self.as_ref().fast_reject(profile, cell)
     }
 
     fn observe(&mut self, now_s: f64, cell: &BandwidthLedger) {

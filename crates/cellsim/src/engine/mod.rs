@@ -47,7 +47,6 @@ use facs_cac::{
     ControllerFactory, ServiceProfile,
 };
 
-use crate::events::UserId;
 use crate::geometry::HexGrid;
 use crate::metrics::{Metrics, MetricsSink};
 use crate::mobility::{
@@ -124,11 +123,22 @@ pub struct SimulationConfig {
     pub max_time_s: f64,
     /// Seed for the per-user mobility random streams.
     pub seed: u64,
-    /// Number of cell-group shards to run on scoped threads. Clamped to
-    /// the cell count; `0` and `1` both mean the single-threaded path.
-    /// Any value produces bit-identical results for cell-local
-    /// controllers (see the module docs).
+    /// Number of cell-group shards. Clamped to the cell count; `0` and
+    /// `1` both mean one shard. Any value produces bit-identical
+    /// results for cell-local controllers (see the module docs).
     pub shards: usize,
+    /// Worker threads driving the shards. `0` (the default) sizes the
+    /// pool to `min(shards, available cores)`; `1` forces the
+    /// sequential driver even for many shards (useful on single-core
+    /// hosts, where threads only add barrier overhead). Shards are
+    /// **work items**, stolen whole — the worker count never affects
+    /// results, only wall-clock.
+    pub workers: usize,
+    /// Pins each shard to one worker (static round-robin assignment,
+    /// shard `s` → worker `s % workers`) instead of work-stealing —
+    /// keeps every shard's caches warm on one thread at the cost of
+    /// load balance. Results are identical either way.
+    pub pin_shards: bool,
 }
 
 impl Default for SimulationConfig {
@@ -139,6 +149,8 @@ impl Default for SimulationConfig {
             max_time_s: 7_200.0,
             seed: 0xFAC5,
             shards: 1,
+            workers: 0,
+            pin_shards: false,
         }
     }
 }
@@ -260,23 +272,34 @@ impl Simulation {
         }
         let grid = &self.grid;
         let config = self.config;
+        let specs: &[UserSpec] = &workload;
         let mut shards: Vec<Shard<'_, S>> = per_shard
             .into_iter()
             .enumerate()
-            .map(|(i, cells)| Shard::new(i, shard_count, grid, config, cells, sink.fork()))
+            .map(|(i, cells)| Shard::new(i, shard_count, grid, specs, config, cells, sink.fork()))
             .collect();
 
         // Route each arrival to the shard owning its covering cell (the
         // locate here is the only one; shards reuse it on dispatch).
-        for (idx, spec) in workload.into_iter().enumerate() {
+        // Shards reference the shared workload slice by index — the
+        // (large) specs are never copied out of it.
+        let estimate = workload.len() / shard_count;
+        for shard in &mut shards {
+            shard.reserve_arrivals(estimate + estimate / 4 + 64);
+        }
+        for (idx, spec) in workload.iter().enumerate() {
             let home = grid.locate(spec.start.position);
-            shards[home.0 as usize % shard_count].push_arrival(UserId(idx as u64), home, spec);
+            shards[home.0 as usize % shard_count].push_arrival(idx as u32, home, spec.arrival_s);
+        }
+        for shard in &mut shards {
+            shard.seal_arrivals();
         }
 
-        let epochs = if shard_count == 1 {
+        let workers = resolve_workers(self.config.workers, shard_count);
+        let epochs = if workers <= 1 {
             drive_sequential(&mut shards, tick, horizon)
         } else {
-            drive_threaded(&mut shards, tick, horizon)
+            drive_pool(&mut shards, tick, horizon, workers, self.config.pin_shards)
         };
         let final_time =
             if epochs == 0 { SimTime::ZERO } else { barrier_time(tick, epochs).min(horizon) };
@@ -373,69 +396,148 @@ fn drive_sequential<S: MetricsSink>(
     epoch
 }
 
-/// The threaded epoch driver: one scoped worker per shard, synchronized
-/// by a [`std::sync::Barrier`] twice per epoch (once after the idle
-/// check, once between publishing departures and admitting arrivals).
-/// Every worker executes the identical control flow on identical barrier
-/// times, so all of them take the same branches and the barrier counts
-/// always match.
-fn drive_threaded<S: MetricsSink>(
+/// Sizes the worker pool: an explicit count is honored (capped at one
+/// worker per shard, more can never help); `0` asks the OS for the
+/// available parallelism. Either way a single-shard run costs no
+/// threads at all.
+fn resolve_workers(configured: usize, shard_count: usize) -> usize {
+    let requested = if configured == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        configured
+    };
+    requested.min(shard_count)
+}
+
+/// The pooled epoch driver: `workers` scoped threads drive all
+/// `shards.len()` shards, **stealing shards whole** from a shared
+/// atomic counter in each phase (or taking a static round-robin slice
+/// when pinned). Two [`std::sync::Barrier`]s per epoch separate the
+/// event/movement phase from the admission phase, exactly like the old
+/// one-thread-per-shard driver.
+///
+/// ## Why stealing cannot perturb results
+///
+/// A shard's epoch is a pure function of its own state plus its sorted
+/// inbox: *which worker* runs it, and in *what order* relative to other
+/// shards within the phase, is invisible to the shard. Mailbox pushes
+/// from concurrently-running shards can interleave arbitrarily — the
+/// inbox is sorted into global user order before any admission — and
+/// sinks are folded in shard order at reassembly, so every float and
+/// every RNG draw happens in the same order as the sequential driver.
+///
+/// Every worker computes the identical `all_idle`/horizon branches from
+/// the same published flags, so barrier counts always match. The phase
+/// counters are reset by the barrier leader one full barrier before
+/// their next use, which orders the reset before every subsequent
+/// `fetch_add`.
+fn drive_pool<S: MetricsSink>(
     shards: &mut [Shard<'_, S>],
     tick: SimDuration,
     horizon: SimTime,
+    workers: usize,
+    pin: bool,
 ) -> u64 {
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::{Barrier, Mutex};
 
     let shard_count = shards.len();
-    let sync = Barrier::new(shard_count);
+    let sync = Barrier::new(workers);
     let mailboxes: Vec<Mutex<Vec<Migrant>>> =
         (0..shard_count).map(|_| Mutex::new(Vec::new())).collect();
-    let idle: Vec<AtomicBool> = (0..shard_count).map(|_| AtomicBool::new(false)).collect();
+    // Published at the end of each epoch's admission phase by whichever
+    // worker ran the shard; seeded here so epoch 0's check sees truth.
+    let idle: Vec<AtomicBool> = shards.iter().map(|s| AtomicBool::new(s.idle())).collect();
+    let next_a = AtomicUsize::new(0);
+    let next_b = AtomicUsize::new(0);
+    let slots: Vec<Mutex<&mut Shard<'_, S>>> = shards.iter_mut().map(Mutex::new).collect();
 
     let epochs: Vec<u64> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = shards
-            .iter_mut()
-            .enumerate()
-            .map(|(me, shard)| {
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
                 let sync = &sync;
                 let mailboxes = &mailboxes;
                 let idle = &idle;
+                let next_a = &next_a;
+                let next_b = &next_b;
+                let slots = &slots;
                 scope.spawn(move || {
+                    // The shard indices this worker processes in a phase:
+                    // pinned → its static residue class; stealing → pull
+                    // from the shared counter until the phase runs dry.
+                    let claim = |counter: &AtomicUsize, k: usize| {
+                        if pin {
+                            let i = me + k * workers;
+                            (i < shard_count).then_some(i)
+                        } else {
+                            let i = counter.fetch_add(1, Ordering::Relaxed);
+                            (i < shard_count).then_some(i)
+                        }
+                    };
                     let mut epoch: u64 = 0;
                     loop {
-                        idle[me].store(shard.idle(), Ordering::SeqCst);
-                        sync.wait();
+                        if sync.wait().is_leader() {
+                            // The previous epoch's phase B is over on
+                            // every worker; the counter's next use is
+                            // behind the phase-A barrier below, which
+                            // this reset happens-before.
+                            next_b.store(0, Ordering::Relaxed);
+                        }
                         let all_idle = idle.iter().all(|flag| flag.load(Ordering::SeqCst));
                         if all_idle || barrier_time(tick, epoch) >= horizon {
                             break;
                         }
                         epoch += 1;
                         let t = barrier_time(tick, epoch);
-                        shard.run_events(t.min(horizon));
+                        let limit = t.min(horizon);
+                        // Phase A: local events, then movement.
+                        let mut k = 0;
+                        while let Some(i) = claim(next_a, k) {
+                            k += 1;
+                            let mut shard = slots[i].lock().expect("shard slot poisoned");
+                            shard.run_events(limit);
+                            if t <= horizon {
+                                for (target, migrant) in shard.run_movement(t) {
+                                    mailboxes[target]
+                                        .lock()
+                                        .expect("mailbox poisoned")
+                                        .push(migrant);
+                                }
+                            }
+                        }
+                        if sync.wait().is_leader() {
+                            // Phase A is over on every worker; the
+                            // counter's next use is behind the loop-top
+                            // barrier, which this reset happens-before.
+                            next_a.store(0, Ordering::Relaxed);
+                        }
                         if t > horizon {
                             break;
                         }
-                        for (target, migrant) in shard.run_movement(t) {
-                            mailboxes[target].lock().expect("mailbox poisoned").push(migrant);
+                        // Phase B: inbound handoffs, then the epoch pulse.
+                        let mut k = 0;
+                        while let Some(i) = claim(next_b, k) {
+                            k += 1;
+                            let mut shard = slots[i].lock().expect("shard slot poisoned");
+                            let mut inbox = std::mem::take(
+                                &mut *mailboxes[i].lock().expect("mailbox poisoned"),
+                            );
+                            sort_migrants(&mut inbox);
+                            shard.run_admissions(t, inbox);
+                            shard.sample_cells(t);
+                            idle[i].store(shard.idle(), Ordering::SeqCst);
                         }
-                        sync.wait();
-                        let mut inbox =
-                            std::mem::take(&mut *mailboxes[me].lock().expect("mailbox poisoned"));
-                        sort_migrants(&mut inbox);
-                        shard.run_admissions(t, inbox);
-                        shard.sample_cells(t);
                     }
                     epoch
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+        handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect()
     })
     .expect("shard scope failed");
 
     let first = epochs[0];
-    debug_assert!(epochs.iter().all(|&e| e == first), "shards disagreed on epoch count");
+    debug_assert!(epochs.iter().all(|&e| e == first), "workers disagreed on epoch count");
     first
 }
 
@@ -743,6 +845,49 @@ mod tests {
             assert_eq!(single, run(shards), "{shards} shards diverged from 1");
         }
         assert!(single.handoff_attempts > 0, "workload should exercise handoffs");
+    }
+
+    #[test]
+    fn pooled_and_pinned_drivers_match_sequential_bit_for_bit() {
+        // Force worker counts explicitly: auto-sizing on a small CI box
+        // may resolve to the sequential driver, and the stealing/pinned
+        // paths must be exercised regardless of the host's core count.
+        let run = |shards: usize, workers: usize, pin_shards: bool| {
+            let grid = HexGrid::new(2, 2.0);
+            let config = SimulationConfig {
+                movement_tick_s: 2.0,
+                seed: 7,
+                shards,
+                workers,
+                pin_shards,
+                ..Default::default()
+            };
+            let mut sim = Simulation::new(grid, config, controllers(19));
+            sim.run(walker_workload(200))
+        };
+        let single = run(1, 1, false);
+        for shards in [2, 3, 7] {
+            for workers in [2, 3] {
+                for pin_shards in [false, true] {
+                    assert_eq!(
+                        single,
+                        run(shards, workers, pin_shards),
+                        "{shards} shards / {workers} workers (pin={pin_shards}) diverged"
+                    );
+                }
+            }
+        }
+        assert!(single.handoff_attempts > 0, "workload should exercise handoffs");
+    }
+
+    #[test]
+    fn worker_pool_resolution_caps_at_shard_count() {
+        assert_eq!(resolve_workers(8, 3), 3);
+        assert_eq!(resolve_workers(2, 5), 2);
+        assert_eq!(resolve_workers(1, 4), 1);
+        // Auto mode asks the OS but can never exceed one per shard.
+        assert!(resolve_workers(0, 2) <= 2);
+        assert!(resolve_workers(0, 1) == 1);
     }
 
     #[test]

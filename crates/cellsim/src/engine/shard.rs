@@ -8,8 +8,6 @@
 //! exchanged only at the barrier. See the module docs of
 //! [`crate::engine`] for why this is deterministic.
 
-use std::collections::BTreeMap;
-
 use facs_cac::{
     AdmissionPlan, BandwidthLedger, BandwidthUnits, BoxedController, CallId, CallKind, CallRequest,
     CellId, ServiceProfile,
@@ -80,6 +78,7 @@ impl CellUnit {
 /// stream, so its position is preserved) when the call hands off to a
 /// cell on another shard.
 struct ActiveUser {
+    user: UserId,
     state: MobileState,
     mobility: MobilityKind,
     profile: ServiceProfile,
@@ -88,6 +87,55 @@ struct ActiveUser {
     call: CallId,
     end_time: SimTime,
     generation: u32,
+}
+
+/// Arena of in-call users: a slab of slots with a free list. Call-end
+/// events carry their slot as the queue tag, so dispatch is a direct
+/// index instead of a map lookup; a slot reused by a later call is
+/// caught by the `(user, generation)` check every call-end performs
+/// anyway (the event is then stale, exactly as under the map).
+///
+/// Slot numbers are *never* part of simulation semantics — iteration
+/// for the movement phase sorts by user id first — so the free-list
+/// order (which differs across shard layouts) cannot leak into results.
+#[derive(Default)]
+struct ActiveArena {
+    slots: Vec<Option<ActiveUser>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl ActiveArena {
+    fn insert(&mut self, record: ActiveUser) -> u32 {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            self.slots[slot as usize] = Some(record);
+            slot
+        } else {
+            let slot = u32::try_from(self.slots.len()).expect("more than u32::MAX active calls");
+            self.slots.push(Some(record));
+            slot
+        }
+    }
+
+    fn get(&self, slot: u32) -> Option<&ActiveUser> {
+        self.slots.get(slot as usize).and_then(Option::as_ref)
+    }
+
+    fn remove(&mut self, slot: u32) -> ActiveUser {
+        let record = self.slots[slot as usize].take().expect("removed an empty arena slot");
+        self.free.push(slot);
+        self.live -= 1;
+        record
+    }
+
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
 }
 
 /// A call crossing into a cell owned by (possibly) another shard,
@@ -120,10 +168,26 @@ pub(crate) struct Shard<'a, S> {
     /// The owned cells, ascending id (ids ≡ `index` mod `shard_count`).
     pub(crate) cells: Vec<CellUnit>,
     queue: EngineQueue,
-    /// Queued arrivals: `(covering cell, spec)` — the cell is located
-    /// once by the router, not re-derived per event.
-    pending: BTreeMap<u64, (CellId, UserSpec)>,
-    active: BTreeMap<u64, ActiveUser>,
+    /// The run's full workload, shared read-only across shards; this
+    /// shard's arrivals reference it by index, so the (large) specs are
+    /// never copied during routing.
+    specs: &'a [UserSpec],
+    /// Routed arrivals: `(covering cell, workload index)` — the cell is
+    /// located once by the router, not re-derived per event. The
+    /// workload index doubles as the user id.
+    arrivals: Vec<(CellId, u32)>,
+    /// Dispatch order over `arrivals`: `(time in µs, slot)` sorted
+    /// ascending by [`seal_arrivals`](Self::seal_arrivals) and consumed
+    /// by `arrival_cursor`. Slot order equals user-id order, so the sort
+    /// key reproduces the content-defined `(time, user)` event order the
+    /// queue would impose — arrivals never touch the calendar queue at
+    /// all, which carries only call-ends.
+    arrival_order: Vec<(u64, u32)>,
+    arrival_cursor: usize,
+    active: ActiveArena,
+    /// Scratch for the movement phase's `(user, slot)` sort, reused
+    /// across epochs.
+    movers: Vec<(u64, u32)>,
     pub(crate) sink: S,
 }
 
@@ -132,6 +196,7 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
         index: usize,
         shard_count: usize,
         grid: &'a HexGrid,
+        specs: &'a [UserSpec],
         config: SimulationConfig,
         cells: Vec<CellUnit>,
         sink: S,
@@ -142,23 +207,49 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
             grid,
             config,
             cells,
-            queue: EngineQueue::new(),
-            pending: BTreeMap::new(),
-            active: BTreeMap::new(),
+            // Bucket the calendar at the epoch cadence so one epoch's
+            // drain range maps onto exactly one bucket.
+            queue: EngineQueue::with_epoch(SimDuration::from_secs_f64(config.movement_tick_s)),
+            specs,
+            arrivals: Vec::new(),
+            arrival_order: Vec::new(),
+            arrival_cursor: 0,
+            active: ActiveArena::default(),
+            movers: Vec::new(),
             sink,
         }
     }
 
     /// Queues one workload user whose starting position (covered by
     /// `home`, as located by the router) this shard owns.
-    pub(crate) fn push_arrival(&mut self, user: UserId, home: CellId, spec: UserSpec) {
-        self.queue.schedule(SimTime::from_secs_f64(spec.arrival_s), EngineEvent::Arrival { user });
-        self.pending.insert(user.0, (home, spec));
+    /// Pre-sizes the arrival slab so routing appends without
+    /// reallocating (each `UserSpec` is large enough that doubling-growth
+    /// memcpys dominate the routing pass otherwise).
+    pub(crate) fn reserve_arrivals(&mut self, n: usize) {
+        self.arrivals.reserve_exact(n);
+        self.arrival_order.reserve_exact(n);
+    }
+
+    pub(crate) fn push_arrival(&mut self, widx: u32, home: CellId, arrival_s: f64) {
+        let slot = u32::try_from(self.arrivals.len()).expect("more than u32::MAX pending arrivals");
+        let time = SimTime::from_secs_f64(arrival_s);
+        self.arrival_order.push((time.as_micros(), slot));
+        self.arrivals.push((home, widx));
+    }
+
+    /// Sorts the arrival slab into dispatch order. Must be called once
+    /// after routing, before the first `run_events`.
+    pub(crate) fn seal_arrivals(&mut self) {
+        // Keys are unique (the slot breaks ties), and equal-time entries
+        // order by slot == user id, matching the queue's content key.
+        self.arrival_order.sort_unstable();
     }
 
     /// `true` when the shard has nothing left to do.
     pub(crate) fn idle(&self) -> bool {
-        self.queue.is_empty() && self.active.is_empty()
+        self.arrival_cursor == self.arrival_order.len()
+            && self.queue.is_empty()
+            && self.active.is_empty()
     }
 
     fn cell_mut(&mut self, id: CellId) -> &mut CellUnit {
@@ -254,81 +345,102 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
         }
     }
 
-    /// Phase A: processes every queued event with `time <= limit` —
-    /// arrivals and call-ends, all local to this shard's cells.
+    /// Phase A: processes every event with `time <= limit` — arrivals
+    /// streamed from the sorted slab, call-ends drained from the
+    /// calendar queue, merged on the content-defined order. A call-end
+    /// at the same instant as an arrival dispatches first (its event
+    /// rank is lower), so the queue is drained up to and including each
+    /// arrival's timestamp before the arrival fires.
     pub(crate) fn run_events(&mut self, limit: SimTime) {
-        while let Some(time) = self.queue.peek_time() {
-            if time > limit {
-                break;
-            }
-            let (now, event) = self.queue.pop().expect("peeked event vanished");
-            match event {
-                EngineEvent::Arrival { user } => self.handle_arrival(now, user),
-                EngineEvent::CallEnd { user, generation } => {
-                    self.handle_call_end(now, user, generation);
+        loop {
+            let next_arrival = self.arrival_order.get(self.arrival_cursor).copied();
+            if !self.queue.is_empty() {
+                let bound = next_arrival.map_or(limit, |(t, _)| SimTime::from_micros(t).min(limit));
+                while let Some((now, event, tag)) = self.queue.pop_within(bound) {
+                    match event {
+                        EngineEvent::CallEnd { user, generation } => {
+                            self.handle_call_end(now, user, generation, tag);
+                        }
+                        EngineEvent::Arrival { .. } => {
+                            unreachable!("arrivals stream from the sorted slab, never the queue")
+                        }
+                    }
                 }
+            }
+            match next_arrival {
+                Some((t, slot)) if SimTime::from_micros(t) <= limit => {
+                    self.arrival_cursor += 1;
+                    self.handle_arrival(SimTime::from_micros(t), slot);
+                }
+                _ => break,
             }
         }
     }
 
-    fn handle_arrival(&mut self, now: SimTime, user: UserId) {
-        let (cell_id, spec) = self.pending.remove(&user.0).expect("arrival without a pending spec");
-        let position = spec.start.position;
-        if self.grid.out_of_coverage(position) {
-            // Off-map request: counts as blocked offered traffic.
+    fn handle_arrival(&mut self, now: SimTime, slot: u32) {
+        let (cell_id, widx) = self.arrivals[slot as usize];
+        let user = UserId(u64::from(widx));
+        let spec = &self.specs[widx as usize];
+        let (profile, start) = (spec.profile, spec.start);
+        // Saturated cell or off-map request: denied without building the
+        // full request — `fast_reject` is a conservative proof that
+        // `decide` could not admit, so the record is identical.
+        let cell = self.cell(cell_id);
+        if cell.controller.fast_reject(&profile, &cell.ledger)
+            || self.grid.out_of_coverage(start.position)
+        {
             self.sink.on_decision(
                 now,
                 cell_id,
-                &DecisionRecord::denied(user, spec.profile, CallKind::New),
+                &DecisionRecord::denied(user, profile, CallKind::New),
             );
             return;
         }
         let call = CallId(user.0);
-        let request = CallRequest::new(
-            call,
-            spec.profile.class,
-            CallKind::New,
-            spec.start.observe(self.cell(cell_id).center),
-        )
-        .with_profile(spec.profile);
+        let request =
+            CallRequest::new(call, profile.class, CallKind::New, start.observe(cell.center))
+                .with_profile(profile);
         let granted = self.try_admit(now, cell_id, &request);
         let record = match granted {
-            Some(allocated) => {
-                DecisionRecord::admitted(user, spec.profile, CallKind::New, allocated)
-            }
-            None => DecisionRecord::denied(user, spec.profile, CallKind::New),
+            Some(allocated) => DecisionRecord::admitted(user, profile, CallKind::New, allocated),
+            None => DecisionRecord::denied(user, profile, CallKind::New),
         };
         self.sink.on_decision(now, cell_id, &record);
         if granted.is_some() {
+            let spec = &self.specs[widx as usize];
             let end_time = now + SimDuration::from_secs_f64(spec.holding_s);
-            self.queue.schedule(end_time, EngineEvent::CallEnd { user, generation: 0 });
-            self.active.insert(
-                user.0,
-                ActiveUser {
-                    state: spec.start,
-                    mobility: spec.mobility,
-                    profile: spec.profile,
-                    rng: user_rng(self.config.seed, user.0),
-                    cell: cell_id,
-                    call,
-                    end_time,
-                    generation: 0,
-                },
+            let slot = self.active.insert(ActiveUser {
+                user,
+                state: start,
+                mobility: spec.mobility.clone(),
+                profile,
+                rng: user_rng(self.config.seed, user.0),
+                cell: cell_id,
+                call,
+                end_time,
+                generation: 0,
+            });
+            self.queue.schedule_tagged(
+                end_time,
+                EngineEvent::CallEnd { user, generation: 0 },
+                slot,
             );
         }
     }
 
-    fn handle_call_end(&mut self, now: SimTime, user: UserId, generation: u32) {
+    fn handle_call_end(&mut self, now: SimTime, user: UserId, generation: u32, slot: u32) {
         // Stale end events — the call handed off (possibly to another
         // shard) after this was scheduled, or was dropped/exited — carry
-        // an outdated generation or reference an absent user.
-        let Some(active) = self.active.get(&user.0) else { return };
-        if active.generation != generation {
+        // an outdated generation or reference an absent user. The slot
+        // may since have been reused by an unrelated call; the
+        // `(user, generation)` check rejects that case identically.
+        let Some(active) = self.active.get(slot) else { return };
+        if active.user != user || active.generation != generation {
             return;
         }
         let (cell, call) = (active.cell, active.call);
         self.release(now, cell, call);
-        self.active.remove(&user.0);
+        let _ = self.active.remove(slot);
         self.sink.on_completion(now, cell, user);
     }
 
@@ -343,35 +455,51 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
             Cross(CellId),
         }
         let dt = self.config.movement_tick_s;
-        let mut actions: Vec<(u64, Motion)> = Vec::new();
-        for (&id, user) in &mut self.active {
+        // Arena slots carry no deterministic order, so collect the live
+        // users and sort by user id: every step, RNG draw, and sink call
+        // below then happens in exactly the order the old ascending-id
+        // map iteration produced, on any shard layout.
+        let mut movers = std::mem::take(&mut self.movers);
+        movers.clear();
+        movers.extend(
+            self.active
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(slot, u)| u.as_ref().map(|u| (u.user.0, slot as u32))),
+        );
+        movers.sort_unstable();
+        let mut actions: Vec<(u32, Motion)> = Vec::new();
+        for &(_, slot) in &movers {
+            let user = self.active.slots[slot as usize].as_mut().expect("live slot vanished");
             let mut state = user.state;
             user.mobility.step(&mut state, dt, &mut user.rng);
             user.state = state;
             self.sink.on_mobility_step(now, user.cell);
             if self.grid.out_of_coverage(state.position) {
-                actions.push((id, Motion::Exit));
+                actions.push((slot, Motion::Exit));
             } else {
                 let here = self.grid.locate(state.position);
                 if here != user.cell {
-                    actions.push((id, Motion::Cross(here)));
+                    actions.push((slot, Motion::Cross(here)));
                 }
             }
         }
+        self.movers = movers;
         let mut out = Vec::new();
-        // Ascending user order (BTreeMap iteration): each cell sees its
-        // departures in the same order a single-shard run would apply.
-        for (id, motion) in actions {
-            let user = self.active.remove(&id).expect("moved user vanished");
+        // Still ascending user order: each cell sees its departures in
+        // the same order a single-shard run would apply.
+        for (slot, motion) in actions {
+            let user = self.active.remove(slot);
             self.release(now, user.cell, user.call);
             match motion {
-                Motion::Exit => self.sink.on_exit(now, user.cell, UserId(id)),
+                Motion::Exit => self.sink.on_exit(now, user.cell, user.user),
                 Motion::Cross(to) => {
                     let target = to.0 as usize % self.shard_count;
                     out.push((
                         target,
                         Migrant {
-                            user: UserId(id),
+                            user: user.user,
                             to,
                             state: user.state,
                             mobility: user.mobility,
@@ -410,22 +538,21 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
             };
             self.sink.on_decision(now, m.to, &record);
             if granted.is_some() {
-                self.queue.schedule(
+                let slot = self.active.insert(ActiveUser {
+                    user: m.user,
+                    state: m.state,
+                    mobility: m.mobility,
+                    profile: m.profile,
+                    rng: m.rng,
+                    cell: m.to,
+                    call: m.call,
+                    end_time: m.end_time,
+                    generation: m.generation,
+                });
+                self.queue.schedule_tagged(
                     m.end_time,
                     EngineEvent::CallEnd { user: m.user, generation: m.generation },
-                );
-                self.active.insert(
-                    m.user.0,
-                    ActiveUser {
-                        state: m.state,
-                        mobility: m.mobility,
-                        profile: m.profile,
-                        rng: m.rng,
-                        cell: m.to,
-                        call: m.call,
-                        end_time: m.end_time,
-                        generation: m.generation,
-                    },
+                    slot,
                 );
             }
             // Denied: the call is dropped mid-handoff; bandwidth was
@@ -458,6 +585,7 @@ impl<S> std::fmt::Debug for Shard<'_, S> {
             .field("cells", &self.cells.len())
             .field("active", &self.active.len())
             .field("queued", &self.queue.len())
+            .field("arrivals_left", &(self.arrival_order.len() - self.arrival_cursor))
             .finish()
     }
 }

@@ -5,11 +5,11 @@
 //! regardless of heap internals.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use facs_cac::{CallId, CellId};
 
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a mobile terminal within one simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -180,11 +180,23 @@ impl EngineEvent {
 struct EngineEntry {
     time: SimTime,
     event: EngineEvent,
+    /// Caller-private payload (an arena slot in the kernel), **excluded
+    /// from the ordering key**: two live entries never share a full
+    /// `(time, key)` — events are keyed by user id and generation — so
+    /// the tag can never influence pop order.
+    tag: u32,
+}
+
+impl EngineEntry {
+    /// The full content-defined sort key.
+    fn sort_key(&self) -> (SimTime, (u8, u64, u32)) {
+        (self.time, self.event.key())
+    }
 }
 
 impl PartialEq for EngineEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.event.key() == other.event.key()
+        self.sort_key() == other.sort_key()
     }
 }
 
@@ -199,52 +211,256 @@ impl PartialOrd for EngineEntry {
 impl Ord for EngineEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap inversion: the smallest (time, key) pops first.
-        (other.time, other.event.key()).cmp(&(self.time, self.event.key()))
+        other.sort_key().cmp(&self.sort_key())
     }
 }
 
-/// A per-shard event queue over [`EngineEvent`]s whose pop order depends
-/// only on event contents — never on insertion order — so every cell
-/// sees the same event sequence regardless of how cells are grouped
-/// into shards.
-#[derive(Debug, Default)]
+/// Ring capacity of the calendar: buckets more than this many epochs
+/// past the drain point spill into the overflow heap and are migrated
+/// back as the calendar advances. 4096 five-second epochs ≈ 5.7 hours
+/// of lookahead before any event ever touches the heap.
+const MAX_RING: usize = 4096;
+
+/// Default bucket width when none is given: the kernel's default
+/// movement cadence (5 s), so `EngineQueue::new()` behaves sensibly
+/// even when the caller never names an epoch.
+const DEFAULT_WIDTH_US: u64 = 5_000_000;
+
+/// A per-shard **calendar queue** over [`EngineEvent`]s whose pop order
+/// depends only on event contents — never on insertion order — so every
+/// cell sees the same event sequence regardless of how cells are
+/// grouped into shards.
+///
+/// Events land in buckets one epoch (movement tick) wide: bucket `b`
+/// holds times in `((b-1)·w, b·w]`, exactly the half-open range an
+/// epoch's `run_events` drains. Scheduling is an O(1) `Vec` push for
+/// anything inside the ring horizon; a bucket is sorted **once**, when
+/// it becomes current, and then drained by a cursor. Events scheduled
+/// *into the bucket currently draining* (same-epoch call-ends of
+/// same-epoch arrivals) go to a small incursion heap that is merged
+/// with the sorted remainder on every pop, which preserves the exact
+/// total order a `BinaryHeap` would have produced. Events past the ring
+/// horizon fall back to an overflow heap and migrate into buckets as
+/// the calendar reaches them.
+#[derive(Debug)]
 pub struct EngineQueue {
-    heap: BinaryHeap<EngineEntry>,
+    /// Bucket width in microseconds (≥ 1).
+    width_us: u64,
+    /// Index of the bucket currently draining through `cur`.
+    cur_bucket: u64,
+    /// The current bucket, sorted ascending by content key; entries
+    /// before `cur_idx` are already popped.
+    cur: Vec<EngineEntry>,
+    cur_idx: usize,
+    /// Entries scheduled into bucket `cur_bucket` (or earlier) after it
+    /// was sorted; merged with `cur` on pop.
+    incursions: BinaryHeap<EngineEntry>,
+    /// Future buckets: `ring[i]` is bucket `cur_bucket + 1 + i`,
+    /// unsorted (sorted lazily when it becomes current).
+    ring: VecDeque<Vec<EngineEntry>>,
+    /// Entries beyond the ring horizon, min-first.
+    overflow: BinaryHeap<EngineEntry>,
+    len: usize,
+}
+
+impl Default for EngineQueue {
+    fn default() -> Self {
+        Self::with_epoch(SimDuration::from_micros(DEFAULT_WIDTH_US))
+    }
 }
 
 impl EngineQueue {
-    /// Creates an empty queue.
+    /// Creates an empty queue with the default (5 s) bucket width.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty queue bucketed at `epoch` — callers should pass
+    /// the movement cadence so each epoch's drain range maps onto
+    /// exactly one bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` rounds to zero microseconds.
+    #[must_use]
+    pub fn with_epoch(epoch: SimDuration) -> Self {
+        assert!(epoch.as_micros() > 0, "calendar bucket width rounds to zero");
+        Self {
+            width_us: epoch.as_micros(),
+            cur_bucket: 0,
+            cur: Vec::new(),
+            cur_idx: 0,
+            incursions: BinaryHeap::new(),
+            ring: VecDeque::new(),
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    /// The bucket holding instant `t`: bucket `b` covers `((b-1)·w, b·w]`
+    /// so that epoch `e`'s drain limit `e·w` closes bucket `e` exactly.
+    fn bucket_of(&self, time: SimTime) -> u64 {
+        time.as_micros().div_ceil(self.width_us)
+    }
+
     /// Schedules `event` at `time`.
     pub fn schedule(&mut self, time: SimTime, event: EngineEvent) {
-        self.heap.push(EngineEntry { time, event });
+        self.schedule_tagged(time, event, 0);
+    }
+
+    /// Schedules `event` at `time` carrying an opaque `tag` the caller
+    /// gets back on pop (the kernel stores arena slots here). Tags do
+    /// not participate in ordering.
+    pub fn schedule_tagged(&mut self, time: SimTime, event: EngineEvent, tag: u32) {
+        let entry = EngineEntry { time, event, tag };
+        let bucket = self.bucket_of(time);
+        self.len += 1;
+        if bucket <= self.cur_bucket {
+            // Into (or before) the bucket being drained: competes with
+            // its sorted remainder via the incursion heap.
+            self.incursions.push(entry);
+        } else {
+            let offset = (bucket - self.cur_bucket - 1) as usize;
+            if offset < MAX_RING {
+                if offset >= self.ring.len() {
+                    self.ring.resize_with(offset + 1, Vec::new);
+                }
+                self.ring[offset].push(entry);
+            } else {
+                self.overflow.push(entry);
+            }
+        }
     }
 
     /// Pops the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, EngineEvent)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        self.pop_within(SimTime::from_micros(u64::MAX)).map(|(t, e, _)| (t, e))
+    }
+
+    /// Pops the earliest event with `time <= limit`, if any — the
+    /// epoch-drain primitive. Events beyond `limit` are left untouched
+    /// (buckets beyond the limit are not even sorted).
+    pub fn pop_within(&mut self, limit: SimTime) -> Option<(SimTime, EngineEvent, u32)> {
+        loop {
+            let cur_next = self.cur.get(self.cur_idx).copied();
+            let inc_next = self.incursions.peek().copied();
+            let entry = match (cur_next, inc_next) {
+                (None, None) => {
+                    if !self.advance(limit) {
+                        return None;
+                    }
+                    continue;
+                }
+                (Some(c), None) => {
+                    if c.time > limit {
+                        return None;
+                    }
+                    self.cur_idx += 1;
+                    c
+                }
+                (None, Some(i)) => {
+                    if i.time > limit {
+                        return None;
+                    }
+                    self.incursions.pop();
+                    i
+                }
+                (Some(c), Some(i)) => {
+                    let next = if i.sort_key() < c.sort_key() { i } else { c };
+                    if next.time > limit {
+                        return None;
+                    }
+                    if i.sort_key() < c.sort_key() {
+                        self.incursions.pop();
+                    } else {
+                        self.cur_idx += 1;
+                    }
+                    next
+                }
+            };
+            self.len -= 1;
+            return Some((entry.time, entry.event, entry.tag));
+        }
+    }
+
+    /// Makes the next bucket that could hold an event `<= limit`
+    /// current (migrating any overflow entries it owns), or returns
+    /// `false` when there is none. Only called with `cur` exhausted and
+    /// `incursions` empty.
+    fn advance(&mut self, limit: SimTime) -> bool {
+        loop {
+            let next_bucket = if self.ring.is_empty() {
+                // Ring drained: jump straight to the overflow's first
+                // bucket (every bucket in between is provably empty).
+                match self.overflow.peek() {
+                    Some(top) => self.bucket_of(top.time).max(self.cur_bucket + 1),
+                    None => return false,
+                }
+            } else {
+                self.cur_bucket + 1
+            };
+            // Bucket b's content is strictly later than (b-1)·w: stop —
+            // without consuming anything — once no content can be due.
+            if SimTime::from_micros((next_bucket - 1).saturating_mul(self.width_us)) >= limit {
+                return false;
+            }
+            let mut bucket = self.ring.pop_front().unwrap_or_default();
+            self.cur_bucket = next_bucket;
+            // Overflow entries now inside the advancing window belong to
+            // this bucket (schedule() never files new ones this close).
+            while let Some(top) = self.overflow.peek() {
+                if self.bucket_of(top.time) <= next_bucket {
+                    let top = self.overflow.pop().expect("peeked overflow entry vanished");
+                    bucket.push(top);
+                } else {
+                    break;
+                }
+            }
+            if bucket.is_empty() {
+                continue;
+            }
+            bucket.sort_unstable_by_key(EngineEntry::sort_key);
+            self.cur = bucket;
+            self.cur_idx = 0;
+            return true;
+        }
     }
 
     /// The timestamp of the next event without removing it.
+    ///
+    /// O(1) while the current bucket has entries; otherwise scans the
+    /// first non-empty future bucket (which is not yet sorted). Kernel
+    /// code drains via [`EngineQueue::pop_within`] and never pays this.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        let near =
+            [self.cur.get(self.cur_idx).map(|c| c.time), self.incursions.peek().map(|i| i.time)];
+        if let Some(t) = near.into_iter().flatten().min() {
+            return Some(t);
+        }
+        // Buckets cover disjoint ascending time ranges, so the first
+        // non-empty future bucket bounds every bucket behind it; only
+        // the overflow heap can undercut it.
+        let ring_min = self
+            .ring
+            .iter()
+            .find(|b| !b.is_empty())
+            .and_then(|bucket| bucket.iter().map(|e| e.time).min());
+        let overflow_min = self.overflow.peek().map(|o| o.time);
+        [ring_min, overflow_min].into_iter().flatten().min()
     }
 
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -321,6 +537,65 @@ mod tests {
         assert_eq!(a[1].1, EngineEvent::CallEnd { user: UserId(2), generation: 2 });
         assert_eq!(a[2].1, EngineEvent::CallEnd { user: UserId(9), generation: 1 });
         assert_eq!(a[3].1, EngineEvent::Arrival { user: UserId(1) });
+    }
+
+    #[test]
+    fn engine_queue_mid_drain_insert_competes_with_current_bucket() {
+        // Schedule into the bucket currently draining: the incursion
+        // must pop in content order against the sorted remainder, exactly
+        // as a heap would have interleaved it.
+        let mut q = EngineQueue::with_epoch(SimDuration::from_secs_f64(5.0));
+        q.schedule(t(1.0), EngineEvent::Arrival { user: UserId(0) });
+        q.schedule(t(4.0), EngineEvent::Arrival { user: UserId(1) });
+        let first = q.pop().unwrap();
+        assert_eq!(first.0, t(1.0));
+        // Mid-drain: lands between the popped event and the remainder.
+        q.schedule(t(2.0), EngineEvent::CallEnd { user: UserId(0), generation: 0 });
+        assert_eq!(q.peek_time(), Some(t(2.0)));
+        assert_eq!(q.pop().unwrap().0, t(2.0));
+        assert_eq!(q.pop().unwrap().0, t(4.0));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn engine_queue_far_future_overflow_pops_in_order() {
+        let mut q = EngineQueue::with_epoch(SimDuration::from_secs_f64(5.0));
+        // Far beyond the ring horizon (4096 × 5 s): overflow heap.
+        let far = t(5.0 * 10_000.0);
+        let farther = t(5.0 * 12_000.0);
+        q.schedule(farther, EngineEvent::Arrival { user: UserId(2) });
+        q.schedule(far, EngineEvent::Arrival { user: UserId(1) });
+        q.schedule(t(1.0), EngineEvent::Arrival { user: UserId(0) });
+        assert_eq!(q.len(), 3);
+        let order: Vec<SimTime> = std::iter::from_fn(|| q.pop()).map(|(tm, _)| tm).collect();
+        assert_eq!(order, vec![t(1.0), far, farther]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn engine_queue_pop_within_respects_the_limit() {
+        let mut q = EngineQueue::with_epoch(SimDuration::from_secs_f64(5.0));
+        q.schedule(t(3.0), EngineEvent::Arrival { user: UserId(0) });
+        q.schedule(t(5.0), EngineEvent::Arrival { user: UserId(1) });
+        q.schedule(t(5.1), EngineEvent::Arrival { user: UserId(2) });
+        // Epoch 1 drains (0, 5]: the boundary event is included, the
+        // next epoch's is not.
+        assert_eq!(q.pop_within(t(5.0)).unwrap().0, t(3.0));
+        assert_eq!(q.pop_within(t(5.0)).unwrap().0, t(5.0));
+        assert_eq!(q.pop_within(t(5.0)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_within(t(10.0)).unwrap().0, t(5.1));
+    }
+
+    #[test]
+    fn engine_queue_tags_ride_along_without_affecting_order() {
+        let mut q = EngineQueue::with_epoch(SimDuration::from_secs_f64(5.0));
+        q.schedule_tagged(t(2.0), EngineEvent::Arrival { user: UserId(7) }, 42);
+        q.schedule_tagged(t(1.0), EngineEvent::Arrival { user: UserId(9) }, 7);
+        let (_, _, tag) = q.pop_within(t(10.0)).unwrap();
+        assert_eq!(tag, 7);
+        let (_, _, tag) = q.pop_within(t(10.0)).unwrap();
+        assert_eq!(tag, 42);
     }
 
     #[test]

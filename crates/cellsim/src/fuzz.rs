@@ -198,6 +198,7 @@ impl WorkloadFuzzer {
             arrivals,
             movement_tick_s,
             shards,
+            workers: 0,
             seed: workload_seed,
             replications: 1,
         };

@@ -6,8 +6,6 @@
 //! centers spaced so that a cell's *radius* (center → corner) is
 //! configurable in kilometers.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
 use facs_cac::CellId;
@@ -111,7 +109,11 @@ pub struct HexGrid {
     radius: u32,
     cell_radius_km: f64,
     coords: Vec<HexCoord>,
-    by_coord: HashMap<HexCoord, CellId>,
+    /// Dense axial→id lookup over the bounding square `[-R, R]²`:
+    /// slot `(q + R) · (2R + 1) + (r + R)`, with `u32::MAX` marking
+    /// coordinates outside the honeycomb. Every `locate` hits this
+    /// table, so it must be an indexed load, not a hashed probe.
+    lut: Vec<u32>,
 }
 
 impl HexGrid {
@@ -139,8 +141,14 @@ impl HexGrid {
                 }
             }
         }
-        let by_coord = coords.iter().enumerate().map(|(i, &c)| (c, CellId(i as u32))).collect();
-        Self { radius, cell_radius_km, coords, by_coord }
+        let side = 2 * radius as usize + 1;
+        let mut lut = vec![u32::MAX; side * side];
+        for (i, &c) in coords.iter().enumerate() {
+            let q = (c.q + radius as i32) as usize;
+            let r = (c.r + radius as i32) as usize;
+            lut[q * side + r] = i as u32;
+        }
+        Self { radius, cell_radius_km, coords, lut }
     }
 
     /// A single-cell "grid" (figs. 7–9 run against one base station).
@@ -191,7 +199,17 @@ impl HexGrid {
     /// Cell id at an axial coordinate, if inside the grid.
     #[must_use]
     pub fn cell_at(&self, coord: HexCoord) -> Option<CellId> {
-        self.by_coord.get(&coord).copied()
+        let radius = self.radius as i32;
+        if coord.q.abs() > radius || coord.r.abs() > radius {
+            return None;
+        }
+        let side = 2 * radius as usize + 1;
+        let q = (coord.q + radius) as usize;
+        let r = (coord.r + radius) as usize;
+        match self.lut[q * side + r] {
+            u32::MAX => None,
+            id => Some(CellId(id)),
+        }
     }
 
     /// Planar center of a cell, in km.
@@ -269,8 +287,18 @@ impl HexGrid {
     /// diameter — i.e. it has wandered off the modelled coverage area.
     #[must_use]
     pub fn out_of_coverage(&self, point: Point) -> bool {
+        // Fast path: a point that hex-rounds into a modelled cell lies
+        // inside that hexagon, hence within one cell radius of its
+        // center — it cannot be out of coverage. Only points beyond the
+        // outer ring pay the nearest-center scan.
+        let size = self.cell_radius_km;
+        let fq = (3f64.sqrt() / 3.0 * point.x - point.y / 3.0) / size;
+        let fr = (2.0 / 3.0 * point.y) / size;
+        if self.cell_at(Self::axial_round(fq, fr)).is_some() {
+            return false;
+        }
         let nearest = self.locate(point);
-        self.center_of(nearest).distance_to(point) > 2.0 * self.cell_radius_km
+        self.center_of(nearest).distance_to(point) > 2.0 * size
     }
 }
 

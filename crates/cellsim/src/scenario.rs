@@ -80,6 +80,9 @@ pub struct ScenarioConfig {
     /// Cell-group shards the kernel runs on (1 = single-threaded;
     /// results are bit-identical for any value, see [`crate::engine`]).
     pub shards: usize,
+    /// Worker threads driving the shards (0 = auto-size to the host,
+    /// 1 = sequential; bit-identical for any value).
+    pub workers: usize,
     /// Base RNG seed.
     pub seed: u64,
     /// Number of independent replications to average over.
@@ -105,6 +108,7 @@ impl Default for ScenarioConfig {
             arrivals: ArrivalPattern::Uniform,
             movement_tick_s: 5.0,
             shards: 1,
+            workers: 0,
             seed: 2007,
             replications: 3,
         }
@@ -162,6 +166,8 @@ impl ScenarioConfig {
             max_time_s: self.window_s + 50.0 * self.holding_mean_s,
             seed: seed ^ 0x5EED_0001,
             shards: self.shards,
+            workers: self.workers,
+            ..SimulationConfig::default()
         }
     }
 

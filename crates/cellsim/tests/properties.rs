@@ -1,12 +1,32 @@
 //! Property-based tests over the simulator substrate invariants.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use facs_cac::policies::GuardChannel;
+use facs_cac::{BandwidthUnits, BoxedController};
 use facs_cellsim::erlang::erlang_b;
-use facs_cellsim::events::{Event, EventQueue, UserId};
+use facs_cellsim::events::{EngineEvent, EngineQueue, Event, EventQueue, UserId};
 use facs_cellsim::geometry::{HexCoord, HexGrid, Point};
 use facs_cellsim::mobility::{MobileState, MobilityModel, Walker};
 use facs_cellsim::rng::SimRng;
-use facs_cellsim::time::SimTime;
+use facs_cellsim::time::{SimDuration, SimTime};
+use facs_cellsim::{HoldingTimes, Simulation, SimulationConfig, TraceDigest, Workload};
 use proptest::prelude::*;
+
+/// Reference priority queue over the same content keys the calendar
+/// queue orders by.
+type ModelHeap = BinaryHeap<Reverse<(SimTime, (u8, u64, u32))>>;
+
+/// The calendar queue's content-defined tie-break key, recomputed here
+/// so the reference model cannot drift from the production ordering
+/// contract (call-ends before arrivals, then user, then generation).
+fn engine_key(event: EngineEvent) -> (u8, u64, u32) {
+    match event {
+        EngineEvent::CallEnd { user, generation } => (0, user.0, generation),
+        EngineEvent::Arrival { user } => (1, user.0, 0),
+    }
+}
 
 proptest! {
     /// Hex-grid size follows the centered hexagonal numbers 3r(r+1)+1.
@@ -139,5 +159,117 @@ proptest! {
         prop_assert!((0.0..1.0).contains(&b));
         prop_assert!(erlang_b(servers, a + 0.1) >= b);
         prop_assert!(erlang_b(servers + 1, a) <= b);
+    }
+
+    /// The calendar queue pops the exact `(time, key)` sequence a
+    /// reference `BinaryHeap` over the same content keys would, across
+    /// every internal path: current-bucket incursions (mid-drain
+    /// scheduling), ring buckets, same-instant ties on epoch
+    /// boundaries, and far-future events that overflow the ring and
+    /// migrate back. Also exercises the `pop_within` limit contract.
+    #[test]
+    fn calendar_queue_matches_reference_heap(
+        first in prop::collection::vec((0u8..3, 0u64..40_000_000), 1..80),
+        second in prop::collection::vec((0u8..3, 0u64..40_000_000), 0..40),
+        drained in 0usize..40,
+        limit_us in 1u64..60_000_000,
+    ) {
+        let epoch = SimDuration::from_micros(5_000_000);
+        let mut queue = EngineQueue::with_epoch(epoch);
+        let mut model = ModelHeap::new();
+        let push = |queue: &mut EngineQueue,
+                        model: &mut ModelHeap,
+                        shape: u8,
+                        raw_us: u64,
+                        user: u64| {
+            let time = match shape {
+                // Same-instant tie pinned to an epoch boundary.
+                0 => SimTime::from_micros(raw_us / 5_000_000 * 5_000_000),
+                // Far future: past the 4096-bucket ring, into overflow.
+                1 => SimTime::from_micros(25_000_000_000 + raw_us),
+                // Ordinary near-term event.
+                _ => SimTime::from_micros(raw_us),
+            };
+            let event = if user % 4 == 0 {
+                EngineEvent::Arrival { user: UserId(user) }
+            } else {
+                EngineEvent::CallEnd { user: UserId(user), generation: (user % 3) as u32 }
+            };
+            queue.schedule(time, event);
+            model.push(Reverse((time, engine_key(event))));
+        };
+        for (i, &(shape, raw)) in first.iter().enumerate() {
+            push(&mut queue, &mut model, shape, raw, i as u64);
+        }
+        // Drain part of the schedule, then keep scheduling: later pushes
+        // can land in (or before) the bucket currently draining, the
+        // incursion path a plain heap never needs.
+        for _ in 0..drained.min(first.len()) {
+            let (time, event, _) = queue.pop_within(SimTime::from_micros(u64::MAX)).unwrap();
+            let Reverse(expected) = model.pop().unwrap();
+            prop_assert_eq!((time, engine_key(event)), expected);
+        }
+        for (i, &(shape, raw)) in second.iter().enumerate() {
+            push(&mut queue, &mut model, shape, raw, (first.len() + i) as u64);
+        }
+        // Bounded drain: pop_within must stop exactly where the model's
+        // next entry crosses the limit...
+        let limit = SimTime::from_micros(limit_us);
+        while let Some((time, event, _)) = queue.pop_within(limit) {
+            prop_assert!(time <= limit);
+            let Reverse(expected) = model.pop().unwrap();
+            prop_assert_eq!((time, engine_key(event)), expected);
+        }
+        if let Some(Reverse((next, _))) = model.peek() {
+            prop_assert!(*next > limit, "pop_within({limit}) stopped early of {next}");
+        }
+        // ...and the unbounded drain must finish the identical sequence.
+        while let Some((time, event, _)) = queue.pop_within(SimTime::from_micros(u64::MAX)) {
+            let Reverse(expected) = model.pop().unwrap();
+            prop_assert_eq!((time, engine_key(event)), expected);
+        }
+        prop_assert!(model.is_empty());
+        prop_assert!(queue.is_empty());
+    }
+}
+
+/// Builds one guard-channel controller per cell — simple, deterministic,
+/// and stateful enough that any event-order divergence shows up in the
+/// trace digest.
+fn guard_controllers(grid_cells: usize) -> Vec<BoxedController> {
+    (0..grid_cells)
+        .map(|_| Box::new(GuardChannel::new(BandwidthUnits::new(4))) as BoxedController)
+        .collect()
+}
+
+/// The full-trace digest (every decision, reallocation, completion, and
+/// exit event) is bit-identical across 1–7 shards with the
+/// work-stealing pool driver enabled. Worker counts are forced
+/// explicitly because auto-sizing resolves to the sequential driver on
+/// small CI hosts, which would leave the stealing path uncovered.
+#[test]
+fn trace_digests_identical_across_shards_and_stealing() {
+    let run = |shards: usize, workers: usize| {
+        let grid = HexGrid::new(2, 2.0);
+        let workload = Workload::default().generate(&grid, 300, 60.0, HoldingTimes::new(12.0), 41);
+        let config = SimulationConfig {
+            movement_tick_s: 2.0,
+            seed: 41,
+            shards,
+            workers,
+            ..SimulationConfig::default()
+        };
+        let mut sim = Simulation::new(grid, config, guard_controllers(19));
+        sim.run_with(workload, TraceDigest::new()).hex()
+    };
+    let reference = run(1, 1);
+    for shards in 1..=7 {
+        for workers in [2, 3] {
+            assert_eq!(
+                reference,
+                run(shards, workers),
+                "digest diverged at {shards} shards / {workers} workers"
+            );
+        }
     }
 }

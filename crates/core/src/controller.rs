@@ -2,7 +2,7 @@
 
 use facs_cac::{
     AdmissionController, AdmissionPlan, BandwidthLedger, BandwidthUnits, BoxedController, CallKind,
-    CallRequest, CellSnapshot, Decision, MobilityInfo,
+    CallRequest, CellSnapshot, Decision, MobilityInfo, ServiceProfile,
 };
 use facs_fuzzy::{BackendKind, FuzzyError, InferenceConfig};
 
@@ -251,7 +251,21 @@ impl AdmissionController for FacsController {
     }
 
     fn decide(&mut self, request: &CallRequest, cell: &BandwidthLedger) -> AdmissionPlan {
+        // Saturation short-circuit: plain FACS admits only at nominal
+        // bandwidth, so when the cell cannot fit that cost the request is
+        // denied whatever the cascade says (an Admit plan would fail
+        // allocation). Skipping the evaluation changes no outcome, and on
+        // saturated cells it skips the dominant per-arrival cost.
+        if self.fast_reject(&request.profile, cell) {
+            return AdmissionPlan::Reject(Decision::reject(-1.0));
+        }
         AdmissionPlan::gate(self.evaluate(request, &cell.snapshot()).decision)
+    }
+
+    fn fast_reject(&self, profile: &ServiceProfile, cell: &BandwidthLedger) -> bool {
+        // Plain FACS never degrades or squeezes, so a profile whose
+        // nominal cost does not fit is denied for any mobility and kind.
+        !cell.can_fit(profile.rb_cost_nominal)
     }
 }
 

@@ -54,6 +54,7 @@ fn simulator_blocking_matches_erlang_b() {
             max_time_s: 40_000.0,
             seed,
             shards: 1,
+            ..SimulationConfig::default()
         };
         let controllers: Vec<BoxedController> = vec![Box::new(CompleteSharing::new())];
         let mut sim = Simulation::new(grid, config, controllers);
@@ -81,6 +82,7 @@ fn simulator_tracks_erlang_b_across_loads() {
             max_time_s: 60_000.0,
             seed: 7,
             shards: 1,
+            ..SimulationConfig::default()
         };
         let mut sim = Simulation::new(
             grid,

@@ -27,21 +27,29 @@ fn label(requests: usize) -> String {
 fn bench_sim_throughput(c: &mut Criterion) {
     for &requests in &[10_000usize, 100_000, 1_000_000] {
         for &shards in &[1usize, 4] {
-            let config = stress_scenario(requests, shards);
-            let id = format!("sim_throughput/{}users/{}shards", label(requests), shards);
-            // The kernel-rate report costs one full extra run; in
-            // `--test` smoke mode criterion's single iteration is enough.
-            if !criterion::test_mode() {
-                let report = throughput_run(&config);
-                eprintln!(
-                    "{id:<40} kernel: {:>12.0} events/s {:>12.0} calls/s ({} events, {:.2?})",
-                    report.events_per_sec(),
-                    report.calls_per_sec(),
-                    report.metrics.total_events(),
-                    report.wall,
-                );
+            // `streamed` covers the chunked synthesis path (specs
+            // generated inside the timed run, memory-flat); the eager
+            // rows are the historical baseline.
+            for streamed in [false, true] {
+                let mut config = stress_scenario(requests, shards);
+                config.streamed = streamed;
+                let mode = if streamed { "streamed" } else { "eager" };
+                let id = format!("sim_throughput/{}users/{}shards/{mode}", label(requests), shards);
+                // The kernel-rate report costs one full extra run; in
+                // `--test` smoke mode criterion's single iteration is
+                // enough.
+                if !criterion::test_mode() {
+                    let report = throughput_run(&config);
+                    eprintln!(
+                        "{id:<46} kernel: {:>12.0} events/s {:>12.0} calls/s ({} events, {:.2?})",
+                        report.events_per_sec(),
+                        report.calls_per_sec(),
+                        report.metrics.total_events(),
+                        report.wall,
+                    );
+                }
+                c.bench_function(&id, |b| b.iter(|| throughput_run(&config)));
             }
-            c.bench_function(&id, |b| b.iter(|| throughput_run(&config)));
         }
     }
 }

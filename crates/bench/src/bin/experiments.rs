@@ -28,6 +28,83 @@
 
 use facs_bench::*;
 
+/// Counting global allocator (`--features mem-stats`): tracks the live
+/// allocated byte count and its high-water mark so the memory-flat
+/// claims can be checked at the allocator level, not just via RSS.
+#[cfg(feature = "mem-stats")]
+mod mem_stats {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static LIVE: AtomicUsize = AtomicUsize::new(0);
+    static HIGH: AtomicUsize = AtomicUsize::new(0);
+
+    struct CountingAlloc;
+
+    // SAFETY: delegates every allocation to `System` unchanged; the
+    // atomics only observe sizes.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let ptr = System.alloc(layout);
+            if !ptr.is_null() {
+                let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+                HIGH.fetch_max(live, Ordering::Relaxed);
+            }
+            ptr
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+            LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        }
+    }
+
+    #[global_allocator]
+    static ALLOC: CountingAlloc = CountingAlloc;
+
+    /// Highest live allocated byte count seen so far.
+    pub fn high_water_bytes() -> u64 {
+        HIGH.load(Ordering::Relaxed) as u64
+    }
+}
+
+/// Allocator high-water mark in bytes, when built with `mem-stats`.
+fn alloc_high_water_bytes() -> Option<u64> {
+    #[cfg(feature = "mem-stats")]
+    {
+        Some(mem_stats::high_water_bytes())
+    }
+    #[cfg(not(feature = "mem-stats"))]
+    {
+        None
+    }
+}
+
+/// Formats a byte count as mebibytes for report lines.
+fn mb(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+/// Prints (and records in the CI job summary) the process memory
+/// high-water marks after a memory-sensitive experiment.
+fn report_memory(context: &str) -> Option<f64> {
+    let rss = peak_rss_bytes().map(mb);
+    match rss {
+        Some(rss_mb) => {
+            let line = match alloc_high_water_bytes().map(mb) {
+                Some(hwm) => {
+                    format!("{context}: peak RSS {rss_mb:.1} MB, allocator high-water {hwm:.1} MB")
+                }
+                None => format!("{context}: peak RSS {rss_mb:.1} MB"),
+            };
+            println!("# {line}");
+            step_summary(&line);
+        }
+        None => println!("# {context}: peak RSS unavailable (no /proc)"),
+    }
+    rss
+}
+
 const EXPERIMENTS: &[&str] = &[
     "tab1",
     "tab2",
@@ -47,6 +124,8 @@ const EXPERIMENTS: &[&str] = &[
     "catalog",
     "throughput",
     "trajectory",
+    "planet",
+    "streamcheck",
     "validate",
     "golden",
 ];
@@ -83,6 +162,9 @@ fn main() {
     let mut workers: usize = 0;
     let mut label: Option<String> = None;
     let mut sizes: Vec<usize> = vec![10_000, 100_000, 1_000_000];
+    let mut requests: usize = 10_000_000;
+    let mut region_cells: u32 = 1024;
+    let mut use_streamed = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -149,6 +231,10 @@ fn main() {
                 bless = true;
                 i += 1;
             }
+            "--streamed" => {
+                use_streamed = true;
+                i += 1;
+            }
             "--check" => {
                 check = true;
                 i += 1;
@@ -184,6 +270,28 @@ fn main() {
                     .collect();
                 if sizes.contains(&0) || sizes.is_empty() {
                     eprintln!("--sizes values must be >= 1, got `{}`", args[i + 1]);
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            "--requests" if i + 1 < args.len() => {
+                requests = args[i + 1].parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --requests value `{}`", args[i + 1]);
+                    std::process::exit(2);
+                });
+                if requests == 0 {
+                    eprintln!("--requests must be >= 1");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            "--region-cells" if i + 1 < args.len() => {
+                region_cells = args[i + 1].parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --region-cells value `{}`", args[i + 1]);
+                    std::process::exit(2);
+                });
+                if region_cells == 0 {
+                    eprintln!("--region-cells must be >= 1");
                     std::process::exit(2);
                 }
                 i += 2;
@@ -376,8 +484,9 @@ fn main() {
         // only when the smoke is requested explicitly.
         let requests = if exp == "throughput" { 1_000_000 } else { 100_000 };
         println!(
-            "== throughput: {}-user kernel smoke (127 cells, compiled FACS) ==",
-            if requests == 1_000_000 { "1M" } else { "100k" }
+            "== throughput: {}-user kernel smoke (127 cells, compiled FACS, {} synthesis) ==",
+            if requests == 1_000_000 { "1M" } else { "100k" },
+            if use_streamed { "streamed" } else { "eager" },
         );
         println!("shards,wall_s,events/s,calls/s,acceptance%");
         // Best-of-two per shard count: a single sample would let one
@@ -387,6 +496,10 @@ fn main() {
         for &n in &shards {
             let mut config = stress_scenario(requests, n);
             config.workers = workers;
+            // `--streamed` swaps in chunked synthesis (for memory A/B
+            // runs); the digest is identical either way, only the spec
+            // residency differs.
+            config.streamed = use_streamed;
             let mut best = throughput_run(&config);
             let rerun = throughput_run(&config);
             if rerun.wall < best.wall {
@@ -402,6 +515,7 @@ fn main() {
             walls.push((n, wall));
             rates.push((n, best.events_per_sec()));
         }
+        report_memory("throughput smoke");
         if let Some(path) = &baseline_path {
             compare_against_baseline(path, requests as u64, &rates, tolerance);
         }
@@ -504,12 +618,114 @@ fn main() {
                 }
             }
         }
-        log.entries.push(TrajectoryEntry { date: today_iso(), label, rows });
+        let peak_rss_mb = report_memory("trajectory sweep");
+        log.entries.push(TrajectoryEntry {
+            date: today_iso(),
+            label,
+            rows,
+            peak_rss_mb,
+            alloc_hwm_mb: alloc_high_water_bytes().map(mb),
+        });
         std::fs::write(&trajectory_path, log.to_json()).unwrap_or_else(|e| {
             eprintln!("cannot write {trajectory_path}: {e}");
             std::process::exit(1);
         });
         println!("# recorded entry {} in {trajectory_path}", log.entries.len());
+        println!();
+    }
+
+    // Planet-scale streamed smoke: runs only when selected explicitly
+    // (10M users by default — far too heavy for the `all` sweep).
+    if exp == "planet" {
+        ran_any = true;
+        let entry = facs_cellsim::planet_scale(requests);
+        let mut config = entry.config;
+        config.workers = workers;
+        let cells = config.grid().len();
+        println!(
+            "== planet: {requests}-user / {cells}-cell streamed smoke ({} shards) ==",
+            config.shards
+        );
+        let report = planet_run(&config, region_cells);
+        let m = &report.metrics;
+        println!("wall_s,events/s,calls/s,acceptance%,dropping%,regions");
+        println!(
+            "{:.2},{:.0},{:.0},{:.2},{:.2},{}",
+            report.wall.as_secs_f64(),
+            m.total_events() as f64 / report.wall.as_secs_f64().max(1e-9),
+            m.offered_new as f64 / report.wall.as_secs_f64().max(1e-9),
+            m.acceptance_percentage(),
+            m.dropping_percentage(),
+            report.rollup.regions().count(),
+        );
+        let projection = eager_spec_projection_bytes(requests);
+        println!(
+            "# eager-path projection: {:.1} MB of UserSpec alone ({requests} x {} B)",
+            mb(projection),
+            projection / requests.max(1) as u64
+        );
+        if let Some(rss) = report_memory("planet streamed run") {
+            let budget = 0.25 * mb(projection);
+            let verdict = if rss < budget { "WITHIN" } else { "OUTSIDE" };
+            let line = format!(
+                "planet memory gate: peak RSS {rss:.1} MB vs 25% eager-projection budget \
+                 {budget:.1} MB ({verdict} budget)"
+            );
+            println!("# {line}");
+            step_summary(&line);
+            if rss >= budget {
+                // Warn-only: absolute RSS depends on allocator and host.
+                eprintln!("warning: planet run exceeded the streamed-memory budget ({line})");
+            }
+        }
+        std::fs::create_dir_all(&out_dir).unwrap_or_else(|e| {
+            eprintln!("cannot create --out-dir `{out_dir}`: {e}");
+            std::process::exit(1);
+        });
+        let path = format!("{out_dir}/planet-rollup.json");
+        std::fs::write(&path, report.rollup.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("# wrote hierarchical rollup to {path}");
+        println!();
+    }
+
+    // Streamed-vs-eager digest identity on the stress scenario: the PR
+    // CI safety net for the streaming synthesis path.
+    if exp == "streamcheck" {
+        ran_any = true;
+        let requests = 100_000;
+        println!("== streamcheck: {requests}-user streamed-vs-eager digest identity ==");
+        println!("shards,digest,verdict");
+        let build = facs_builder(facs::FacsConfig::compiled());
+        let build: &facs_cellsim::ControllerBuilder = &build;
+        for &n in &shards {
+            let mut eager = stress_scenario(requests, n);
+            eager.workers = workers;
+            let streamed = facs_cellsim::ScenarioConfig { streamed: true, ..eager.clone() };
+            let (_, eager_digest) = digest_run(&eager, build);
+            let (_, streamed_digest) = digest_run(&streamed, build);
+            if eager_digest == streamed_digest {
+                println!("{n},{},identical", eager_digest.hex());
+            } else {
+                eprintln!(
+                    "streamcheck FAILED at {n} shards: eager {} vs streamed {}",
+                    eager_digest.hex(),
+                    streamed_digest.hex()
+                );
+                step_summary(&format!(
+                    "**streamcheck FAILED**: streamed digest diverged at {n} shards"
+                ));
+                std::process::exit(1);
+            }
+        }
+        println!("streamcheck PASSED: streamed synthesis replays the eager trace bit-for-bit");
+        step_summary(&format!(
+            "**streamcheck**: {requests}-user streamed-vs-eager digests identical across \
+             {:?} shards",
+            shards
+        ));
         println!();
     }
 

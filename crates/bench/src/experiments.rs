@@ -592,14 +592,89 @@ impl ThroughputReport {
     }
 }
 
+/// Like [`timed_kernel_run`], but over the chunked streaming synthesis
+/// path: spec generation happens *inside* the timed region (that is the
+/// point of the memory-flat mode), only arrival-time sampling and
+/// controller construction are excluded.
+#[must_use]
+pub fn timed_kernel_run_streamed(
+    config: &ScenarioConfig,
+    build: &ControllerBuilder,
+) -> (Metrics, std::time::Duration) {
+    let grid = config.grid();
+    let controllers = build(&grid);
+    let mut sim = Simulation::new(grid, config.sim_config(config.seed), controllers);
+    let stream = config.stream_workload(config.seed);
+    let start = std::time::Instant::now();
+    let metrics = sim.run_streamed(stream);
+    (metrics, start.elapsed())
+}
+
 /// Runs one scenario once (FACS on compiled surfaces) and reports kernel
-/// throughput.
+/// throughput, honouring the scenario's `streamed` flag.
 #[must_use]
 pub fn throughput_run(config: &ScenarioConfig) -> ThroughputReport {
     let build = facs_builder(FacsConfig::compiled());
-    let workload = config.generate_workload(config.seed);
-    let (metrics, wall) = timed_kernel_run(config, workload, &build);
+    let (metrics, wall) = if config.streamed {
+        timed_kernel_run_streamed(config, &build)
+    } else {
+        let workload = config.generate_workload(config.seed);
+        timed_kernel_run(config, workload, &build)
+    };
     ThroughputReport { metrics, wall }
+}
+
+/// Process peak resident-set size in bytes (Linux `VmHWM`), `None`
+/// where `/proc` is unavailable. A whole-process high-water mark: it
+/// only ever grows, so measure it right after the run of interest.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// What the eager path would pin in memory just for the workload specs
+/// of a `requests`-user run: the analytic floor the streamed smoke's
+/// peak RSS is compared against (the eager run also needs slab arrival
+/// bookkeeping on top, so this under-states the real eager footprint).
+#[must_use]
+pub fn eager_spec_projection_bytes(requests: usize) -> u64 {
+    (requests * std::mem::size_of::<UserSpec>()) as u64
+}
+
+/// Outcome of one planet-scale streamed run.
+#[derive(Debug)]
+pub struct PlanetReport {
+    /// The run's counters.
+    pub metrics: Metrics,
+    /// The hierarchical cells → regions → global rollup.
+    pub rollup: facs_cellsim::RegionRollupSink,
+    /// Kernel + synthesis wall time.
+    pub wall: std::time::Duration,
+}
+
+/// Runs a planet-scale scenario through the streamed path with the
+/// hierarchical rollup sink attached (`region_cells` consecutive cell
+/// ids per region).
+#[must_use]
+pub fn planet_run(config: &ScenarioConfig, region_cells: u32) -> PlanetReport {
+    let build = facs_builder(FacsConfig::compiled());
+    let grid = config.grid();
+    let controllers = build(&grid);
+    let mut sim = Simulation::new(grid, config.sim_config(config.seed), controllers);
+    let stream = config.stream_workload(config.seed);
+    let start = std::time::Instant::now();
+    let (metrics, rollup) = sim.run_streamed_with(
+        stream,
+        (Metrics::new(), facs_cellsim::RegionRollupSink::new(region_cells)),
+    );
+    PlanetReport { metrics, rollup, wall: start.elapsed() }
 }
 
 /// Renders series as a crude ASCII chart for terminal inspection.

@@ -84,7 +84,11 @@ pub fn checked_run(
     let controllers = build(&grid);
     let mut sim = Simulation::new(grid, config.sim_config(seed), controllers);
     let sink = (Metrics::new(), (InvariantSink::new(), TraceDigest::new()));
-    let (metrics, (invariants, digest)) = sim.run_with(config.generate_workload(seed), sink);
+    let (metrics, (invariants, digest)) = if config.streamed {
+        sim.run_streamed_with(config.stream_workload(seed), sink)
+    } else {
+        sim.run_with(config.generate_workload(seed), sink)
+    };
     let mut violations = invariants.violations();
     violations.extend(invariants.cross_check(&metrics));
     (metrics, digest, violations)
@@ -446,12 +450,27 @@ pub fn validate_config(
             }
             runs.push(MatrixRun { label, metrics, digest });
         }
-        // Hard kernel invariant: sharding must not change one event.
+        if config.streamed {
+            // Streamed-vs-eager safety net: the same workload, eagerly
+            // materialized, must replay the exact same trace.
+            let eager = ScenarioConfig { streamed: false, shards: 1, ..config.clone() };
+            let (metrics, digest, violations) = checked_run(&eager, build);
+            let label = format!("{backend}/eager");
+            if !violations.is_empty() {
+                return Err(format!(
+                    "invariant violations on {label}:\n  {}",
+                    violations.join("\n  ")
+                ));
+            }
+            runs.push(MatrixRun { label, metrics, digest });
+        }
+        // Hard kernel invariant: neither sharding nor streamed
+        // synthesis may change one event.
         let first = &runs[0];
         for run in &runs[1..] {
             if run.digest != first.digest {
                 return Err(format!(
-                    "shard digest divergence: {} produced {} but {} produced {}",
+                    "digest divergence: {} produced {} but {} produced {}",
                     first.label,
                     first.digest.hex(),
                     run.label,
@@ -619,6 +638,13 @@ pub struct TrajectoryEntry {
     pub label: String,
     /// `(requests, shards, events/s)` per configuration measured.
     pub rows: Vec<(u64, usize, f64)>,
+    /// Process peak RSS (MB) at the end of the sweep, when measurable
+    /// (Linux `VmHWM`). A whole-process high-water mark, so it reflects
+    /// the largest configuration of the sweep.
+    pub peak_rss_mb: Option<f64>,
+    /// Allocator high-water mark (MB) from the counting global
+    /// allocator, when the binary was built with `--features mem-stats`.
+    pub alloc_hwm_mb: Option<f64>,
 }
 
 impl TrajectoryEntry {
@@ -653,6 +679,12 @@ impl TrajectoryLog {
             for (requests, shards, eps) in &entry.rows {
                 out.push_str(&format!(",\n      \"r{requests}-s{shards}\": \"{eps:.0}\""));
             }
+            if let Some(mb) = entry.peak_rss_mb {
+                out.push_str(&format!(",\n      \"peak_rss_mb\": \"{mb:.1}\""));
+            }
+            if let Some(mb) = entry.alloc_hwm_mb {
+                out.push_str(&format!(",\n      \"alloc_hwm_mb\": \"{mb:.1}\""));
+            }
             out.push_str(if i + 1 == self.entries.len() { "\n    }\n" } else { "\n    },\n" });
         }
         out.push_str("  ]\n}\n");
@@ -684,10 +716,14 @@ impl TrajectoryLog {
             let mut date = None;
             let mut label = None;
             let mut rows = Vec::new();
+            let mut peak_rss_mb = None;
+            let mut alloc_hwm_mb = None;
             for (key, value) in string_fields(&rest[open..=close]) {
                 match key.as_str() {
                     "date" => date = Some(value),
                     "label" => label = Some(value),
+                    "peak_rss_mb" => peak_rss_mb = value.parse().ok(),
+                    "alloc_hwm_mb" => alloc_hwm_mb = value.parse().ok(),
                     _ => {
                         if let Some((r, s)) = key.strip_prefix('r').and_then(|k| k.split_once("-s"))
                         {
@@ -698,7 +734,13 @@ impl TrajectoryLog {
                     }
                 }
             }
-            entries.push(TrajectoryEntry { date: date?, label: label?, rows });
+            entries.push(TrajectoryEntry {
+                date: date?,
+                label: label?,
+                rows,
+                peak_rss_mb,
+                alloc_hwm_mb,
+            });
             rest = &rest[close + 1..];
         }
         Some(Self { entries })
@@ -710,6 +752,30 @@ mod tests {
     use super::*;
 
     #[test]
+    fn streamed_digests_match_eager_across_catalog() {
+        let pair = BackendPair::default();
+        for entry in catalog() {
+            for shards in [1usize, 4] {
+                for (backend, build) in [
+                    ("exact", pair.exact_builder.as_ref()),
+                    ("compiled", pair.compiled_builder.as_ref()),
+                ] {
+                    let eager = ScenarioConfig { shards, streamed: false, ..entry.config.clone() };
+                    let streamed =
+                        ScenarioConfig { shards, streamed: true, ..entry.config.clone() };
+                    let (_, eager_digest) = digest_run(&eager, build);
+                    let (_, streamed_digest) = digest_run(&streamed, build);
+                    assert_eq!(
+                        eager_digest, streamed_digest,
+                        "streamed digest diverged from eager on {} ({backend}, {shards} shards)",
+                        entry.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn trajectory_json_round_trips() {
         let log = TrajectoryLog {
             entries: vec![
@@ -717,11 +783,15 @@ mod tests {
                     date: "2026-08-01".to_owned(),
                     label: "before".to_owned(),
                     rows: vec![(10_000, 1, 2_826_034.0), (1_000_000, 4, 1_050_944.0)],
+                    peak_rss_mb: None,
+                    alloc_hwm_mb: None,
                 },
                 TrajectoryEntry {
                     date: "2026-08-09".to_owned(),
                     label: "after".to_owned(),
                     rows: vec![(10_000, 1, 8_000_000.0)],
+                    peak_rss_mb: Some(412.5),
+                    alloc_hwm_mb: Some(350.1),
                 },
             ],
         };

@@ -54,6 +54,7 @@ use crate::mobility::{
 };
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use crate::workload::WorkloadStream;
 
 use shard::{sort_migrants, CellUnit, Migrant, Shard};
 
@@ -295,28 +296,79 @@ impl Simulation {
             shard.seal_arrivals();
         }
 
-        let workers = resolve_workers(self.config.workers, shard_count);
+        let workers = driver_workers(self.config.workers, shard_count);
         let epochs = if workers <= 1 {
             drive_sequential(&mut shards, tick, horizon)
         } else {
             drive_pool(&mut shards, tick, horizon, workers, self.config.pin_shards)
         };
-        let final_time =
-            if epochs == 0 { SimTime::ZERO } else { barrier_time(tick, epochs).min(horizon) };
+        let (sink, cells, final_time) = reassemble(sink, shards, tick, epochs, horizon);
+        self.cells = cells;
+        self.clock = final_time;
+        sink
+    }
 
-        // Reassemble: fold shard sinks in shard order, restore cells in
-        // id order, then flush per-cell utilization in id order.
-        let mut sink = sink;
-        let mut cells: Vec<CellUnit> = Vec::with_capacity(self.grid.len());
-        for shard in shards {
-            sink.absorb(shard.sink);
-            cells.extend(shard.cells);
+    /// Runs a streamed workload to completion and returns the collected
+    /// metrics. See [`Simulation::run_streamed_with`].
+    pub fn run_streamed(&mut self, stream: WorkloadStream) -> Metrics {
+        let metrics = self.run_streamed_with(stream, Metrics::new());
+        self.metrics = metrics.clone();
+        metrics
+    }
+
+    /// Runs a lazily synthesized workload: users are generated chunk by
+    /// chunk from `stream` and routed to their home shards one epoch
+    /// window at a time, so peak resident specs are O(active calls + one
+    /// chunk) instead of O(total users). Results are bit-identical to
+    /// [`Simulation::run_with`] on the eagerly generated workload: the
+    /// stream replays the same random draws in the same order, and
+    /// per-shard delivery order equals the eager slab's sorted dispatch
+    /// order (see the `shard` module).
+    pub fn run_streamed_with<S: MetricsSink>(&mut self, stream: WorkloadStream, sink: S) -> S {
+        let shard_count = self.config.shards.clamp(1, self.cells.len().max(1));
+        if shard_count > 1 {
+            if let Some(cell) = self.cells.iter().find(|c| !c.controller.is_cell_local()) {
+                panic!(
+                    "controller `{}` shares cross-cell state and cannot run on {} shards \
+                     without losing bit-reproducibility; use shards = 1",
+                    cell.controller.name(),
+                    shard_count
+                );
+            }
         }
-        cells.sort_by_key(|c| c.id.0);
-        for cell in &mut cells {
-            let (occupied_bu_s, capacity_bu_s) = cell.finish(final_time);
-            sink.on_cell_utilization(cell.id, occupied_bu_s, capacity_bu_s);
+        let tick = SimDuration::from_secs_f64(self.config.movement_tick_s);
+        assert!(tick.as_micros() > 0, "movement tick rounds to zero microseconds");
+        let horizon = SimTime::from_secs_f64(self.config.max_time_s);
+
+        let mut per_shard: Vec<Vec<CellUnit>> = (0..shard_count).map(|_| Vec::new()).collect();
+        for cell in std::mem::take(&mut self.cells) {
+            per_shard[cell.id.0 as usize % shard_count].push(cell);
         }
+        let grid = &self.grid;
+        let config = self.config;
+        // Streamed shards own their pending specs; the shared slab stays
+        // empty.
+        let mut shards: Vec<Shard<'_, S>> = per_shard
+            .into_iter()
+            .enumerate()
+            .map(|(i, cells)| Shard::new(i, shard_count, grid, &[], config, cells, sink.fork()))
+            .collect();
+
+        let mut feeder = StreamFeeder { stream, grid };
+        let workers = driver_workers(self.config.workers, shard_count);
+        let epochs = if workers <= 1 {
+            drive_sequential_streamed(&mut shards, tick, horizon, &mut feeder)
+        } else {
+            drive_pool_streamed(
+                &mut shards,
+                tick,
+                horizon,
+                workers,
+                self.config.pin_shards,
+                &mut feeder,
+            )
+        };
+        let (sink, cells, final_time) = reassemble(sink, shards, tick, epochs, horizon);
         self.cells = cells;
         self.clock = final_time;
         sink
@@ -356,6 +408,159 @@ impl Simulation {
 /// every shard and driver computes identical barrier times).
 fn barrier_time(tick: SimDuration, epoch: u64) -> SimTime {
     SimTime::from_micros(tick.as_micros() * epoch)
+}
+
+/// Reassembles a finished run — folds shard sinks in shard order,
+/// collects cells back into id order and flushes each cell's
+/// utilization integral — the shared tail of the eager and streamed run
+/// paths. Returns `(sink, cells, final time)`.
+fn reassemble<S: MetricsSink>(
+    mut sink: S,
+    shards: Vec<Shard<'_, S>>,
+    tick: SimDuration,
+    epochs: u64,
+    horizon: SimTime,
+) -> (S, Vec<CellUnit>, SimTime) {
+    let final_time =
+        if epochs == 0 { SimTime::ZERO } else { barrier_time(tick, epochs).min(horizon) };
+    let mut cells: Vec<CellUnit> = Vec::new();
+    for shard in shards {
+        sink.absorb(shard.sink);
+        cells.extend(shard.cells);
+    }
+    cells.sort_by_key(|c| c.id.0);
+    for cell in &mut cells {
+        let (occupied_bu_s, capacity_bu_s) = cell.finish(final_time);
+        sink.on_cell_utilization(cell.id, occupied_bu_s, capacity_bu_s);
+    }
+    (sink, cells, final_time)
+}
+
+/// Picks the worker count for a run, skipping pool setup (and the
+/// `available_parallelism` probe) outright when the pool cannot help:
+/// one shard serializes on its own state, and an explicit single worker
+/// would only add barrier churn.
+fn driver_workers(configured: usize, shard_count: usize) -> usize {
+    if shard_count == 1 || configured == 1 {
+        1
+    } else {
+        resolve_workers(configured, shard_count)
+    }
+}
+
+/// Feeds a [`WorkloadStream`] into the shards' pending-arrival queues,
+/// one epoch window at a time. Pull granularity is the stream's chunk
+/// size, so a refill can overshoot the window by at most one chunk —
+/// that overshoot simply waits in the pending queues.
+struct StreamFeeder<'g> {
+    stream: WorkloadStream,
+    grid: &'g HexGrid,
+}
+
+impl StreamFeeder<'_> {
+    /// True once every user has been synthesized and delivered.
+    fn exhausted(&self) -> bool {
+        self.stream.is_exhausted()
+    }
+
+    /// Delivers every arrival due at or before `limit` (sequential
+    /// driver variant: shards are directly mutable).
+    fn refill<S: MetricsSink>(&mut self, shards: &mut [Shard<'_, S>], limit: SimTime) {
+        let shard_count = shards.len();
+        while self.stream.peek_next_arrival_s().is_some_and(|t| SimTime::from_secs_f64(t) <= limit)
+        {
+            let Some(mut chunk) = self.stream.next_chunk() else { break };
+            for (i, spec) in chunk.specs.drain(..).enumerate() {
+                let user = chunk.first_user + i as u64;
+                let time = SimTime::from_secs_f64(spec.arrival_s);
+                let home = self.grid.locate(spec.start.position);
+                shards[home.0 as usize % shard_count].push_pending(
+                    time.as_micros(),
+                    user,
+                    home,
+                    spec,
+                );
+            }
+            self.stream.recycle(chunk);
+        }
+    }
+
+    /// Pooled-driver variant of [`StreamFeeder::refill`]: delivers into
+    /// the shard slots and clears the idle flag of every shard that
+    /// receives an arrival (their published flags predate the refill).
+    /// Only the barrier leader calls this, while the other workers hold
+    /// at a barrier — the per-push slot locks are uncontended.
+    fn refill_slots<S: MetricsSink>(
+        &mut self,
+        slots: &[std::sync::Mutex<&mut Shard<'_, S>>],
+        idle: &[std::sync::atomic::AtomicBool],
+        limit: SimTime,
+    ) {
+        let shard_count = slots.len();
+        while self.stream.peek_next_arrival_s().is_some_and(|t| SimTime::from_secs_f64(t) <= limit)
+        {
+            let Some(mut chunk) = self.stream.next_chunk() else { break };
+            for (i, spec) in chunk.specs.drain(..).enumerate() {
+                let user = chunk.first_user + i as u64;
+                let time = SimTime::from_secs_f64(spec.arrival_s);
+                let home = self.grid.locate(spec.start.position);
+                let target = home.0 as usize % shard_count;
+                slots[target].lock().expect("shard slot poisoned").push_pending(
+                    time.as_micros(),
+                    user,
+                    home,
+                    spec,
+                );
+                idle[target].store(false, std::sync::atomic::Ordering::SeqCst);
+            }
+            self.stream.recycle(chunk);
+        }
+    }
+}
+
+/// The single-threaded epoch driver for streamed workloads: identical to
+/// [`drive_sequential`] except that each epoch begins by delivering the
+/// arrivals due by the *next* barrier, and the loop only ends once the
+/// stream is exhausted — an all-idle world with undelivered future
+/// arrivals must keep pulsing epochs exactly like the eager driver
+/// (whose shards stay non-idle while arrivals remain).
+fn drive_sequential_streamed<S: MetricsSink>(
+    shards: &mut [Shard<'_, S>],
+    tick: SimDuration,
+    horizon: SimTime,
+    feeder: &mut StreamFeeder<'_>,
+) -> u64 {
+    let shard_count = shards.len();
+    let mut epoch: u64 = 0;
+    loop {
+        feeder.refill(shards, barrier_time(tick, epoch + 1).min(horizon));
+        if (shards.iter().all(Shard::idle) && feeder.exhausted())
+            || barrier_time(tick, epoch) >= horizon
+        {
+            break;
+        }
+        epoch += 1;
+        let t = barrier_time(tick, epoch);
+        let limit = t.min(horizon);
+        for s in shards.iter_mut() {
+            s.run_events(limit);
+        }
+        if t > horizon {
+            break;
+        }
+        let mut mailboxes: Vec<Vec<Migrant>> = (0..shard_count).map(|_| Vec::new()).collect();
+        for s in shards.iter_mut() {
+            for (target, migrant) in s.run_movement(t) {
+                mailboxes[target].push(migrant);
+            }
+        }
+        for (s, mut inbox) in shards.iter_mut().zip(mailboxes) {
+            sort_migrants(&mut inbox);
+            s.run_admissions(t, inbox);
+            s.sample_cells(t);
+        }
+    }
+    epoch
 }
 
 /// The single-threaded epoch driver (also correct, though unused, for
@@ -509,6 +714,132 @@ fn drive_pool<S: MetricsSink>(
                             // Phase A is over on every worker; the
                             // counter's next use is behind the loop-top
                             // barrier, which this reset happens-before.
+                            next_a.store(0, Ordering::Relaxed);
+                        }
+                        if t > horizon {
+                            break;
+                        }
+                        // Phase B: inbound handoffs, then the epoch pulse.
+                        let mut k = 0;
+                        while let Some(i) = claim(next_b, k) {
+                            k += 1;
+                            let mut shard = slots[i].lock().expect("shard slot poisoned");
+                            let mut inbox = std::mem::take(
+                                &mut *mailboxes[i].lock().expect("mailbox poisoned"),
+                            );
+                            sort_migrants(&mut inbox);
+                            shard.run_admissions(t, inbox);
+                            shard.sample_cells(t);
+                            idle[i].store(shard.idle(), Ordering::SeqCst);
+                        }
+                    }
+                    epoch
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect()
+    })
+    .expect("shard scope failed");
+
+    let first = epochs[0];
+    debug_assert!(epochs.iter().all(|&e| e == first), "workers disagreed on epoch count");
+    first
+}
+
+/// The pooled epoch driver for streamed workloads: [`drive_pool`] plus a
+/// refill phase at the top of every epoch. One extra barrier pair
+/// brackets the refill — the leader delivers the next epoch window into
+/// the shard slots while every other worker waits, then all workers read
+/// the same idle/exhausted flags, so the epoch count and the termination
+/// branch stay unanimous. Streamed runs pay this third barrier; eager
+/// runs keep the two-barrier loop untouched.
+fn drive_pool_streamed<S: MetricsSink>(
+    shards: &mut [Shard<'_, S>],
+    tick: SimDuration,
+    horizon: SimTime,
+    workers: usize,
+    pin: bool,
+    feeder: &mut StreamFeeder<'_>,
+) -> u64 {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Barrier, Mutex};
+
+    let shard_count = shards.len();
+    let sync = Barrier::new(workers);
+    let mailboxes: Vec<Mutex<Vec<Migrant>>> =
+        (0..shard_count).map(|_| Mutex::new(Vec::new())).collect();
+    let idle: Vec<AtomicBool> = shards.iter().map(|s| AtomicBool::new(s.idle())).collect();
+    let stream_done = AtomicBool::new(feeder.exhausted());
+    let next_a = AtomicUsize::new(0);
+    let next_b = AtomicUsize::new(0);
+    let slots: Vec<Mutex<&mut Shard<'_, S>>> = shards.iter_mut().map(Mutex::new).collect();
+    let feeder = Mutex::new(feeder);
+
+    let epochs: Vec<u64> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                let sync = &sync;
+                let mailboxes = &mailboxes;
+                let idle = &idle;
+                let stream_done = &stream_done;
+                let next_a = &next_a;
+                let next_b = &next_b;
+                let slots = &slots;
+                let feeder = &feeder;
+                scope.spawn(move || {
+                    let claim = |counter: &AtomicUsize, k: usize| {
+                        if pin {
+                            let i = me + k * workers;
+                            (i < shard_count).then_some(i)
+                        } else {
+                            let i = counter.fetch_add(1, Ordering::Relaxed);
+                            (i < shard_count).then_some(i)
+                        }
+                    };
+                    let mut epoch: u64 = 0;
+                    loop {
+                        if sync.wait().is_leader() {
+                            next_b.store(0, Ordering::Relaxed);
+                            // Refill phase: deliver everything due by the
+                            // next barrier while the other workers hold at
+                            // the barrier below. Shards that received
+                            // arrivals have their idle flags cleared here,
+                            // so the unanimous check cannot terminate with
+                            // undispatched pending users.
+                            let mut feeder = feeder.lock().expect("feeder poisoned");
+                            feeder.refill_slots(
+                                slots,
+                                idle,
+                                barrier_time(tick, epoch + 1).min(horizon),
+                            );
+                            stream_done.store(feeder.exhausted(), Ordering::SeqCst);
+                        }
+                        sync.wait();
+                        let all_idle = idle.iter().all(|flag| flag.load(Ordering::SeqCst));
+                        if (all_idle && stream_done.load(Ordering::SeqCst))
+                            || barrier_time(tick, epoch) >= horizon
+                        {
+                            break;
+                        }
+                        epoch += 1;
+                        let t = barrier_time(tick, epoch);
+                        let limit = t.min(horizon);
+                        // Phase A: local events, then movement.
+                        let mut k = 0;
+                        while let Some(i) = claim(next_a, k) {
+                            k += 1;
+                            let mut shard = slots[i].lock().expect("shard slot poisoned");
+                            shard.run_events(limit);
+                            if t <= horizon {
+                                for (target, migrant) in shard.run_movement(t) {
+                                    mailboxes[target]
+                                        .lock()
+                                        .expect("mailbox poisoned")
+                                        .push(migrant);
+                                }
+                            }
+                        }
+                        if sync.wait().is_leader() {
                             next_a.store(0, Ordering::Relaxed);
                         }
                         if t > horizon {
@@ -878,6 +1209,84 @@ mod tests {
             }
         }
         assert!(single.handoff_attempts > 0, "workload should exercise handoffs");
+    }
+
+    #[test]
+    fn streamed_runs_match_eager_bit_for_bit() {
+        use crate::traffic::HoldingTimes;
+        use crate::workload::{MobilityChoice, SpawnSpec, Workload};
+        let grid = HexGrid::new(2, 2.0);
+        let desc = Workload {
+            spawn: SpawnSpec::AnyCell,
+            mobility: MobilityChoice::Walker,
+            ..Workload::default()
+        };
+        let holding = HoldingTimes::new(60.0);
+        let config = |shards, workers| SimulationConfig {
+            movement_tick_s: 2.0,
+            seed: 7,
+            shards,
+            workers,
+            max_time_s: 3_000.0,
+            ..Default::default()
+        };
+        let eager = {
+            let mut sim = Simulation::new(grid.clone(), config(1, 1), controllers(19));
+            sim.run(desc.generate(&grid, 300, 600.0, holding, 42))
+        };
+        assert!(eager.handoff_attempts > 0, "workload should exercise handoffs");
+        for shards in [1, 2, 4] {
+            for workers in [1, 2] {
+                for chunk in [1, 7, 4096] {
+                    let stream = desc.stream(&grid, 300, 600.0, holding, 42, chunk);
+                    let mut sim =
+                        Simulation::new(grid.clone(), config(shards, workers), controllers(19));
+                    let streamed = sim.run_streamed(stream);
+                    assert_eq!(
+                        eager, streamed,
+                        "streamed diverged: {shards} shards, {workers} workers, chunk {chunk}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_cell_series_matches_eager() {
+        // The epoch pulse (sample_cells) must fire on exactly the same
+        // barriers in both drivers, including arrival gaps where every
+        // shard is momentarily idle but the stream is not exhausted.
+        use crate::traffic::HoldingTimes;
+        use crate::workload::{MobilityChoice, SpawnSpec, Workload};
+        let grid = HexGrid::new(1, 2.0);
+        let desc = Workload {
+            spawn: SpawnSpec::AnyCell,
+            mobility: MobilityChoice::Walker,
+            ..Workload::default()
+        };
+        let holding = HoldingTimes::new(30.0);
+        let config = SimulationConfig {
+            movement_tick_s: 2.0,
+            seed: 9,
+            shards: 3,
+            max_time_s: 2_000.0,
+            ..Default::default()
+        };
+        let eager = {
+            let mut sim = Simulation::new(grid.clone(), config, controllers(7));
+            sim.run_with(
+                desc.generate(&grid, 60, 400.0, holding, 5),
+                (Metrics::new(), CellLoadSeries::new()),
+            )
+        };
+        let streamed = {
+            let mut sim = Simulation::new(grid.clone(), config, controllers(7));
+            sim.run_streamed_with(
+                desc.stream(&grid, 60, 400.0, holding, 5, 8),
+                (Metrics::new(), CellLoadSeries::new()),
+            )
+        };
+        assert_eq!(eager, streamed);
     }
 
     #[test]

@@ -160,6 +160,17 @@ fn user_rng(seed: u64, user: u64) -> SimRng {
     SimRng::seed_from_u64(seed ^ user.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
+/// A streamed arrival waiting to be dispatched: the routed home cell
+/// plus the owned spec (streamed runs have no shared workload slab to
+/// reference). Pushed in global user order with nondecreasing times, so
+/// FIFO order *is* the content-defined `(time, user)` dispatch order.
+pub(crate) struct PendingArrival {
+    time_us: u64,
+    user: u64,
+    cell: CellId,
+    spec: UserSpec,
+}
+
 pub(crate) struct Shard<'a, S> {
     index: usize,
     shard_count: usize,
@@ -184,6 +195,10 @@ pub(crate) struct Shard<'a, S> {
     /// all, which carries only call-ends.
     arrival_order: Vec<(u64, u32)>,
     arrival_cursor: usize,
+    /// Streamed arrivals delivered by the feeder one epoch window at a
+    /// time (plus chunk-granularity overshoot). Mutually exclusive with
+    /// the eager slab above: a run populates one or the other.
+    pending: std::collections::VecDeque<PendingArrival>,
     active: ActiveArena,
     /// Scratch for the movement phase's `(user, slot)` sort, reused
     /// across epochs.
@@ -214,6 +229,7 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
             arrivals: Vec::new(),
             arrival_order: Vec::new(),
             arrival_cursor: 0,
+            pending: std::collections::VecDeque::new(),
             active: ActiveArena::default(),
             movers: Vec::new(),
             sink,
@@ -245,9 +261,22 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
         self.arrival_order.sort_unstable();
     }
 
+    /// Delivers one streamed arrival. The feeder pushes in global user
+    /// order with nondecreasing timestamps, so the FIFO queue needs no
+    /// sort — its order already matches the eager slab's sorted
+    /// `(time, user)` dispatch order.
+    pub(crate) fn push_pending(&mut self, time_us: u64, user: u64, cell: CellId, spec: UserSpec) {
+        debug_assert!(
+            self.pending.back().map_or(true, |p| (p.time_us, p.user) < (time_us, user)),
+            "streamed arrivals must be pushed in (time, user) order"
+        );
+        self.pending.push_back(PendingArrival { time_us, user, cell, spec });
+    }
+
     /// `true` when the shard has nothing left to do.
     pub(crate) fn idle(&self) -> bool {
         self.arrival_cursor == self.arrival_order.len()
+            && self.pending.is_empty()
             && self.queue.is_empty()
             && self.active.is_empty()
     }
@@ -353,9 +382,15 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
     /// arrival's timestamp before the arrival fires.
     pub(crate) fn run_events(&mut self, limit: SimTime) {
         loop {
-            let next_arrival = self.arrival_order.get(self.arrival_cursor).copied();
+            // The next arrival instant, whichever backing holds it: the
+            // eager sorted slab or the streamed FIFO (never both).
+            let next_arrival = self
+                .arrival_order
+                .get(self.arrival_cursor)
+                .map(|&(t, _)| t)
+                .or_else(|| self.pending.front().map(|p| p.time_us));
             if !self.queue.is_empty() {
-                let bound = next_arrival.map_or(limit, |(t, _)| SimTime::from_micros(t).min(limit));
+                let bound = next_arrival.map_or(limit, |t| SimTime::from_micros(t).min(limit));
                 while let Some((now, event, tag)) = self.queue.pop_within(bound) {
                     match event {
                         EngineEvent::CallEnd { user, generation } => {
@@ -368,9 +403,27 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
                 }
             }
             match next_arrival {
-                Some((t, slot)) if SimTime::from_micros(t) <= limit => {
-                    self.arrival_cursor += 1;
-                    self.handle_arrival(SimTime::from_micros(t), slot);
+                Some(t) if SimTime::from_micros(t) <= limit => {
+                    let now = SimTime::from_micros(t);
+                    if let Some(&(_, slot)) = self.arrival_order.get(self.arrival_cursor) {
+                        self.arrival_cursor += 1;
+                        self.handle_arrival(now, slot);
+                        if self.arrival_cursor == self.arrival_order.len()
+                            && !self.arrival_order.is_empty()
+                        {
+                            // The slab is fully consumed: free the routed
+                            // arrivals and their dispatch order instead of
+                            // holding dead bookkeeping for the rest of the
+                            // run (long tails otherwise pin one `(CellId,
+                            // u32)` + `(u64, u32)` pair per user).
+                            self.arrivals = Vec::new();
+                            self.arrival_order = Vec::new();
+                            self.arrival_cursor = 0;
+                        }
+                    } else {
+                        let p = self.pending.pop_front().expect("peeked streamed arrival vanished");
+                        self.dispatch_arrival(now, UserId(p.user), p.cell, &p.spec);
+                    }
                 }
                 _ => break,
             }
@@ -380,7 +433,14 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
     fn handle_arrival(&mut self, now: SimTime, slot: u32) {
         let (cell_id, widx) = self.arrivals[slot as usize];
         let user = UserId(u64::from(widx));
-        let spec = &self.specs[widx as usize];
+        let specs = self.specs;
+        self.dispatch_arrival(now, user, cell_id, &specs[widx as usize]);
+    }
+
+    /// Admission of one new-call arrival, shared by the eager and
+    /// streamed backings. `spec` lives outside `self`'s mutable state
+    /// (the shared slab or a just-popped pending record).
+    fn dispatch_arrival(&mut self, now: SimTime, user: UserId, cell_id: CellId, spec: &UserSpec) {
         let (profile, start) = (spec.profile, spec.start);
         // Saturated cell or off-map request: denied without building the
         // full request — `fast_reject` is a conservative proof that
@@ -407,7 +467,6 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
         };
         self.sink.on_decision(now, cell_id, &record);
         if granted.is_some() {
-            let spec = &self.specs[widx as usize];
             let end_time = now + SimDuration::from_secs_f64(spec.holding_s);
             let slot = self.active.insert(ActiveUser {
                 user,
@@ -586,6 +645,7 @@ impl<S> std::fmt::Debug for Shard<'_, S> {
             .field("active", &self.active.len())
             .field("queued", &self.queue.len())
             .field("arrivals_left", &(self.arrival_order.len() - self.arrival_cursor))
+            .field("pending_streamed", &self.pending.len())
             .finish()
     }
 }

@@ -181,6 +181,13 @@ impl WorkloadFuzzer {
             None
         };
 
+        // Streamed-synthesis sampling: appended after every earlier
+        // draw (profiles included) so pre-streaming fields of a given
+        // (seed, index) case are unchanged by the streaming tentpole.
+        // Half of all cases exercise the chunked WorkloadStream path;
+        // the validation harness checks their digests against eager.
+        let streamed = rng.chance(0.5);
+
         let config = ScenarioConfig {
             requests,
             window_s,
@@ -201,6 +208,7 @@ impl WorkloadFuzzer {
             workers: 0,
             seed: workload_seed,
             replications: 1,
+            streamed,
         };
         FuzzCase { fuzz_seed: self.seed, index, config }
     }
@@ -404,6 +412,8 @@ mod tests {
             any(&|c| c.profiles.is_some_and(|set| set.voice.is_elastic())),
             "no sampled profile set has degradation room"
         );
+        assert!(any(&|c| c.streamed), "streamed-synthesis cases never sampled");
+        assert!(any(&|c| !c.streamed), "eager-synthesis cases never sampled");
     }
 
     #[test]

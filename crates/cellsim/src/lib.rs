@@ -75,7 +75,9 @@ pub use engine::{MobilityKind, Simulation, SimulationConfig, UserSpec};
 pub use events::{EngineEvent, EngineQueue, Event, EventQueue, UserId};
 pub use fuzz::{complexity, shrink, shrink_candidates, FuzzCase, WorkloadFuzzer};
 pub use geometry::{HexCoord, HexGrid, Point};
-pub use metrics::{CellLoadSeries, ClassCounters, Metrics, MetricsSink, Series};
+pub use metrics::{
+    CellLoadSeries, ClassCounters, Metrics, MetricsSink, RegionRollup, RegionRollupSink, Series,
+};
 pub use mobility::{GaussMarkov, MobileState, MobilityModel, RandomWaypoint, StraightLine, Walker};
 pub use rng::SimRng;
 pub use scenario::{
@@ -87,7 +89,8 @@ pub use time::{SimDuration, SimTime};
 pub use traffic::{HoldingTimes, PoissonArrivals, TrafficMix};
 pub use validate::{InvariantSink, TraceDigest};
 pub use workload::{
-    catalog, catalog_names, scenario_by_name, ArrivalPattern, CatalogEntry, Workload,
+    catalog, catalog_names, planet_scale, scenario_by_name, ArrivalPattern, CatalogEntry, Workload,
+    WorkloadChunk, WorkloadStream,
 };
 
 /// Commonly used items, for glob import in applications and examples.
@@ -95,7 +98,7 @@ pub mod prelude {
     pub use crate::engine::{MobilityKind, Simulation, SimulationConfig, UserSpec};
     pub use crate::fuzz::{FuzzCase, WorkloadFuzzer};
     pub use crate::geometry::{HexGrid, Point};
-    pub use crate::metrics::{CellLoadSeries, Metrics, MetricsSink, Series};
+    pub use crate::metrics::{CellLoadSeries, Metrics, MetricsSink, RegionRollupSink, Series};
     pub use crate::mobility::{MobileState, MobilityModel, Walker};
     pub use crate::rng::SimRng;
     pub use crate::scenario::{
@@ -105,5 +108,7 @@ pub mod prelude {
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::traffic::{HoldingTimes, PoissonArrivals, TrafficMix};
     pub use crate::validate::{InvariantSink, TraceDigest};
-    pub use crate::workload::{catalog, scenario_by_name, ArrivalPattern, CatalogEntry, Workload};
+    pub use crate::workload::{
+        catalog, scenario_by_name, ArrivalPattern, CatalogEntry, Workload, WorkloadStream,
+    };
 }

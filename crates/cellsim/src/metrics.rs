@@ -461,22 +461,56 @@ impl MetricsSink for Metrics {
     }
 }
 
+/// One cell's retained samples plus the decimation bookkeeping that
+/// keeps a capped series bounded.
+#[derive(Debug, Clone, PartialEq)]
+struct CellSeries {
+    samples: Vec<(f64, u32)>,
+    /// Samples offered so far (kept or skipped).
+    seen: u64,
+    /// Keep every `stride`-th offered sample; doubles on each
+    /// decimation pass. Always a power of two.
+    stride: u64,
+}
+
+impl CellSeries {
+    fn new() -> Self {
+        Self { samples: Vec::new(), seen: 0, stride: 1 }
+    }
+}
+
 /// A streaming per-cell occupancy time series: one `(t, occupied BU)`
 /// sample per cell per movement epoch, taken at the epoch barrier.
 ///
 /// Because a cell is sampled only by the shard that owns it, each cell's
 /// series is bit-identical no matter how many shards the run used.
+///
+/// [`CellLoadSeries::new`] retains every sample; on large grids or long
+/// horizons use [`CellLoadSeries::with_cap`], which bounds the retained
+/// samples per cell by stride-doubling decimation: when a cell reaches
+/// the cap, every other retained sample is dropped and only every
+/// 2ⁿ-th subsequent sample is kept. The decimation depends only on the
+/// cell's own sample count, so capped series stay shard-independent.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CellLoadSeries {
-    series: BTreeMap<u32, Vec<(f64, u32)>>,
+    series: BTreeMap<u32, CellSeries>,
     capacity: u32,
+    /// Maximum retained samples per cell; 0 = unbounded.
+    cap: usize,
 }
 
 impl CellLoadSeries {
-    /// Creates an empty series sink.
+    /// Creates an unbounded series sink (every sample retained).
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a series sink retaining at most `cap` samples per cell
+    /// (`0` means unbounded, like [`CellLoadSeries::new`]).
+    #[must_use]
+    pub fn with_cap(cap: usize) -> Self {
+        Self { cap, ..Self::default() }
     }
 
     /// Cells with at least one sample, in id order.
@@ -487,7 +521,7 @@ impl CellLoadSeries {
     /// The `(time s, occupied BU)` samples of one cell, in time order.
     #[must_use]
     pub fn samples(&self, cell: CellId) -> &[(f64, u32)] {
-        self.series.get(&cell.0).map_or(&[], Vec::as_slice)
+        self.series.get(&cell.0).map_or(&[], |s| s.samples.as_slice())
     }
 
     /// The sampled base-station capacity (0 before any sample arrived).
@@ -500,8 +534,8 @@ impl CellLoadSeries {
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from("cell,t_s,occupied_bu\n");
-        for (cell, samples) in &self.series {
-            for &(t, occupied) in samples {
+        for (cell, series) in &self.series {
+            for &(t, occupied) in &series.samples {
                 out.push_str(&format!("{cell},{t:.3},{occupied}\n"));
             }
         }
@@ -511,19 +545,332 @@ impl CellLoadSeries {
 
 impl MetricsSink for CellLoadSeries {
     fn fork(&self) -> Self {
-        Self::default()
+        Self { cap: self.cap, ..Self::default() }
     }
 
     fn absorb(&mut self, other: Self) {
-        for (cell, samples) in other.series {
-            self.series.entry(cell).or_default().extend(samples);
+        for (cell, series) in other.series {
+            match self.series.entry(cell) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    // Cells are owned by exactly one shard, so a cell's
+                    // whole series (including its decimation state)
+                    // moves wholesale.
+                    slot.insert(series);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    slot.get_mut().samples.extend(series.samples);
+                }
+            }
         }
         self.capacity = self.capacity.max(other.capacity);
     }
 
     fn on_cell_sample(&mut self, now: SimTime, cell: CellId, occupied: u32, capacity: u32) {
         self.capacity = capacity;
-        self.series.entry(cell.0).or_default().push((now.as_secs_f64(), occupied));
+        let entry = self.series.entry(cell.0).or_insert_with(CellSeries::new);
+        let keep = entry.seen % entry.stride == 0;
+        entry.seen += 1;
+        if !keep {
+            return;
+        }
+        entry.samples.push((now.as_secs_f64(), occupied));
+        if self.cap > 0 && entry.samples.len() >= self.cap {
+            let mut i = 0usize;
+            entry.samples.retain(|_| {
+                let keep = i % 2 == 0;
+                i += 1;
+                keep
+            });
+            entry.stride *= 2;
+        }
+    }
+}
+
+/// Occupancy-fraction histogram resolution of the rollup sink: 5%-wide
+/// buckets over `[0, 1]`.
+const OCCUPANCY_BUCKETS: usize = 20;
+
+/// Fixed-size streaming summary of one region (or the whole grid): pure
+/// counters plus an occupancy-fraction histogram, so memory is O(1) per
+/// region no matter how many cells, epochs or users the run covers.
+///
+/// All in-run fields are exact integer sums, which makes a rollup
+/// **bit-identical across shard counts** — the floating-point
+/// utilization integrals are only folded in at the end of the run, in
+/// cell-id order, by [`MetricsSink::on_cell_utilization`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionRollup {
+    /// New-call requests offered / admitted / denied.
+    pub offered_new: u64,
+    /// New-call requests admitted.
+    pub accepted_new: u64,
+    /// New-call requests denied.
+    pub blocked_new: u64,
+    /// Handoff attempts into cells of this region.
+    pub handoff_attempts: u64,
+    /// Handoffs denied (calls dropped).
+    pub handoff_dropped: u64,
+    /// Calls completed in this region.
+    pub completed: u64,
+    /// Calls ended by leaving coverage from this region.
+    pub exited_coverage: u64,
+    /// Epoch occupancy samples taken.
+    pub samples: u64,
+    /// Histogram of per-sample occupancy fraction (5% buckets).
+    pub occupancy_hist: [u64; OCCUPANCY_BUCKETS],
+    /// Final occupied BU·s integral (populated at end of run).
+    pub occupied_bu_s: f64,
+    /// Final capacity BU·s integral (populated at end of run).
+    pub capacity_bu_s: f64,
+}
+
+impl Default for RegionRollup {
+    fn default() -> Self {
+        Self {
+            offered_new: 0,
+            accepted_new: 0,
+            blocked_new: 0,
+            handoff_attempts: 0,
+            handoff_dropped: 0,
+            completed: 0,
+            exited_coverage: 0,
+            samples: 0,
+            occupancy_hist: [0; OCCUPANCY_BUCKETS],
+            occupied_bu_s: 0.0,
+            capacity_bu_s: 0.0,
+        }
+    }
+}
+
+impl RegionRollup {
+    fn merge(&mut self, other: &Self) {
+        self.offered_new += other.offered_new;
+        self.accepted_new += other.accepted_new;
+        self.blocked_new += other.blocked_new;
+        self.handoff_attempts += other.handoff_attempts;
+        self.handoff_dropped += other.handoff_dropped;
+        self.completed += other.completed;
+        self.exited_coverage += other.exited_coverage;
+        self.samples += other.samples;
+        for (a, b) in self.occupancy_hist.iter_mut().zip(&other.occupancy_hist) {
+            *a += b;
+        }
+        self.occupied_bu_s += other.occupied_bu_s;
+        self.capacity_bu_s += other.capacity_bu_s;
+    }
+
+    /// Acceptance percentage of new calls (100 when none offered).
+    #[must_use]
+    pub fn acceptance_percentage(&self) -> f64 {
+        if self.offered_new == 0 {
+            100.0
+        } else {
+            100.0 * self.accepted_new as f64 / self.offered_new as f64
+        }
+    }
+
+    /// Handoff dropping percentage (0 when no attempts).
+    #[must_use]
+    pub fn dropping_percentage(&self) -> f64 {
+        if self.handoff_attempts == 0 {
+            0.0
+        } else {
+            100.0 * self.handoff_dropped as f64 / self.handoff_attempts as f64
+        }
+    }
+
+    /// Time-averaged occupancy fraction from the end-of-run integrals.
+    #[must_use]
+    pub fn mean_utilization(&self) -> f64 {
+        if self.capacity_bu_s <= 0.0 {
+            0.0
+        } else {
+            self.occupied_bu_s / self.capacity_bu_s
+        }
+    }
+
+    /// Occupancy-fraction quantile `q ∈ [0, 1]` estimated from the
+    /// histogram (upper edge of the bucket holding the quantile; 0 when
+    /// no samples). `q = 0.5` is the median, `q = 0.99` the p99.
+    #[must_use]
+    pub fn occupancy_percentile(&self, q: f64) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.samples as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.occupancy_hist.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return (i + 1) as f64 / OCCUPANCY_BUCKETS as f64;
+            }
+        }
+        1.0
+    }
+}
+
+/// Hierarchical cells → regions → global rollup sink with fixed-size
+/// accumulators, the memory-flat replacement for unbounded per-cell
+/// series on planet-scale grids: a region summarizes `cells_per_region`
+/// consecutive cell ids, and the global rollup summarizes everything.
+///
+/// Counter updates are exact integer sums and each sample's histogram
+/// bucket is computed in integer math, so — like [`Metrics`] — the
+/// rollup is bit-identical across shard and worker counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionRollupSink {
+    cells_per_region: u32,
+    regions: BTreeMap<u32, RegionRollup>,
+    global: RegionRollup,
+}
+
+impl RegionRollupSink {
+    /// Creates a rollup sink grouping `cells_per_region` consecutive
+    /// cell ids per region (clamped to at least 1).
+    #[must_use]
+    pub fn new(cells_per_region: u32) -> Self {
+        Self {
+            cells_per_region: cells_per_region.max(1),
+            regions: BTreeMap::new(),
+            global: RegionRollup::default(),
+        }
+    }
+
+    fn region_of(&self, cell: CellId) -> u32 {
+        cell.0 / self.cells_per_region
+    }
+
+    fn region_mut(&mut self, cell: CellId) -> &mut RegionRollup {
+        let region = self.region_of(cell);
+        self.regions.entry(region).or_default()
+    }
+
+    /// The configured region width, in consecutive cell ids.
+    #[must_use]
+    pub fn cells_per_region(&self) -> u32 {
+        self.cells_per_region
+    }
+
+    /// `(region id, rollup)` pairs in region-id order.
+    pub fn regions(&self) -> impl Iterator<Item = (u32, &RegionRollup)> {
+        self.regions.iter().map(|(&id, r)| (id, r))
+    }
+
+    /// The whole-grid rollup.
+    #[must_use]
+    pub fn global(&self) -> &RegionRollup {
+        &self.global
+    }
+
+    /// Renders the rollup as a JSON artifact: a header, the global
+    /// summary and one object per region.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn rollup_fields(r: &RegionRollup) -> String {
+            format!(
+                "\"offered_new\": {}, \"accepted_new\": {}, \"blocked_new\": {}, \
+                 \"handoff_attempts\": {}, \"handoff_dropped\": {}, \"completed\": {}, \
+                 \"exited_coverage\": {}, \"samples\": {}, \"acceptance_pct\": {:.4}, \
+                 \"dropping_pct\": {:.4}, \"mean_utilization\": {:.6}, \
+                 \"occupancy_p50\": {:.4}, \"occupancy_p99\": {:.4}",
+                r.offered_new,
+                r.accepted_new,
+                r.blocked_new,
+                r.handoff_attempts,
+                r.handoff_dropped,
+                r.completed,
+                r.exited_coverage,
+                r.samples,
+                r.acceptance_percentage(),
+                r.dropping_percentage(),
+                r.mean_utilization(),
+                r.occupancy_percentile(0.50),
+                r.occupancy_percentile(0.99),
+            )
+        }
+        let mut out = String::from("{\n  \"experiment\": \"region-rollup\",\n");
+        out.push_str(&format!("  \"cells_per_region\": {},\n", self.cells_per_region));
+        out.push_str(&format!("  \"global\": {{ {} }},\n", rollup_fields(&self.global)));
+        out.push_str("  \"regions\": [\n");
+        let mut first = true;
+        for (id, rollup) in &self.regions {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!("    {{ \"region\": {id}, {} }}", rollup_fields(rollup)));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+impl MetricsSink for RegionRollupSink {
+    fn fork(&self) -> Self {
+        Self::new(self.cells_per_region)
+    }
+
+    fn absorb(&mut self, other: Self) {
+        for (region, rollup) in other.regions {
+            self.regions.entry(region).or_default().merge(&rollup);
+        }
+        self.global.merge(&other.global);
+    }
+
+    fn on_decision(&mut self, _now: SimTime, cell: CellId, record: &DecisionRecord) {
+        fn apply(rollup: &mut RegionRollup, kind: CallKind, admitted: bool) {
+            match kind {
+                CallKind::New => {
+                    rollup.offered_new += 1;
+                    if admitted {
+                        rollup.accepted_new += 1;
+                    } else {
+                        rollup.blocked_new += 1;
+                    }
+                }
+                CallKind::Handoff => {
+                    rollup.handoff_attempts += 1;
+                    if !admitted {
+                        rollup.handoff_dropped += 1;
+                    }
+                }
+            }
+        }
+        apply(self.region_mut(cell), record.kind, record.admitted);
+        apply(&mut self.global, record.kind, record.admitted);
+    }
+
+    fn on_completion(&mut self, _now: SimTime, cell: CellId, _user: UserId) {
+        self.region_mut(cell).completed += 1;
+        self.global.completed += 1;
+    }
+
+    fn on_exit(&mut self, _now: SimTime, cell: CellId, _user: UserId) {
+        self.region_mut(cell).exited_coverage += 1;
+        self.global.exited_coverage += 1;
+    }
+
+    fn on_cell_sample(&mut self, _now: SimTime, cell: CellId, occupied: u32, capacity: u32) {
+        // Integer bucket math: exact, so order-independent.
+        let bucket = if capacity == 0 {
+            0
+        } else {
+            (((occupied as usize) * OCCUPANCY_BUCKETS) / capacity as usize)
+                .min(OCCUPANCY_BUCKETS - 1)
+        };
+        let region = self.region_mut(cell);
+        region.samples += 1;
+        region.occupancy_hist[bucket] += 1;
+        self.global.samples += 1;
+        self.global.occupancy_hist[bucket] += 1;
+    }
+
+    fn on_cell_utilization(&mut self, cell: CellId, occupied_bu_s: f64, capacity_bu_s: f64) {
+        let region = self.region_mut(cell);
+        region.occupied_bu_s += occupied_bu_s;
+        region.capacity_bu_s += capacity_bu_s;
+        self.global.occupied_bu_s += occupied_bu_s;
+        self.global.capacity_bu_s += capacity_bu_s;
     }
 }
 
@@ -693,5 +1040,126 @@ mod tests {
         let mut p = UtilizationProbe::new();
         assert_eq!(p.advance(SimTime::from_secs_f64(5.0)), 5.0);
         assert_eq!(p.advance(SimTime::from_secs_f64(7.5)), 2.5);
+    }
+
+    #[test]
+    fn capped_series_bounds_samples_and_preserves_order() {
+        let mut s = CellLoadSeries::with_cap(8);
+        let cell = CellId(3);
+        for i in 0..1000u32 {
+            s.on_cell_sample(SimTime::from_secs_f64(f64::from(i)), cell, i, 40);
+        }
+        let samples = s.samples(cell);
+        assert!(samples.len() <= 8, "cap exceeded: {}", samples.len());
+        assert!(samples.len() >= 4, "decimation too aggressive: {}", samples.len());
+        // Retained samples stay in time order and are stride-spaced.
+        for pair in samples.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+        }
+        assert_eq!(samples[0].0, 0.0, "first sample must survive decimation");
+        // Uncapped sink keeps everything.
+        let mut full = CellLoadSeries::new();
+        for i in 0..1000u32 {
+            full.on_cell_sample(SimTime::from_secs_f64(f64::from(i)), cell, i, 40);
+        }
+        assert_eq!(full.samples(cell).len(), 1000);
+    }
+
+    #[test]
+    fn capped_series_fork_inherits_cap_and_absorb_moves_state() {
+        let parent = CellLoadSeries::with_cap(4);
+        let mut child = parent.fork();
+        for i in 0..100u32 {
+            child.on_cell_sample(SimTime::from_secs_f64(f64::from(i)), CellId(1), i, 40);
+        }
+        assert!(child.samples(CellId(1)).len() <= 4);
+        let mut root = parent.clone();
+        root.absorb(child);
+        assert!(root.samples(CellId(1)).len() <= 4);
+        assert!(!root.samples(CellId(1)).is_empty());
+    }
+
+    #[test]
+    fn region_rollup_counts_and_percentiles() {
+        let profile = ServiceProfile::fixed(ServiceClass::Voice, BandwidthUnits::new(4));
+        let mut sink = RegionRollupSink::new(4);
+        let t = SimTime::from_secs_f64(1.0);
+        // Cells 0..4 land in region 0, cell 5 in region 1.
+        sink.on_decision(
+            t,
+            CellId(0),
+            &DecisionRecord::admitted(UserId(1), profile, CallKind::New, BandwidthUnits::new(4)),
+        );
+        sink.on_decision(t, CellId(1), &DecisionRecord::denied(UserId(2), profile, CallKind::New));
+        sink.on_decision(
+            t,
+            CellId(5),
+            &DecisionRecord::denied(UserId(3), profile, CallKind::Handoff),
+        );
+        sink.on_completion(t, CellId(0), UserId(1));
+        sink.on_exit(t, CellId(5), UserId(4));
+        for occ in [0u32, 10, 20, 40] {
+            sink.on_cell_sample(t, CellId(2), occ, 40);
+        }
+        sink.on_cell_utilization(CellId(0), 30.0, 120.0);
+        sink.on_cell_utilization(CellId(5), 10.0, 120.0);
+
+        let regions: Vec<_> = sink.regions().collect();
+        assert_eq!(regions.len(), 2);
+        let r0 = &regions[0].1;
+        assert_eq!((regions[0].0, r0.offered_new, r0.accepted_new, r0.blocked_new), (0, 2, 1, 1));
+        assert_eq!((r0.completed, r0.samples), (1, 4));
+        let r1 = &regions[1].1;
+        assert_eq!((regions[1].0, r1.handoff_attempts, r1.handoff_dropped), (1, 1, 1));
+        assert_eq!(r1.exited_coverage, 1);
+
+        let g = sink.global();
+        assert_eq!((g.offered_new, g.accepted_new, g.handoff_attempts), (2, 1, 1));
+        assert!((g.acceptance_percentage() - 50.0).abs() < 1e-12);
+        assert!((g.dropping_percentage() - 100.0).abs() < 1e-12);
+        assert!((g.mean_utilization() - 40.0 / 240.0).abs() < 1e-12);
+        // Samples at fractions 0, 0.25, 0.5, 1.0: the median falls in
+        // the 0.25 bucket (upper edge 0.30), the p99 in the top bucket.
+        assert!((g.occupancy_percentile(0.5) - 0.30).abs() < 1e-12);
+        assert!((g.occupancy_percentile(0.99) - 1.0).abs() < 1e-12);
+
+        let json = sink.to_json();
+        assert!(json.contains("\"experiment\": \"region-rollup\""));
+        assert!(json.contains("\"cells_per_region\": 4"));
+        assert!(json.contains("\"region\": 1"));
+    }
+
+    #[test]
+    fn region_rollup_fork_absorb_is_exact() {
+        let profile = ServiceProfile::fixed(ServiceClass::Voice, BandwidthUnits::new(4));
+        let t = SimTime::from_secs_f64(2.0);
+        let feed = |sink: &mut RegionRollupSink, offset: u32| {
+            for i in 0..6u32 {
+                let cell = CellId(offset + i);
+                sink.on_decision(
+                    t,
+                    cell,
+                    &DecisionRecord::admitted(
+                        UserId(u64::from(i)),
+                        profile,
+                        CallKind::New,
+                        BandwidthUnits::new(2),
+                    ),
+                );
+                sink.on_cell_sample(t, cell, i, 40);
+            }
+        };
+        let mut whole = RegionRollupSink::new(4);
+        feed(&mut whole, 0);
+        feed(&mut whole, 6);
+
+        let mut root = RegionRollupSink::new(4);
+        let mut a = root.fork();
+        let mut b = root.fork();
+        feed(&mut a, 0);
+        feed(&mut b, 6);
+        root.absorb(a);
+        root.absorb(b);
+        assert_eq!(root, whole);
     }
 }

@@ -27,7 +27,7 @@ use crate::metrics::{Metrics, Series};
 use crate::network::{Simulation, SimulationConfig, UserSpec};
 use crate::stats::Summary;
 use crate::traffic::{HoldingTimes, TrafficMix};
-use crate::workload::Workload;
+use crate::workload::{Workload, WorkloadStream};
 
 // The distribution specs moved into the declarative workload module;
 // re-exported here so `facs_cellsim::scenario::SpeedSpec` etc. keep
@@ -87,6 +87,12 @@ pub struct ScenarioConfig {
     pub seed: u64,
     /// Number of independent replications to average over.
     pub replications: u32,
+    /// Synthesize the workload through the chunked
+    /// [`WorkloadStream`] instead of materializing every
+    /// [`UserSpec`] up front. Results are bit-identical either way (the
+    /// eager path is the stream drained in one chunk); streaming keeps
+    /// peak memory at O(active calls + one chunk) for planet-scale runs.
+    pub streamed: bool,
 }
 
 impl Default for ScenarioConfig {
@@ -111,6 +117,7 @@ impl Default for ScenarioConfig {
             workers: 0,
             seed: 2007,
             replications: 3,
+            streamed: false,
         }
     }
 }
@@ -154,6 +161,22 @@ impl ScenarioConfig {
         )
     }
 
+    /// Opens the same workload as [`ScenarioConfig::generate_workload`]
+    /// as a chunked [`WorkloadStream`] (chunk size
+    /// [`ScenarioConfig::STREAM_CHUNK`]): identical RNG state, identical
+    /// specs, but synthesized on demand.
+    #[must_use]
+    pub fn stream_workload(&self, seed: u64) -> WorkloadStream {
+        self.workload().stream(
+            &self.grid(),
+            self.requests,
+            self.window_s,
+            HoldingTimes::new(self.holding_mean_s),
+            seed,
+            Self::STREAM_CHUNK,
+        )
+    }
+
     /// The kernel configuration this scenario runs under for workload
     /// seed `seed` — the single source of the seed mix and horizon
     /// formula, shared by [`ScenarioConfig::run_once`] and the
@@ -171,13 +194,22 @@ impl ScenarioConfig {
         }
     }
 
+    /// Chunk size used by [`ScenarioConfig::stream_workload`]: small
+    /// enough that one resident chunk is negligible next to the active
+    /// call set, large enough to amortize per-chunk dispatch.
+    pub const STREAM_CHUNK: usize = 8192;
+
     /// Runs the scenario once with the given per-grid controller builder
     /// and returns the metrics.
     pub fn run_once(&self, seed: u64, build: &ControllerBuilder) -> Metrics {
         let grid = self.grid();
         let controllers = build(&grid);
         let mut sim = Simulation::new(grid, self.sim_config(seed), controllers);
-        sim.run(self.generate_workload(seed))
+        if self.streamed {
+            sim.run_streamed(self.stream_workload(seed))
+        } else {
+            sim.run(self.generate_workload(seed))
+        }
     }
 
     /// The per-replication RNG seeds, in replication order.

@@ -224,6 +224,11 @@ impl Workload {
     /// `grid`, arrivals spread over `window_s` seconds, holding times
     /// drawn from `holding`. All randomness derives from `seed` alone,
     /// so competing controllers face byte-identical traffic.
+    ///
+    /// This is the eager path: it drains a [`WorkloadStream`] in a single
+    /// chunk, so eager and streamed synthesis are bit-identical by
+    /// construction — they run the same generator code on the same
+    /// random stream.
     #[must_use]
     pub fn generate(
         &self,
@@ -233,114 +238,265 @@ impl Workload {
         holding: HoldingTimes,
         seed: u64,
     ) -> Vec<UserSpec> {
+        let mut stream = self.stream(grid, count, window_s, holding, seed, count.max(1));
+        match stream.next_chunk() {
+            Some(chunk) => chunk.specs,
+            None => Vec::new(),
+        }
+    }
+
+    /// Opens a resumable streaming generator over the same random stream
+    /// as [`Workload::generate`]: arrival instants are sampled up front
+    /// (8 bytes per user — they need a global sort), then user attributes
+    /// are synthesized lazily in arrival order, `chunk_size` users at a
+    /// time. Peak residency is one chunk plus the arrival-time vector
+    /// instead of `count` full [`UserSpec`]s.
+    #[must_use]
+    pub fn stream(
+        &self,
+        grid: &HexGrid,
+        count: usize,
+        window_s: f64,
+        holding: HoldingTimes,
+        seed: u64,
+        chunk_size: usize,
+    ) -> WorkloadStream {
         let mut rng = SimRng::seed_from_u64(seed);
-        let arrivals = self.arrivals.sample_times(count, window_s, &mut rng);
-        let walker = Walker::paper_default();
+        let arrival_times = self.arrivals.sample_times(count, window_s, &mut rng);
         // The corridor spans the grid's full extent plus one cell radius.
         let corridor_reach = (f64::from(grid.radius()) * 3f64.sqrt() + 1.0) * grid.cell_radius_km();
+        WorkloadStream {
+            workload: self.clone(),
+            grid: grid.clone(),
+            holding,
+            walker: Walker::paper_default(),
+            corridor_reach,
+            rng,
+            count: arrival_times.len(),
+            arrival_times,
+            next: 0,
+            chunk_size: chunk_size.max(1),
+            pool: Vec::new(),
+        }
+    }
 
-        arrivals
-            .into_iter()
-            .map(|arrival_s| {
-                let class = self.mix.sample(&mut rng);
-                let speed = self.speed.sample(&mut rng);
-                let (position, bearing_to_bs) = match self.spawn {
-                    SpawnSpec::Corridor { heading_deg, half_width_km } => {
-                        let along = rng.uniform_range(-corridor_reach, corridor_reach);
-                        let offset = if half_width_km > 0.0 {
-                            rng.uniform_range(-half_width_km, half_width_km)
-                        } else {
-                            0.0
-                        };
-                        let position =
-                            Point::ORIGIN.step(heading_deg, along).step(heading_deg + 90.0, offset);
-                        let bs = grid.center_of(grid.locate(position));
-                        let bearing = if position.distance_to(bs) > 1e-9 {
-                            position.bearing_to(bs)
-                        } else {
-                            rng.uniform_range(-180.0, 180.0)
-                        };
-                        (position, bearing)
-                    }
-                    placement => {
-                        let cell = match placement {
-                            SpawnSpec::CenterCell => facs_cac::CellId(0),
-                            SpawnSpec::AnyCell => facs_cac::CellId(rng.index(grid.len()) as u32),
-                            SpawnSpec::Hotspot { cell, fraction } => {
-                                if rng.chance(fraction) {
-                                    facs_cac::CellId(cell.min(grid.len() as u32 - 1))
-                                } else {
-                                    facs_cac::CellId(rng.index(grid.len()) as u32)
-                                }
-                            }
-                            SpawnSpec::Corridor { .. } => unreachable!("matched above"),
-                        };
-                        let bs = grid.center_of(cell);
-                        let distance = match self.distance {
-                            DistanceSpec::Fixed(d) => d,
-                            DistanceSpec::UniformInCell => {
-                                rng.uniform_range(0.0, grid.cell_radius_km())
-                            }
-                            DistanceSpec::Uniform(lo, hi) => rng.uniform_range(lo, hi),
-                        };
-                        // Place the user on a uniformly random bearing
-                        // from the BS.
-                        let bearing_from_bs = rng.uniform_range(-180.0, 180.0);
-                        let position = bs.step(bearing_from_bs, distance);
-                        let bearing_to_bs = if distance > 1e-9 {
-                            position.bearing_to(bs)
-                        } else {
-                            rng.uniform_range(-180.0, 180.0)
-                        };
-                        (position, bearing_to_bs)
-                    }
+    /// Synthesizes one user's attributes, consuming exactly the same
+    /// draws from `rng` as the original eager generator. Shared by the
+    /// eager and streamed paths.
+    fn user_spec(
+        &self,
+        arrival_s: f64,
+        grid: &HexGrid,
+        walker: &Walker,
+        corridor_reach: f64,
+        holding: HoldingTimes,
+        rng: &mut SimRng,
+    ) -> UserSpec {
+        let class = self.mix.sample(rng);
+        let speed = self.speed.sample(rng);
+        let (position, bearing_to_bs) = match self.spawn {
+            SpawnSpec::Corridor { heading_deg, half_width_km } => {
+                let along = rng.uniform_range(-corridor_reach, corridor_reach);
+                let offset = if half_width_km > 0.0 {
+                    rng.uniform_range(-half_width_km, half_width_km)
+                } else {
+                    0.0
                 };
-                let heading = match self.angle {
-                    AngleSpec::Fixed(angle) => bearing_to_bs + angle,
-                    AngleSpec::Uniform => rng.uniform_range(-180.0, 180.0),
-                    AngleSpec::Heading(heading_deg) => heading_deg,
-                    AngleSpec::HeadingHistory { history_s } => {
-                        let sigma = walker.turn_sigma_at(speed) * history_s.sqrt();
-                        if sigma >= 60.0 {
-                            // Past ~60° of diffusion a wrapped normal is
-                            // dispersed enough that the direction carries
-                            // no usable information — the paper's
-                            // "walking users can change their direction"
-                            // regime. Model it as fully randomized.
-                            rng.uniform_range(-180.0, 180.0)
+                let position =
+                    Point::ORIGIN.step(heading_deg, along).step(heading_deg + 90.0, offset);
+                let bs = grid.center_of(grid.locate(position));
+                let bearing = if position.distance_to(bs) > 1e-9 {
+                    position.bearing_to(bs)
+                } else {
+                    rng.uniform_range(-180.0, 180.0)
+                };
+                (position, bearing)
+            }
+            placement => {
+                let cell = match placement {
+                    SpawnSpec::CenterCell => facs_cac::CellId(0),
+                    SpawnSpec::AnyCell => facs_cac::CellId(rng.index(grid.len()) as u32),
+                    SpawnSpec::Hotspot { cell, fraction } => {
+                        if rng.chance(fraction) {
+                            facs_cac::CellId(cell.min(grid.len() as u32 - 1))
                         } else {
-                            bearing_to_bs + rng.normal(0.0, sigma)
+                            facs_cac::CellId(rng.index(grid.len()) as u32)
                         }
                     }
+                    SpawnSpec::Corridor { .. } => unreachable!("matched above"),
                 };
-                let mobility = match self.mobility {
-                    MobilityChoice::Walker => MobilityKind::Walker(walker.clone()),
-                    MobilityChoice::StraightLine => MobilityKind::StraightLine,
-                    MobilityChoice::Auto => match self.angle {
-                        AngleSpec::Fixed(_) | AngleSpec::Heading(_) => MobilityKind::StraightLine,
-                        _ => MobilityKind::Walker(walker.clone()),
-                    },
+                let bs = grid.center_of(cell);
+                let distance = match self.distance {
+                    DistanceSpec::Fixed(d) => d,
+                    DistanceSpec::UniformInCell => rng.uniform_range(0.0, grid.cell_radius_km()),
+                    DistanceSpec::Uniform(lo, hi) => rng.uniform_range(lo, hi),
                 };
-                let profile = match &self.profiles {
-                    Some(set) => set.profile_of(class),
-                    None => ServiceProfile::paper(class),
+                // Place the user on a uniformly random bearing
+                // from the BS.
+                let bearing_from_bs = rng.uniform_range(-180.0, 180.0);
+                let position = bs.step(bearing_from_bs, distance);
+                let bearing_to_bs = if distance > 1e-9 {
+                    position.bearing_to(bs)
+                } else {
+                    rng.uniform_range(-180.0, 180.0)
                 };
-                // Same draw count either way, so attaching profiles only
-                // reparameterizes the holding draw — every earlier draw
-                // in the stream is untouched.
-                let holding_s = match &self.profiles {
-                    Some(_) => HoldingTimes::new(profile.mean_duration_s).sample_s(&mut rng),
-                    None => holding.sample_s(&mut rng),
-                };
-                UserSpec {
-                    arrival_s,
-                    profile,
-                    start: MobileState::new(position, heading, speed),
-                    mobility,
-                    holding_s,
+                (position, bearing_to_bs)
+            }
+        };
+        let heading = match self.angle {
+            AngleSpec::Fixed(angle) => bearing_to_bs + angle,
+            AngleSpec::Uniform => rng.uniform_range(-180.0, 180.0),
+            AngleSpec::Heading(heading_deg) => heading_deg,
+            AngleSpec::HeadingHistory { history_s } => {
+                let sigma = walker.turn_sigma_at(speed) * history_s.sqrt();
+                if sigma >= 60.0 {
+                    // Past ~60° of diffusion a wrapped normal is
+                    // dispersed enough that the direction carries
+                    // no usable information — the paper's
+                    // "walking users can change their direction"
+                    // regime. Model it as fully randomized.
+                    rng.uniform_range(-180.0, 180.0)
+                } else {
+                    bearing_to_bs + rng.normal(0.0, sigma)
                 }
-            })
-            .collect()
+            }
+        };
+        let mobility = match self.mobility {
+            MobilityChoice::Walker => MobilityKind::Walker(walker.clone()),
+            MobilityChoice::StraightLine => MobilityKind::StraightLine,
+            MobilityChoice::Auto => match self.angle {
+                AngleSpec::Fixed(_) | AngleSpec::Heading(_) => MobilityKind::StraightLine,
+                _ => MobilityKind::Walker(walker.clone()),
+            },
+        };
+        let profile = match &self.profiles {
+            Some(set) => set.profile_of(class),
+            None => ServiceProfile::paper(class),
+        };
+        // Same draw count either way, so attaching profiles only
+        // reparameterizes the holding draw — every earlier draw
+        // in the stream is untouched.
+        let holding_s = match &self.profiles {
+            Some(_) => HoldingTimes::new(profile.mean_duration_s).sample_s(rng),
+            None => holding.sample_s(rng),
+        };
+        UserSpec {
+            arrival_s,
+            profile,
+            start: MobileState::new(position, heading, speed),
+            mobility,
+            holding_s,
+        }
+    }
+}
+
+/// One chunk of streamed users: `specs[i]` is workload index
+/// `first_user + i`. Chunks come out in arrival order and, because
+/// arrival instants ascend globally, every chunk is time-sorted and no
+/// later chunk contains an earlier arrival.
+#[derive(Debug)]
+pub struct WorkloadChunk {
+    /// Global workload index of `specs[0]` (the engine's stable user id).
+    pub first_user: u64,
+    /// The users of this chunk, in arrival order.
+    pub specs: Vec<UserSpec>,
+}
+
+/// A resumable, chunked generator over a [`Workload`]'s user population.
+///
+/// Produced by [`Workload::stream`]. The generator holds the exact
+/// post-arrival-sampling RNG state of the eager path and replays the
+/// same sequential draw stream, so the specs it yields are bit-identical
+/// to `Workload::generate` regardless of where chunk boundaries fall.
+/// Return drained chunk buffers with [`WorkloadStream::recycle`] to keep
+/// allocation flat.
+#[derive(Debug)]
+pub struct WorkloadStream {
+    workload: Workload,
+    grid: HexGrid,
+    holding: HoldingTimes,
+    walker: Walker,
+    corridor_reach: f64,
+    rng: SimRng,
+    arrival_times: Vec<f64>,
+    count: usize,
+    next: usize,
+    chunk_size: usize,
+    pool: Vec<Vec<UserSpec>>,
+}
+
+/// How many drained chunk buffers [`WorkloadStream::recycle`] retains.
+const CHUNK_POOL_CAP: usize = 2;
+
+impl WorkloadStream {
+    /// Total number of users this stream will produce.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.count
+    }
+
+    /// Number of users already produced (== the next chunk's first id).
+    #[must_use]
+    pub fn produced(&self) -> usize {
+        self.next
+    }
+
+    /// True once every user has been produced.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.next >= self.count
+    }
+
+    /// Configured chunk size (users per [`WorkloadStream::next_chunk`]).
+    #[must_use]
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Arrival instant of the next not-yet-produced user, if any.
+    #[must_use]
+    pub fn peek_next_arrival_s(&self) -> Option<f64> {
+        self.arrival_times.get(self.next).copied()
+    }
+
+    /// Synthesizes the next chunk of users, or `None` when exhausted.
+    pub fn next_chunk(&mut self) -> Option<WorkloadChunk> {
+        if self.is_exhausted() {
+            return None;
+        }
+        let first_user = self.next as u64;
+        let end = (self.next + self.chunk_size).min(self.count);
+        let mut specs = self.pool.pop().unwrap_or_default();
+        specs.clear();
+        specs.reserve(end - self.next);
+        for i in self.next..end {
+            let spec = self.workload.user_spec(
+                self.arrival_times[i],
+                &self.grid,
+                &self.walker,
+                self.corridor_reach,
+                self.holding,
+                &mut self.rng,
+            );
+            specs.push(spec);
+        }
+        self.next = end;
+        if self.is_exhausted() {
+            // The stream is drained: drop the arrival instants and any
+            // pooled buffers so a long tail of in-flight calls does not
+            // pin the synthesis bookkeeping.
+            self.arrival_times = Vec::new();
+            self.pool = Vec::new();
+        }
+        Some(WorkloadChunk { first_user, specs })
+    }
+
+    /// Returns a drained chunk's buffer to the bounded pool so the next
+    /// chunk reuses it instead of reallocating.
+    pub fn recycle(&mut self, chunk: WorkloadChunk) {
+        if self.pool.len() < CHUNK_POOL_CAP {
+            self.pool.push(chunk.specs);
+        }
     }
 }
 
@@ -456,6 +612,39 @@ pub fn scenario_by_name(name: &str) -> Option<ScenarioConfig> {
 #[must_use]
 pub fn catalog_names() -> Vec<&'static str> {
     catalog().into_iter().map(|e| e.name).collect()
+}
+
+/// The planet-scale stress scenario: `requests` users (nominally 10M)
+/// spread over a ~100k-cell grid (radius 182 → 99,919 cells), run
+/// through the chunked [`crate::WorkloadStream`] so peak memory tracks
+/// *active* calls, not total users.
+///
+/// Deliberately **not** part of [`catalog`]: the golden-digest suite
+/// pins the catalog's seven entries, and this scenario exists to stress
+/// memory and throughput, not admission-policy behaviour. The nightly
+/// smoke runs it at 10M requests; the PR gate uses a smaller count via
+/// the same constructor.
+#[must_use]
+pub fn planet_scale(requests: usize) -> CatalogEntry {
+    CatalogEntry {
+        name: "planet-scale",
+        summary: "planet-scale streamed stress: ~100k cells, memory-flat synthesis + rollups",
+        config: ScenarioConfig {
+            requests,
+            window_s: 3600.0,
+            holding_mean_s: 30.0,
+            grid_radius: 182, // 3r(r+1)+1 = 99,919 cells
+            cell_radius_km: 2.0,
+            spawn: SpawnSpec::AnyCell,
+            mobility: MobilityChoice::Walker,
+            movement_tick_s: 15.0,
+            shards: 8,
+            workers: 0,
+            replications: 1,
+            streamed: true,
+            ..ScenarioConfig::default()
+        },
+    }
 }
 
 #[cfg(test)]

@@ -231,6 +231,36 @@ proptest! {
         prop_assert!(model.is_empty());
         prop_assert!(queue.is_empty());
     }
+
+    /// Chunk-boundary placement never changes streamed synthesis: for
+    /// any chunk size the stream yields exactly the eager `generate`
+    /// sequence (same users, same order, same draws), because all
+    /// randomness flows through one sequential RNG regardless of where
+    /// the chunk boundaries fall.
+    #[test]
+    fn stream_chunking_never_changes_specs(
+        requests in 1usize..120,
+        seed in 0u64..1_000,
+        chunk in prop::sample::select(vec![1usize, 7, 4096]),
+    ) {
+        let grid = HexGrid::new(1, 2.0);
+        let holding = HoldingTimes::new(30.0);
+        let workload = Workload::default();
+        let eager = workload.generate(&grid, requests, 120.0, holding, seed);
+        let mut stream = workload.stream(&grid, requests, 120.0, holding, seed, chunk);
+        let mut streamed = Vec::new();
+        let mut user = 0u64;
+        while let Some(chunk) = stream.next_chunk() {
+            prop_assert_eq!(chunk.first_user, user, "chunks must be contiguous");
+            user += chunk.specs.len() as u64;
+            streamed.extend(chunk.specs.iter().map(|s| format!("{s:?}")));
+            stream.recycle(chunk);
+        }
+        prop_assert_eq!(streamed.len(), eager.len());
+        for (i, (s, e)) in streamed.iter().zip(&eager).enumerate() {
+            prop_assert_eq!(s, &format!("{e:?}"), "spec {i} diverged at chunk size {chunk}");
+        }
+    }
 }
 
 /// Builds one guard-channel controller per cell — simple, deterministic,

@@ -9,7 +9,7 @@
 //! All membership break-points are read off the printed axes of Fig. 5
 //! and exposed as named constants so EXPERIMENTS.md can cite them.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use facs_cac::MobilityInfo;
 use facs_fuzzy::{
@@ -101,7 +101,11 @@ fn cv_variable() -> Result<Variable, FuzzyError> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Flc1 {
-    engine: Engine,
+    // Arc-shared: the engine is immutable after construction
+    // (`Engine::evaluate*` is `&self`, scratch lives in a thread-local
+    // pool), so stamping one controller per cell of a planet-scale grid
+    // clones a pointer, not the rule base.
+    engine: Arc<Engine>,
     surface: Option<CompiledSurface>,
 }
 
@@ -175,7 +179,7 @@ impl Flc1 {
                 )?)
             }
         };
-        Ok(Self { engine, surface })
+        Ok(Self { engine: Arc::new(engine), surface })
     }
 
     /// The active backend selector.

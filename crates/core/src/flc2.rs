@@ -6,7 +6,7 @@
 //! the soft accept/reject score **A/R** in `[-1, 1]` over the five terms
 //! {R, WR, NRNA, WA, A} (Fig. 6), driven by the 27-rule FRB2 (Table 2).
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use facs_fuzzy::{
     BackendKind, CompiledSurface, Engine, FuzzyError, InferenceBackend, InferenceConfig,
@@ -78,7 +78,9 @@ fn decision_variable() -> Result<Variable, FuzzyError> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Flc2 {
-    engine: Engine,
+    // Arc-shared for the same reason as [`Flc1`]: immutable after
+    // construction, so per-cell clones share one rule base.
+    engine: Arc<Engine>,
     surface: Option<CompiledSurface>,
 }
 
@@ -144,7 +146,7 @@ impl Flc2 {
                 )?)
             }
         };
-        Ok(Self { engine, surface })
+        Ok(Self { engine: Arc::new(engine), surface })
     }
 
     /// The active backend selector.

@@ -282,33 +282,42 @@ impl Cluster {
         // O(n log n) over million-user workloads.
         let mut live: std::collections::BinaryHeap<std::cmp::Reverse<LiveCall>> =
             std::collections::BinaryHeap::new();
-        for (i, spec) in scenario.generate_workload(seed).into_iter().enumerate() {
-            while let Some(std::cmp::Reverse(ending)) = live.peek() {
-                if ending.end_s > spec.arrival_s {
-                    break;
+        // Synthesized chunk by chunk through the streaming path — the
+        // replay never materializes the full workload, so memory tracks
+        // live calls, not total users. The stream yields exactly the
+        // eager `generate_workload` sequence.
+        let mut stream = scenario.stream_workload(seed);
+        while let Some(mut chunk) = stream.next_chunk() {
+            for (offset, spec) in chunk.specs.drain(..).enumerate() {
+                let i = chunk.first_user + offset as u64;
+                while let Some(std::cmp::Reverse(ending)) = live.peek() {
+                    if ending.end_s > spec.arrival_s {
+                        break;
+                    }
+                    self.release(ending.cell, ending.call)?;
+                    live.pop();
                 }
-                self.release(ending.cell, ending.call)?;
-                live.pop();
+                if grid.out_of_coverage(spec.start.position) {
+                    report.out_of_coverage += 1;
+                    continue;
+                }
+                let cell = grid.locate(spec.start.position);
+                let call = CallId(i);
+                let request = CallRequest::new(
+                    call,
+                    spec.profile.class,
+                    facs_cac::CallKind::New,
+                    spec.start.observe(grid.center_of(cell)),
+                )
+                .with_profile(spec.profile);
+                let outcome = self.request_admission(cell, request)?;
+                if outcome.admitted {
+                    let end_s = spec.arrival_s + spec.holding_s;
+                    live.push(std::cmp::Reverse(LiveCall { end_s, cell, call }));
+                }
+                report.outcomes.push((cell, outcome));
             }
-            if grid.out_of_coverage(spec.start.position) {
-                report.out_of_coverage += 1;
-                continue;
-            }
-            let cell = grid.locate(spec.start.position);
-            let call = CallId(i as u64);
-            let request = CallRequest::new(
-                call,
-                spec.profile.class,
-                facs_cac::CallKind::New,
-                spec.start.observe(grid.center_of(cell)),
-            )
-            .with_profile(spec.profile);
-            let outcome = self.request_admission(cell, request)?;
-            if outcome.admitted {
-                let end_s = spec.arrival_s + spec.holding_s;
-                live.push(std::cmp::Reverse(LiveCall { end_s, cell, call }));
-            }
-            report.outcomes.push((cell, outcome));
+            stream.recycle(chunk);
         }
         Ok(report)
     }

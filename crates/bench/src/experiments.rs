@@ -5,10 +5,14 @@
 //! prints them as CSV and ASCII plots, and EXPERIMENTS.md records the
 //! measured numbers against the paper's.
 
-use facs::{FacsConfig, FacsController, FacsDegradeController, Flc1, Flc2, FRB1, FRB2};
+use facs::{
+    FacsConfig, FacsController, FacsDegradeController, Flc1, Flc2, PredictiveFacsController,
+    TunedFacsController, FRB1, FRB2,
+};
 use facs_cac::policies::CompleteSharing;
 use facs_cac::{
-    BoxedController, CallId, CallKind, CallRequest, CellSnapshot, MobilityInfo, ServiceClass,
+    BoxedController, CallId, CallKind, CallRequest, CellSnapshot, EwmaHoltForecaster,
+    LoadForecaster, MobilityInfo, RecurrentForecaster, ServiceClass,
 };
 use facs_cellsim::prelude::*;
 use facs_cellsim::HexGrid;
@@ -44,6 +48,31 @@ pub fn facs_degrade_builder(
     move |grid: &HexGrid| {
         grid.cell_ids().map(|_| Box::new(prototype.clone()) as BoxedController).collect()
     }
+}
+
+/// Builds one predictive (EWMA/Holt) FACS controller per grid cell
+/// (prototype-clone economics of [`facs_builder`]).
+pub fn predictive_ewma_builder(
+    config: FacsConfig,
+) -> impl Fn(&HexGrid) -> Vec<BoxedController> + Sync {
+    let build = PredictiveFacsController::ewma_factory(config).expect("predictive FACS builds");
+    move |grid: &HexGrid| grid.cell_ids().map(|_| build()).collect()
+}
+
+/// Builds one predictive (recurrent-forecaster) FACS controller per grid
+/// cell.
+pub fn predictive_rnn_builder(
+    config: FacsConfig,
+) -> impl Fn(&HexGrid) -> Vec<BoxedController> + Sync {
+    let build =
+        PredictiveFacsController::recurrent_factory(config).expect("predictive FACS builds");
+    move |grid: &HexGrid| grid.cell_ids().map(|_| build()).collect()
+}
+
+/// Builds one online-tuned FACS controller per grid cell.
+pub fn tuned_facs_builder(config: FacsConfig) -> impl Fn(&HexGrid) -> Vec<BoxedController> + Sync {
+    let build = TunedFacsController::factory(config).expect("tuned FACS builds");
+    move |grid: &HexGrid| grid.cell_ids().map(|_| build()).collect()
 }
 
 /// Builds one Complete Sharing controller per grid cell.
@@ -364,6 +393,144 @@ pub fn elastic_comparison(replications: u32) -> Vec<ElasticRow> {
         .into_iter()
         .map(|(label, build)| ElasticRow { label, metrics: config.aggregate(build.as_ref()) })
         .collect()
+}
+
+/// One `(scenario, system)` cell of the predictive-admission comparison
+/// (see [`predict_comparison`]).
+#[derive(Debug, Clone)]
+pub struct PredictRow {
+    /// Catalog scenario name.
+    pub scenario: &'static str,
+    /// System label (`FACS`, `SCC`, `FACS-predict-*`, `FACS-tuned`).
+    pub label: &'static str,
+    /// Counters aggregated over the replications.
+    pub metrics: Metrics,
+}
+
+impl PredictRow {
+    /// New-call blocking percentage.
+    #[must_use]
+    pub fn blocking_percentage(&self) -> f64 {
+        100.0 * self.metrics.blocked_new as f64 / self.metrics.offered_new.max(1) as f64
+    }
+
+    /// Handoff dropping percentage.
+    #[must_use]
+    pub fn dropping_percentage(&self) -> f64 {
+        self.metrics.dropping_percentage()
+    }
+}
+
+/// Compares static FACS, SCC, both predictive FACS variants and the
+/// online-tuned FACS across the whole scenario catalog — the
+/// EXPERIMENTS.md `predict` table. The acceptance bar: on the
+/// congestion-ramp scenarios (`flash-crowd`, `rush-hour`) the predictive
+/// or tuned controller must show a lower handoff-drop probability than
+/// static FACS at comparable new-call blocking.
+///
+/// All FACS variants run on compiled FLC1 surfaces; SCC is pinned to one
+/// shard because its cluster-wide shadow board is not cell-local.
+#[must_use]
+pub fn predict_comparison(replications: u32) -> Vec<PredictRow> {
+    let systems: Vec<(&'static str, bool, Box<ControllerBuilder>)> = vec![
+        ("FACS", true, Box::new(facs_builder(FacsConfig::compiled()))),
+        ("SCC", false, Box::new(scc_builder(SccConfig::default()))),
+        ("FACS-predict-ewma", true, Box::new(predictive_ewma_builder(FacsConfig::compiled()))),
+        ("FACS-predict-rnn", true, Box::new(predictive_rnn_builder(FacsConfig::compiled()))),
+        ("FACS-tuned", true, Box::new(tuned_facs_builder(FacsConfig::compiled()))),
+    ];
+    let mut rows = Vec::new();
+    for entry in facs_cellsim::catalog() {
+        for (label, cell_local, build) in &systems {
+            let shards = if *cell_local { entry.config.shards } else { 1 };
+            let config = ScenarioConfig { replications, shards, ..entry.config.clone() };
+            rows.push(PredictRow {
+                scenario: entry.name,
+                label,
+                metrics: config.aggregate(build.as_ref()),
+            });
+        }
+    }
+    rows
+}
+
+/// One `(forecaster, horizon)` cell of the forecast-accuracy table (see
+/// [`forecast_accuracy`]).
+#[derive(Debug, Clone)]
+pub struct MaeRow {
+    /// Forecaster label (`naive`, `ewma`, `holt`, `rnn`).
+    pub forecaster: &'static str,
+    /// Look-ahead, in epoch samples.
+    pub horizon_epochs: u32,
+    /// Mean absolute error of the occupancy forecast, in bandwidth units.
+    pub mae_bu: f64,
+    /// Forecast/actual pairs the mean is taken over.
+    pub samples: u64,
+}
+
+/// Measures forecaster accuracy offline: runs `scenario_name` once under
+/// static FACS with a [`CellLoadSeries`] sink, then replays every cell's
+/// per-epoch occupancy series through each forecaster and scores the
+/// `h`-epochs-ahead prediction against the recorded truth (MAE in BU).
+///
+/// The EXPERIMENTS.md forecast-accuracy table runs this on `rush-hour`
+/// at horizons 1/2/4/8; `naive` (predict-last-value) is the floor any
+/// useful forecaster must beat on trending load.
+///
+/// # Panics
+///
+/// Panics when `scenario_name` is not in the catalog.
+#[must_use]
+pub fn forecast_accuracy(scenario_name: &str, horizons: &[u32]) -> Vec<MaeRow> {
+    let base = facs_cellsim::scenario_by_name(scenario_name).expect("scenario in catalog");
+    let config = ScenarioConfig { replications: 1, shards: 1, ..base };
+    let grid = config.grid();
+    let controllers = facs_builder(FacsConfig::compiled())(&grid);
+    let mut sim = Simulation::new(grid, config.sim_config(config.seed), controllers);
+    let workload = config.generate_workload(config.seed);
+    let series = sim.run_with(workload, CellLoadSeries::new());
+    let capacity = f64::from(config.capacity_bu);
+    let cells: Vec<_> = series.cells().collect();
+
+    let mut rows = Vec::new();
+    for &h in horizons {
+        let mut acc: [(&'static str, f64, u64); 4] =
+            [("naive", 0.0, 0), ("ewma", 0.0, 0), ("holt", 0.0, 0), ("rnn", 0.0, 0)];
+        for &cell in &cells {
+            let samples = series.samples(cell);
+            if samples.len() <= h as usize {
+                continue;
+            }
+            // Fresh forecasters per cell: accuracy is a per-cell skill.
+            let mut forecasters: [Box<dyn LoadForecaster>; 4] = [
+                Box::new(EwmaHoltForecaster::new(1.0, 0.0)),
+                Box::new(EwmaHoltForecaster::ewma(0.4)),
+                Box::new(EwmaHoltForecaster::default_profile()),
+                Box::new(RecurrentForecaster::default_profile(capacity)),
+            ];
+            for (i, &(t, x)) in samples.iter().enumerate() {
+                for f in &mut forecasters {
+                    f.observe(t, f64::from(x));
+                }
+                if let Some(&(t_future, actual)) = samples.get(i + h as usize) {
+                    for (j, f) in forecasters.iter().enumerate() {
+                        let predicted = f.forecast(t_future - t).clamp(0.0, capacity);
+                        acc[j].1 += (predicted - f64::from(actual)).abs();
+                        acc[j].2 += 1;
+                    }
+                }
+            }
+        }
+        for (forecaster, abs_err, n) in acc {
+            rows.push(MaeRow {
+                forecaster,
+                horizon_epochs: h,
+                mae_bu: if n == 0 { 0.0 } else { abs_err / n as f64 },
+                samples: n,
+            });
+        }
+    }
+    rows
 }
 
 /// Result of sweeping exact-vs-compiled FACS decisions over a dense

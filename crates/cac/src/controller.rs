@@ -112,8 +112,25 @@ pub trait AdmissionController: Send {
         false
     }
 
-    /// Called once per simulation epoch sample with the cell's current
-    /// ledger, before any same-instant admissions. Default: no-op.
+    /// Time-stepped load sample. Default: no-op.
+    ///
+    /// # Ordering contract
+    ///
+    /// The simulation kernel calls `observe` **exactly once per cell per
+    /// epoch**, at the epoch's barrier time `t`, *after* every admission
+    /// and release of that epoch (all events with time `<= t`) and
+    /// *before* any [`decide`](AdmissionController::decide) of the next
+    /// epoch (all events with time `> t`). `now_s` is therefore strictly
+    /// increasing across calls, and the ledger passed here is the cell's
+    /// settled end-of-epoch state. No pulse fires before the first
+    /// epoch: a controller may see `decide` before its first `observe`
+    /// (cold start). The kernel `debug_assert!`s this contract at both
+    /// call sites.
+    ///
+    /// Runtimes without an epoch clock (the message-driven
+    /// `facs-distrib` actors) never call `observe`; stateful policies
+    /// must degrade gracefully to reactive behavior when the hook stays
+    /// silent.
     fn observe(&mut self, now_s: f64, cell: &BandwidthLedger) {
         let _ = (now_s, cell);
     }

@@ -51,6 +51,7 @@
 
 pub mod controller;
 pub mod decision;
+pub mod forecast;
 pub mod ledger;
 pub mod policies;
 pub mod traffic;
@@ -58,6 +59,9 @@ pub mod units;
 
 pub use controller::{AdmissionController, AdmissionPlan, BoxedController, ControllerFactory};
 pub use decision::{Decision, Verdict};
+pub use forecast::{
+    EwmaHoltForecaster, InterarrivalEstimator, LoadForecaster, RecurrentForecaster,
+};
 pub use ledger::{Allocation, BandwidthLedger, CellSnapshot, LedgerError, Reallocation};
 pub use traffic::{
     normalize_angle, CallId, CallKind, CallRequest, CellId, ClassCounts, MobilityInfo,
@@ -69,6 +73,7 @@ pub use units::BandwidthUnits;
 pub mod prelude {
     pub use crate::controller::{AdmissionController, AdmissionPlan, BoxedController};
     pub use crate::decision::{Decision, Verdict};
+    pub use crate::forecast::{EwmaHoltForecaster, LoadForecaster, RecurrentForecaster};
     pub use crate::ledger::{BandwidthLedger, CellSnapshot, Reallocation};
     pub use crate::traffic::{
         CallId, CallKind, CallRequest, CellId, ClassCounts, MobilityInfo, ServiceClass,

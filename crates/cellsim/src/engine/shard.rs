@@ -36,6 +36,14 @@ pub(crate) struct CellUnit {
     pub(crate) center: Point,
     occupied_integral_bu_s: f64,
     last_change: SimTime,
+    /// Barrier time of the last `observe` pulse delivered to this cell's
+    /// controller, used to `debug_assert!` the ordering contract
+    /// documented on [`AdmissionController::observe`]: every admission at
+    /// time `t` precedes the epoch-`t` pulse, and every pulse precedes
+    /// all strictly-later admissions.
+    ///
+    /// [`AdmissionController::observe`]: facs_cac::AdmissionController::observe
+    last_observed_s: f64,
 }
 
 impl CellUnit {
@@ -52,6 +60,7 @@ impl CellUnit {
             center,
             occupied_integral_bu_s: 0.0,
             last_change: SimTime::ZERO,
+            last_observed_s: f64::NEG_INFINITY,
         }
     }
 
@@ -307,6 +316,15 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
         request: &CallRequest,
     ) -> Option<BandwidthUnits> {
         let cell = self.cell_mut(cell_id);
+        // Ordering contract (see `AdmissionController::observe`): every
+        // admission of an epoch fires before that epoch's observe pulse,
+        // so a decide can never run at or before the last pulse time.
+        debug_assert!(
+            now.as_secs_f64() > cell.last_observed_s,
+            "decide at t={} not after last observe pulse at t={}",
+            now.as_secs_f64(),
+            cell.last_observed_s
+        );
         let plan = cell.controller.decide(request, &cell.ledger);
         let (granted, squeezed) = match plan {
             AdmissionPlan::Reject(_) => return None,
@@ -626,6 +644,15 @@ impl<'a, S: MetricsSink> Shard<'a, S> {
     /// [`observe`]: facs_cac::AdmissionController::observe
     pub(crate) fn sample_cells(&mut self, now: SimTime) {
         for cell in &mut self.cells {
+            // Pulses are strictly increasing per cell (one per epoch
+            // barrier); see the `observe` ordering contract.
+            debug_assert!(
+                now.as_secs_f64() > cell.last_observed_s,
+                "observe pulse at t={} not after previous pulse at t={}",
+                now.as_secs_f64(),
+                cell.last_observed_s
+            );
+            cell.last_observed_s = now.as_secs_f64();
             cell.controller.observe(now.as_secs_f64(), &cell.ledger);
             self.sink.on_cell_sample(
                 now,

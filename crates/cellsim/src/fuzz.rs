@@ -24,6 +24,26 @@ use crate::workload::{
     AngleSpec, ArrivalPattern, DistanceSpec, MobilityChoice, SpawnSpec, SpeedSpec,
 };
 
+/// Which admission-controller family a fuzz case validates.
+///
+/// The fuzzer samples a controller axis alongside the workload axes so
+/// the determinism/invariant properties cover the stateful predictive
+/// and self-tuning FACS variants, not just the reactive baseline. The
+/// baseline keeps the majority share (5/8): it is the reference
+/// implementation every other property (backend agreement, goldens) is
+/// phrased against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerSlot {
+    /// Plain reactive FACS (the original harness subject).
+    Baseline,
+    /// Predictive FACS over the EWMA/Holt forecaster.
+    PredictEwma,
+    /// Predictive FACS over the online-trained recurrent forecaster.
+    PredictRnn,
+    /// FACS with the online rule-weight tuner.
+    Tuned,
+}
+
 /// One fuzzed scenario: the sampled configuration plus its provenance.
 #[derive(Debug, Clone)]
 pub struct FuzzCase {
@@ -36,6 +56,9 @@ pub struct FuzzCase {
     /// comparand (2–7); the validation harness runs the case at 1 shard
     /// and at this count and requires bit-identical digests.
     pub config: ScenarioConfig,
+    /// The controller family the validation harness runs this case
+    /// under.
+    pub controller: ControllerSlot,
 }
 
 /// Seeded generator of structurally valid workloads.
@@ -188,6 +211,18 @@ impl WorkloadFuzzer {
         // the validation harness checks their digests against eager.
         let streamed = rng.chance(0.5);
 
+        // Controller-family sampling: appended LAST, so every earlier
+        // field of a given (seed, index) case is unchanged by the
+        // predictive-admission extension. 3/8 of cases exercise the
+        // stateful variants (forecasters, tuner); the rest stay on the
+        // reactive baseline.
+        let controller = match rng.index(8) {
+            5 => ControllerSlot::PredictEwma,
+            6 => ControllerSlot::PredictRnn,
+            7 => ControllerSlot::Tuned,
+            _ => ControllerSlot::Baseline,
+        };
+
         let config = ScenarioConfig {
             requests,
             window_s,
@@ -210,7 +245,7 @@ impl WorkloadFuzzer {
             replications: 1,
             streamed,
         };
-        FuzzCase { fuzz_seed: self.seed, index, config }
+        FuzzCase { fuzz_seed: self.seed, index, config, controller }
     }
 
     /// The first `count` cases, in index order.
@@ -313,17 +348,40 @@ pub fn shrink_candidates(config: &ScenarioConfig) -> Vec<ScenarioConfig> {
     out
 }
 
+/// Structural size of a whole case: [`complexity`] of the scenario plus
+/// a fixed surcharge for a non-baseline controller. Strictly decreases
+/// along every [`shrink`] step, which bounds the shrink loop.
+#[must_use]
+pub fn case_complexity(case: &FuzzCase) -> u64 {
+    complexity(&case.config)
+        + match case.controller {
+            ControllerSlot::Baseline => 0,
+            _ => 10,
+        }
+}
+
 /// Greedily shrinks a failing case: repeatedly replaces it with the
 /// first one-step simplification on which `still_fails` returns `true`,
-/// until no simplification fails. Because every candidate is strictly
-/// smaller under [`complexity`], the loop always terminates; the result
+/// until no simplification fails. The controller axis shrinks first — a
+/// failure that reproduces under the reactive baseline controller is
+/// far simpler to debug than one needing forecaster or tuner state —
+/// then the scenario axes. Because every candidate is strictly smaller
+/// under [`case_complexity`], the loop always terminates; the result
 /// still fails (it is the input when nothing smaller does).
-pub fn shrink(case: &FuzzCase, still_fails: impl Fn(&ScenarioConfig) -> bool) -> FuzzCase {
+pub fn shrink(case: &FuzzCase, still_fails: impl Fn(&FuzzCase) -> bool) -> FuzzCase {
     let mut current = case.clone();
     'outer: loop {
-        for candidate in shrink_candidates(&current.config) {
+        if current.controller != ControllerSlot::Baseline {
+            let candidate = FuzzCase { controller: ControllerSlot::Baseline, ..current.clone() };
             if still_fails(&candidate) {
-                current.config = candidate;
+                current = candidate;
+                continue 'outer;
+            }
+        }
+        for config in shrink_candidates(&current.config) {
+            let candidate = FuzzCase { config, ..current.clone() };
+            if still_fails(&candidate) {
+                current = candidate;
                 continue 'outer;
             }
         }
@@ -414,6 +472,23 @@ mod tests {
         );
         assert!(any(&|c| c.streamed), "streamed-synthesis cases never sampled");
         assert!(any(&|c| !c.streamed), "eager-synthesis cases never sampled");
+        for slot in [
+            ControllerSlot::Baseline,
+            ControllerSlot::PredictEwma,
+            ControllerSlot::PredictRnn,
+            ControllerSlot::Tuned,
+        ] {
+            assert!(
+                cases.iter().any(|c| c.controller == slot),
+                "controller slot {slot:?} never sampled"
+            );
+        }
+        let baseline = cases.iter().filter(|c| c.controller == ControllerSlot::Baseline).count();
+        assert!(
+            baseline > cases.len() / 2,
+            "the reactive baseline must keep the majority share, got {baseline}/{}",
+            cases.len()
+        );
     }
 
     #[test]
@@ -436,26 +511,37 @@ mod tests {
         let case = WorkloadFuzzer::new(5).case(0);
         let mut case = case;
         case.config.requests = 300;
-        let fails = |c: &ScenarioConfig| c.requests >= 40;
+        case.controller = ControllerSlot::PredictRnn;
+        let fails = |c: &FuzzCase| c.config.requests >= 40;
         let minimal = shrink(&case, fails);
-        assert!(fails(&minimal.config), "shrunk case must still fail");
-        assert!(
-            complexity(&minimal.config) < complexity(&case.config),
-            "shrinking must make progress"
-        );
+        assert!(fails(&minimal), "shrunk case must still fail");
+        assert!(case_complexity(&minimal) < case_complexity(&case), "shrinking must make progress");
         assert_eq!(minimal.config.requests, 40, "greedy halving should bottom out exactly");
-        // Everything else got simplified too.
+        // Everything else got simplified too — including the
+        // controller-family axis, since the failure is controller-blind.
+        assert_eq!(minimal.controller, ControllerSlot::Baseline);
         assert_eq!(minimal.config.grid_radius, 0);
         assert!(matches!(minimal.config.arrivals, ArrivalPattern::Uniform));
         assert!(matches!(minimal.config.spawn, SpawnSpec::CenterCell));
     }
 
     #[test]
+    fn shrink_keeps_the_controller_when_the_failure_needs_it() {
+        let mut case = WorkloadFuzzer::new(5).case(0);
+        case.controller = ControllerSlot::Tuned;
+        // The failure only reproduces under the tuned controller.
+        let minimal = shrink(&case, |c| c.controller == ControllerSlot::Tuned);
+        assert_eq!(minimal.controller, ControllerSlot::Tuned);
+    }
+
+    #[test]
     fn shrink_returns_input_when_nothing_smaller_fails() {
         let case = WorkloadFuzzer::new(5).case(3);
         let key = format!("{:?}", case.config);
+        let slot = case.controller;
         // Only the exact original "fails".
-        let minimal = shrink(&case, |c| format!("{c:?}") == key);
+        let minimal = shrink(&case, |c| format!("{:?}", c.config) == key && c.controller == slot);
         assert_eq!(format!("{:?}", minimal.config), key);
+        assert_eq!(minimal.controller, slot);
     }
 }

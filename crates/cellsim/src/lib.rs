@@ -73,7 +73,10 @@ pub mod workload;
 
 pub use engine::{MobilityKind, Simulation, SimulationConfig, UserSpec};
 pub use events::{EngineEvent, EngineQueue, Event, EventQueue, UserId};
-pub use fuzz::{complexity, shrink, shrink_candidates, FuzzCase, WorkloadFuzzer};
+pub use fuzz::{
+    case_complexity, complexity, shrink, shrink_candidates, ControllerSlot, FuzzCase,
+    WorkloadFuzzer,
+};
 pub use geometry::{HexCoord, HexGrid, Point};
 pub use metrics::{
     CellLoadSeries, ClassCounters, Metrics, MetricsSink, RegionRollup, RegionRollupSink, Series,
@@ -96,7 +99,7 @@ pub use workload::{
 /// Commonly used items, for glob import in applications and examples.
 pub mod prelude {
     pub use crate::engine::{MobilityKind, Simulation, SimulationConfig, UserSpec};
-    pub use crate::fuzz::{FuzzCase, WorkloadFuzzer};
+    pub use crate::fuzz::{ControllerSlot, FuzzCase, WorkloadFuzzer};
     pub use crate::geometry::{HexGrid, Point};
     pub use crate::metrics::{CellLoadSeries, Metrics, MetricsSink, RegionRollupSink, Series};
     pub use crate::mobility::{MobileState, MobilityModel, Walker};

@@ -50,12 +50,14 @@
 pub mod controller;
 pub mod flc1;
 pub mod flc2;
+pub mod predictive;
 mod surface_cache;
 pub mod tables;
 
 pub use controller::{FacsConfig, FacsController, FacsDegradeController, FacsEvaluation};
 pub use flc1::Flc1;
 pub use flc2::Flc2;
+pub use predictive::{PredictiveFacsController, TunedFacsController};
 pub use tables::{FRB1, FRB2};
 
 /// Commonly used items, for glob import in applications and examples.
@@ -65,4 +67,5 @@ pub mod prelude {
     };
     pub use crate::flc1::Flc1;
     pub use crate::flc2::Flc2;
+    pub use crate::predictive::{PredictiveFacsController, TunedFacsController};
 }

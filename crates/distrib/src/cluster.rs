@@ -44,6 +44,15 @@ impl fmt::Display for ClusterError {
 
 impl std::error::Error for ClusterError {}
 
+/// One base station's message loop: a ledger plus its controller,
+/// driven purely by admission/release messages.
+///
+/// There is no epoch clock here, so the actor **never** delivers the
+/// [`AdmissionController::observe`] pulse — by the trait's ordering
+/// contract, controllers with time-stepped state (forecasters, tuners)
+/// degrade gracefully to their reactive behavior under this runtime.
+///
+/// [`AdmissionController::observe`]: facs_cac::AdmissionController::observe
 struct BsActor {
     ledger: BandwidthLedger,
     controller: BoxedController,

@@ -4,7 +4,11 @@
 //! the parallel replication/sweep runners must be bit-identical to a
 //! sequential fold.
 
-use facs::{FacsConfig, FacsController, FacsDegradeController};
+use facs::{
+    FacsConfig, FacsController, FacsDegradeController, PredictiveFacsController,
+    TunedFacsController,
+};
+use facs_cac::forecast::{EwmaHoltForecaster, RecurrentForecaster};
 use facs_cac::policies::{CompleteSharing, GuardChannel};
 use facs_cac::{BandwidthUnits, BoxedController};
 use facs_cellsim::prelude::*;
@@ -40,8 +44,48 @@ fn compiled_facs_builder() -> BoxedBuilder {
     })
 }
 
-fn builders() -> Vec<(&'static str, BoxedBuilder)> {
+/// One FacsConfig per backend under test: exact defaults, and a coarse
+/// compiled lattice (cheap in debug; resolution does not affect
+/// determinism).
+fn backend_configs() -> [(&'static str, FacsConfig); 2] {
+    [
+        ("exact", FacsConfig::default()),
+        (
+            "compiled",
+            FacsConfig {
+                backend: BackendKind::Compiled { points_per_axis: 9 },
+                ..FacsConfig::default()
+            },
+        ),
+    ]
+}
+
+/// Per-cell builders for the stateful controller family introduced with
+/// the load forecasters: predictive (EWMA/Holt and recurrent) and the
+/// online-tuned FACS. Each cell gets an independent clone of a shared
+/// prototype, mirroring the bench builders.
+fn stateful_builders(config: FacsConfig) -> Vec<(&'static str, BoxedBuilder)> {
+    let ewma = PredictiveFacsController::<EwmaHoltForecaster>::ewma_factory(config)
+        .expect("predictive ewma factory");
+    let rnn = PredictiveFacsController::<RecurrentForecaster>::recurrent_factory(config)
+        .expect("predictive rnn factory");
+    let tuned = TunedFacsController::factory(config).expect("tuned factory");
     vec![
+        (
+            "facs-predict-ewma",
+            Box::new(move |grid: &HexGrid| grid.cell_ids().map(|_| ewma()).collect())
+                as BoxedBuilder,
+        ),
+        (
+            "facs-predict-rnn",
+            Box::new(move |grid: &HexGrid| grid.cell_ids().map(|_| rnn()).collect()),
+        ),
+        ("facs-tuned", Box::new(move |grid: &HexGrid| grid.cell_ids().map(|_| tuned()).collect())),
+    ]
+}
+
+fn builders() -> Vec<(&'static str, BoxedBuilder)> {
+    let mut all: Vec<(&'static str, BoxedBuilder)> = vec![
         (
             "facs",
             Box::new(|grid: &HexGrid| {
@@ -76,7 +120,9 @@ fn builders() -> Vec<(&'static str, BoxedBuilder)> {
                     .collect()
             }),
         ),
-    ]
+    ];
+    all.extend(stateful_builders(FacsConfig::default()));
+    all
 }
 
 #[test]
@@ -199,6 +245,37 @@ fn catalog_shards_are_bit_identical_on_both_backends() {
                     "catalog entry `{}` on the {backend} backend diverged at {shards} shards",
                     entry.name
                 );
+            }
+        }
+    }
+}
+
+#[test]
+fn predictive_variants_are_shard_identical_on_both_backends() {
+    // The new-variant acceptance criterion: forecaster and tuner state
+    // lives strictly per cell, so multi-shard runs must stay
+    // bit-identical to single-shard, on both backends. The two
+    // congestion-ramp catalog entries exercise the forecasters hardest
+    // while keeping the debug-profile runtime sane — shard identity
+    // does not depend on the scenario shape.
+    for entry in facs_cellsim::catalog()
+        .into_iter()
+        .filter(|e| matches!(e.name, "flash-crowd" | "rush-hour"))
+    {
+        for (backend, config) in backend_configs() {
+            for (name, build) in stateful_builders(config) {
+                let run = |shards: usize| {
+                    let cfg = ScenarioConfig { shards, replications: 1, ..entry.config.clone() };
+                    cfg.run_once(cfg.seed, build.as_ref())
+                };
+                let single = run(1);
+                for shards in [2, 4, 7] {
+                    assert_eq!(
+                        single,
+                        run(shards),
+                        "{name} on the {backend} backend diverged at {shards} shards"
+                    );
+                }
             }
         }
     }

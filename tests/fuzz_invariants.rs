@@ -11,7 +11,7 @@ use facs_cac::{
 };
 use facs_cellsim::prelude::*;
 use facs_cellsim::{
-    catalog, complexity, shrink, shrink_candidates, HexGrid, InvariantSink, TraceDigest,
+    catalog, complexity, shrink, shrink_candidates, FuzzCase, HexGrid, InvariantSink, TraceDigest,
 };
 
 fn cs_controllers(grid: &HexGrid) -> Vec<BoxedController> {
@@ -174,9 +174,9 @@ fn shrinking_produces_a_strictly_smaller_failing_workload() {
     let original_complexity = complexity(&case.config);
     // Synthetic failure predicate: "fails" whenever the workload still
     // offers at least 25 requests.
-    let fails = |c: &ScenarioConfig| c.requests >= 25;
+    let fails = |c: &FuzzCase| c.config.requests >= 25;
     let minimal = shrink(&case, fails);
-    assert!(fails(&minimal.config), "shrunk case no longer fails");
+    assert!(fails(&minimal), "shrunk case no longer fails");
     assert!(
         complexity(&minimal.config) < original_complexity,
         "shrinking must strictly reduce structural complexity"
@@ -184,5 +184,7 @@ fn shrinking_produces_a_strictly_smaller_failing_workload() {
     assert_eq!(minimal.config.requests, 25, "requests should bottom out at the threshold");
     assert_eq!(minimal.config.grid_radius, 0, "grid should shrink to a single cell");
     // And at the fixpoint, no candidate fails anymore.
-    assert!(shrink_candidates(&minimal.config).iter().all(|c| !fails(c)));
+    assert!(shrink_candidates(&minimal.config)
+        .into_iter()
+        .all(|config| !fails(&FuzzCase { config, ..minimal.clone() })));
 }
